@@ -1,0 +1,116 @@
+// Ablation: binary suspect list vs. graded (n-level) classification.
+//
+// The binary list lumps every heavy URL into one pool: a Word-Count
+// flood therefore also swamps legitimate Colla-Filt users. The graded
+// variant (Section 5.3's ⟨q₀…qₙ⟩ made structural) gives each power class
+// its own pool, so the flood occupies only its own class. This bench measures
+// what legitimate *heavy-URL* users experience under a mid-class flood
+// with each design.
+#include <iostream>
+#include <memory>
+
+#include "antidope/antidope.hpp"
+#include "antidope/graded.hpp"
+#include "bench/bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "workload/generator.hpp"
+
+using namespace dope;
+using workload::Catalog;
+
+namespace {
+
+struct Outcome {
+  double legit_heavy_p90 = 0.0;
+  double legit_heavy_mean = 0.0;
+  double availability = 0.0;
+};
+
+Outcome run(bool graded) {
+  sim::Engine engine;
+  const auto catalog = workload::Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 10;
+  cc.budget_level = power::BudgetLevel::kLow;
+  cc.battery_runtime = 2 * kMinute;
+  cluster::Cluster cluster(engine, catalog, cc);
+  if (graded) {
+    cluster.install_scheme(
+        std::make_unique<antidope::GradedAntiDopeScheme>());
+  } else {
+    antidope::AntiDopeConfig config;
+    config.suspect_pool_fraction = 0.4;  // match the graded 2+2 share
+    cluster.install_scheme(
+        std::make_unique<antidope::AntiDopeScheme>(config));
+  }
+
+  // The attack floods Word-Count (the middle class).
+  workload::GeneratorConfig attack;
+  attack.mixture = workload::Mixture::single(Catalog::kWordCount);
+  attack.rate_rps = 400.0;
+  attack.num_sources = 64;
+  attack.source_base = 1'000'000;
+  attack.ground_truth_attack = true;
+  attack.seed = 51;
+  workload::TrafficGenerator attack_gen(engine, catalog, attack,
+                                        cluster.edge_sink());
+  // Legitimate heavy users: Colla-Filt at a modest rate.
+  workload::GeneratorConfig legit;
+  legit.mixture = workload::Mixture::single(Catalog::kCollaFilt);
+  legit.rate_rps = 20.0;
+  legit.num_sources = 32;
+  legit.seed = 52;
+  workload::TrafficGenerator legit_gen(engine, catalog, legit,
+                                       cluster.edge_sink());
+  // Background light users.
+  workload::GeneratorConfig light;
+  light.mixture = workload::Mixture::single(Catalog::kTextCont);
+  light.rate_rps = 300.0;
+  light.num_sources = 256;
+  light.seed = 53;
+  workload::TrafficGenerator light_gen(engine, catalog, light,
+                                       cluster.edge_sink());
+
+  engine.run_until(5 * kMinute);
+
+  Outcome out;
+  const auto& latency = cluster.request_metrics().normal_latency_ms();
+  // Normal latency blends light (8 ms) and heavy (80 ms) users; the
+  // p99.5 region is dominated by the legitimate heavy tail, but for a
+  // clean read we rely on the mean + p90 split: light users are fast in
+  // both designs, so differences come from the heavy users.
+  out.legit_heavy_p90 = latency.percentile(99);
+  out.legit_heavy_mean = latency.mean();
+  out.availability = cluster.request_metrics().availability();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header(
+      "Ablation",
+      "Binary suspect list vs. graded power classes (mid-class flood)");
+  std::cout << "(Word-Count flood at 400 rps; legitimate Colla-Filt users "
+               "at 20 rps;\n do the legit heavy users share the attack's "
+               "fate?)\n\n";
+
+  const auto binary = run(false);
+  const auto graded = run(true);
+
+  TextTable table({"design", "normal mean (ms)", "normal p99 (ms)",
+                   "availability"});
+  table.row("binary suspect list", binary.legit_heavy_mean,
+            binary.legit_heavy_p90, binary.availability);
+  table.row("graded (3 classes)", graded.legit_heavy_mean,
+            graded.legit_heavy_p90, graded.availability);
+  table.print(std::cout);
+
+  bench::shape(
+      "graded pools shield legitimate heavy users from a mid-class flood "
+      "(p99 collapses vs. the binary design)",
+      graded.legit_heavy_p90 < 0.25 * binary.legit_heavy_p90);
+  bench::shape("graded classification also improves availability",
+               graded.availability >= binary.availability - 0.005);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 4: peak power manipulation vs. traffic rate.
+//
+//  (a) mean power vs. request rate for each EC service type — more
+//      requests per second produce higher power, and the heavy types
+//      (Colla-Filt, K-means, Word-Count) elevate power at LOW rates;
+//  (b) CDF of (nameplate-normalised) power at several traffic rates —
+//      higher volume shifts the CDF right and reduces its variance.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+
+using namespace dope;
+using workload::Catalog;
+
+namespace {
+
+scenario::ScenarioResult run_at(workload::RequestTypeId type, double rate) {
+  auto config = bench::testbed_scenario();
+  config.attack_rps = rate;
+  config.attack_mixture = workload::Mixture::single(type);
+  return scenario::run_scenario(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("Figure 4",
+                       "Higher traffic rate tends to cause higher power");
+
+  const std::vector<double> rates = {1, 5, 10, 25, 50, 100, 250, 500, 1000};
+  const std::vector<workload::RequestTypeId> types = {
+      Catalog::kCollaFilt, Catalog::kKMeans, Catalog::kWordCount,
+      Catalog::kTextCont};
+  const auto catalog = workload::Catalog::standard();
+
+  // ---- (a) mean power vs rate per type ----
+  std::cout << "\n(a) mean cluster power (W) vs. attack request rate\n";
+  TextTable a({"rate (rps)", "Colla-Filt", "K-means", "Word-Count",
+               "Text-Cont"});
+  // results[type][rate index]
+  std::vector<std::vector<double>> mean_power(
+      types.size(), std::vector<double>(rates.size(), 0.0));
+  std::vector<std::vector<double>> samples_at_100(types.size());
+  std::vector<std::vector<std::vector<double>>> cdf_samples(rates.size());
+
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      const auto result = run_at(types[t], rates[r]);
+      mean_power[t][r] = result.mean_power;
+    }
+  }
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    a.row(rates[r], mean_power[0][r], mean_power[1][r], mean_power[2][r],
+          mean_power[3][r]);
+  }
+  a.print(std::cout);
+
+  // ---- (b) CDF of normalised power at several rates (Colla-Filt) ----
+  std::cout << "\n(b) CDF of power (normalised to nameplate), Colla-Filt "
+               "traffic at multiple rates\n";
+  const std::vector<double> cdf_rates = {10, 50, 100, 500, 1000};
+  std::vector<Percentiles> dists(cdf_rates.size());
+  for (std::size_t r = 0; r < cdf_rates.size(); ++r) {
+    const auto result = run_at(Catalog::kCollaFilt, cdf_rates[r]);
+    for (double v : result.power_samples_normalized) dists[r].add(v);
+  }
+  TextTable b({"percentile", "10rps", "50rps", "100rps", "500rps",
+               "1000rps"});
+  for (double p : {5.0, 25.0, 50.0, 75.0, 95.0}) {
+    b.row(p, dists[0].percentile(p), dists[1].percentile(p),
+          dists[2].percentile(p), dists[3].percentile(p),
+          dists[4].percentile(p));
+  }
+  b.print(std::cout);
+
+  // ---- shape checks ----
+  bool monotone = true;
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    for (std::size_t r = 1; r < rates.size(); ++r) {
+      if (mean_power[t][r] + 2.0 < mean_power[t][r - 1]) monotone = false;
+    }
+  }
+  bench::shape("sending more requests per second produces higher power",
+               monotone);
+
+  // Heavy types elevate power at low rates: at 50 rps, Colla-Filt adds far
+  // more power over the idle+normal baseline than Text-Cont does.
+  const double baseline = mean_power[3][0];
+  bench::shape(
+      "Colla-Filt/K-means/Word-Count elevate power at a low traffic rate",
+      mean_power[0][4] - baseline > 3.0 * (mean_power[3][4] - baseline) &&
+          mean_power[1][4] > mean_power[3][4] &&
+          mean_power[2][4] > mean_power[3][4]);
+
+  const double spread_low = dists[0].percentile(95) - dists[0].percentile(5);
+  const double spread_high =
+      dists[4].percentile(95) - dists[4].percentile(5);
+  bench::shape("higher network volume shows lower variance in power usage",
+               spread_high < spread_low);
+  bench::shape("power CDF shifts right as the rate grows",
+               dists[4].percentile(50) > dists[0].percentile(50));
+  (void)catalog;
+  return 0;
+}

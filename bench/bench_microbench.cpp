@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: event
+// engine throughput, server queueing, generator arrival scheduling, and
+// end-to-end scenario cost. These bound how large a cluster/window the
+// harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include "scenario/scenario.hpp"
+#include "server/node.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace dope;
+
+void BM_EngineScheduleExecute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<Time>(i % 1'000), [] {});
+    }
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineScheduleExecute)->Arg(1'000)->Arg(100'000);
+
+void BM_EnginePeriodicTick(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t ticks = 0;
+    auto handle = engine.every(kMillisecond, [&ticks] { ++ticks; });
+    engine.run_until(kSecond);
+    handle.stop();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(1'000 * state.iterations());
+}
+BENCHMARK(BM_EnginePeriodicTick);
+
+void BM_ServerSaturatedChurn(benchmark::State& state) {
+  const auto catalog = workload::Catalog::standard();
+  const auto ladder = power::DvfsLadder::make();
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t done = 0;
+    server::ServerNode node(
+        engine, 0, catalog, power::ServerPowerModel({}, ladder),
+        {.queue_capacity = 10'000, .queue_deadline = 0},
+        [&done](const workload::RequestRecord&) { ++done; });
+    workload::GeneratorConfig gen_config;
+    gen_config.mixture =
+        workload::Mixture::single(workload::Catalog::kTextCont);
+    gen_config.rate_rps = 800.0;  // saturating for one node
+    workload::TrafficGenerator gen(
+        engine, catalog, gen_config,
+        [&node](workload::Request&& r) { node.submit(std::move(r)); });
+    engine.run_until(10 * kSecond);
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_ServerSaturatedChurn);
+
+void BM_DvfsRetiming(benchmark::State& state) {
+  // Cost of re-timing a full active set on every level change.
+  const auto catalog = workload::Catalog::standard();
+  const auto ladder = power::DvfsLadder::make();
+  sim::Engine engine;
+  server::ServerNode node(
+      engine, 0, catalog, power::ServerPowerModel({}, ladder),
+      {.queue_capacity = 64, .queue_deadline = 0, .dvfs_latency = 0},
+      [](const workload::RequestRecord&) {});
+  for (int i = 0; i < 4; ++i) {
+    workload::Request r;
+    r.type = workload::Catalog::kCollaFilt;
+    r.size_factor = 1e6;  // effectively never finishes
+    node.submit(std::move(r));
+  }
+  power::DvfsLevel level = 0;
+  for (auto _ : state) {
+    node.force_level(level);
+    level = (level + 1) % ladder.levels();
+    benchmark::DoNotOptimize(node.current_power());
+  }
+}
+BENCHMARK(BM_DvfsRetiming);
+
+void BM_ScenarioMinute(benchmark::State& state) {
+  // End-to-end cost of one simulated minute of the evaluation cluster.
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.scheme = scenario::SchemeKind::kAntiDope;
+    config.budget = power::BudgetLevel::kLow;
+    config.normal_rps = 300.0;
+    config.attack_rps = 400.0;
+    config.duration = kMinute;
+    const auto r = scenario::run_scenario(config);
+    benchmark::DoNotOptimize(r.mean_ms);
+  }
+}
+BENCHMARK(BM_ScenarioMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary prints (a) the rows/series of one paper figure and (b) one
+// or more "SHAPE" lines asserting the qualitative property the paper
+// claims (who wins, where the knee is). Shape lines print PASS/CHECK so a
+// full bench run can be eyeballed or grepped.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/catalog.hpp"
+
+namespace dope::bench {
+
+/// The paper's injected malicious blend (Colla-Filt + K-means +
+/// Word-Count service attacks, Section 6.1).
+inline workload::Mixture heavy_blend() {
+  using workload::Catalog;
+  return workload::Mixture(
+      {Catalog::kCollaFilt, Catalog::kKMeans, Catalog::kWordCount},
+      {1.0, 1.0, 1.0});
+}
+
+/// The standard evaluation cluster: 8 leaf nodes, 2-minute battery,
+/// AliOS-style normal traffic at 300 rps, optional DOPE attack.
+inline scenario::ScenarioConfig eval_scenario(
+    scenario::SchemeKind scheme, power::BudgetLevel budget,
+    double attack_rps = 400.0) {
+  scenario::ScenarioConfig config;
+  config.scheme = scheme;
+  config.budget = budget;
+  config.normal_rps = 300.0;
+  config.attack_rps = attack_rps;
+  if (attack_rps > 0) config.attack_mixture = heavy_blend();
+  config.duration = 10 * kMinute;  // the paper's observation window
+  config.seed = 42;
+  return config;
+}
+
+/// The paper's Section 3 scaled-down testing environment: a mini rack of
+/// four 100 W leaf nodes behind one switch, with light normal EC traffic.
+inline scenario::ScenarioConfig testbed_scenario(
+    scenario::SchemeKind scheme = scenario::SchemeKind::kNone,
+    power::BudgetLevel budget = power::BudgetLevel::kNormal) {
+  scenario::ScenarioConfig config;
+  config.num_servers = 4;
+  config.scheme = scheme;
+  config.budget = budget;
+  config.normal_rps = 150.0;
+  config.duration = 10 * kMinute;
+  config.seed = 42;
+  return config;
+}
+
+/// Prints one qualitative shape check.
+inline void shape(const std::string& claim, bool holds) {
+  std::cout << "SHAPE [" << (holds ? "PASS" : "CHECK") << "] " << claim
+            << "\n";
+}
+
+inline void figure_header(const std::string& id, const std::string& title) {
+  std::cout << "\n==================================================\n"
+            << id << ": " << title << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace dope::bench

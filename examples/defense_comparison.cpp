@@ -1,0 +1,57 @@
+// Defense comparison: run the same DOPE attack against all four power
+// management schemes (Table 2) side by side and print the paper's key
+// metrics — the condensed version of Figs. 16-19.
+//
+//   $ ./defense_comparison
+#include <iostream>
+
+#include "common/table.hpp"
+#include "scenario/scenario.hpp"
+
+int main() {
+  using namespace dope;
+  using scenario::SchemeKind;
+
+  std::cout << "== four defenses vs. the same DOPE attack ==\n"
+            << "(8x100 W cluster, Low-PB budget = 640 W, 300 rps normal "
+               "traffic,\n 400 rps heavy-URL attack, 10-minute window)\n\n";
+
+  workload::Mixture heavy(
+      {workload::Catalog::kCollaFilt, workload::Catalog::kKMeans,
+       workload::Catalog::kWordCount},
+      {1.0, 1.0, 1.0});
+
+  // Describe every run declaratively, then execute the sweep (in parallel
+  // when more than one hardware thread is available).
+  std::vector<scenario::ScenarioConfig> configs;
+  for (const auto scheme : scenario::kEvaluatedSchemes) {
+    scenario::ScenarioConfig config;
+    config.scheme = scheme;
+    config.budget = power::BudgetLevel::kLow;
+    config.normal_rps = 300.0;
+    config.attack_rps = 400.0;
+    config.attack_mixture = heavy;
+    config.duration = 10 * kMinute;
+    config.seed = 99;
+    configs.push_back(config);
+  }
+  const auto results = scenario::run_scenarios(configs);
+
+  TextTable table({"scheme", "mean RT (ms)", "p90 (ms)", "availability",
+                   "dropped %", "battery used (J)", "utility energy (J)"});
+  for (const auto& r : results) {
+    table.row(r.scheme, r.mean_ms, r.p90_ms, r.availability,
+              r.drop_fraction * 100.0, r.battery_discharged,
+              r.energy.utility_total());
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table like the paper does:\n"
+      << "  - Capping throttles everyone: worst latency for normal users.\n"
+      << "  - Shaving hides the peak in the battery until it runs dry.\n"
+      << "  - Token looks fast, but only because it discards traffic.\n"
+      << "  - Anti-DOPE isolates the heavy URLs and throttles only the\n"
+      << "    suspect pool: normal users barely notice the attack.\n";
+  return 0;
+}

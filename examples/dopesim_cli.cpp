@@ -1,0 +1,228 @@
+// dopesim — command-line driver for the simulator.
+//
+// Runs one fully configurable scenario and prints the paper's metrics;
+// optionally dumps CSVs for plotting. This is the entry point a
+// downstream user scripts parameter sweeps with.
+//
+//   $ ./dopesim_cli --scheme antidope --budget low --attack-rps 400
+//   $ ./dopesim_cli --scheme capping --budget-watts 520
+//         --attack-type kmeans --csv out.csv --power-csv power.csv
+//   $ ./dopesim_cli --help
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace dope;
+
+void print_help() {
+  std::cout <<
+      R"(dopesim — data center peak power management under traffic flood
+
+usage: dopesim_cli [options]
+
+cluster
+  --servers N          leaf nodes (default 8)
+  --budget LEVEL       normal | high | medium | low (default low)
+  --budget-watts W     explicit supply in watts (overrides --budget)
+  --battery-min M      battery runtime in minutes at full load (default 2)
+  --firewall           enable the DDoS-deflate firewall (150 rps/source)
+  --slot-ms MS         management slot (default 1000)
+
+scheme
+  --scheme NAME        none | capping | shaving | token | antidope
+                       (default antidope)
+  --online             Anti-DOPE: learn the suspect list online
+  --per-node           Anti-DOPE: per-node DPM throttling (TL(p,q))
+  --pool-fraction F    Anti-DOPE: suspect pool share (default 0.25)
+
+traffic
+  --normal-rps R       normal user rate (default 300)
+  --attack-rps R       DOPE attack rate (default 400; 0 disables)
+  --attack-type T      colla-filt | kmeans | wordcount | blend (default)
+  --agents N           attack botnet size (default 64)
+  --attack-start-s S   attack onset time (default 0)
+
+run
+  --duration-s S       observation window (default 600, the paper's 10 min)
+  --seed N             RNG seed (default 42)
+  --csv FILE           append a one-row CSV summary
+  --power-csv FILE     write the power timeline
+  --soc-csv FILE       write the battery state-of-charge timeline
+  --help               this text
+)";
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "dopesim: " << message << " (see --help)\n";
+  std::exit(2);
+}
+
+double number_arg(const std::string& flag, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (...) {
+    fail("bad numeric value for " + flag + ": " + value);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::ScenarioConfig config;
+  config.scheme = scenario::SchemeKind::kAntiDope;
+  config.budget = power::BudgetLevel::kLow;
+  config.normal_rps = 300.0;
+  config.attack_rps = 400.0;
+  config.attack_mixture = workload::Mixture(
+      {workload::Catalog::kCollaFilt, workload::Catalog::kKMeans,
+       workload::Catalog::kWordCount},
+      {1.0, 1.0, 1.0});
+  config.duration = 10 * kMinute;
+  config.seed = 42;
+
+  std::string csv_path, power_csv_path, soc_csv_path;
+
+  const std::map<std::string, scenario::SchemeKind> schemes = {
+      {"none", scenario::SchemeKind::kNone},
+      {"capping", scenario::SchemeKind::kCapping},
+      {"shaving", scenario::SchemeKind::kShaving},
+      {"token", scenario::SchemeKind::kToken},
+      {"antidope", scenario::SchemeKind::kAntiDope},
+  };
+  const std::map<std::string, power::BudgetLevel> budgets = {
+      {"normal", power::BudgetLevel::kNormal},
+      {"high", power::BudgetLevel::kHigh},
+      {"medium", power::BudgetLevel::kMedium},
+      {"low", power::BudgetLevel::kLow},
+  };
+  const std::map<std::string, workload::Mixture> attack_types = {
+      {"colla-filt",
+       workload::Mixture::single(workload::Catalog::kCollaFilt)},
+      {"kmeans", workload::Mixture::single(workload::Catalog::kKMeans)},
+      {"wordcount",
+       workload::Mixture::single(workload::Catalog::kWordCount)},
+      {"blend", *config.attack_mixture},
+  };
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) fail("missing value for " + flag);
+      return args[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      print_help();
+      return 0;
+    } else if (flag == "--servers") {
+      config.num_servers = static_cast<std::size_t>(
+          number_arg(flag, next()));
+    } else if (flag == "--budget") {
+      const auto it = budgets.find(next());
+      if (it == budgets.end()) fail("unknown budget level");
+      config.budget = it->second;
+    } else if (flag == "--budget-watts") {
+      config.budget_override = number_arg(flag, next());
+    } else if (flag == "--battery-min") {
+      config.battery_runtime =
+          static_cast<Duration>(number_arg(flag, next()) * kMinute);
+    } else if (flag == "--firewall") {
+      net::FirewallConfig firewall;
+      firewall.threshold_rps = 150.0;
+      firewall.check_interval = 5 * kSecond;
+      config.firewall = firewall;
+    } else if (flag == "--slot-ms") {
+      config.slot = millis(number_arg(flag, next()));
+    } else if (flag == "--scheme") {
+      const auto it = schemes.find(next());
+      if (it == schemes.end()) fail("unknown scheme");
+      config.scheme = it->second;
+    } else if (flag == "--online") {
+      config.antidope.online_learning = true;
+    } else if (flag == "--per-node") {
+      config.antidope.per_node_throttling = true;
+    } else if (flag == "--pool-fraction") {
+      config.antidope.suspect_pool_fraction = number_arg(flag, next());
+    } else if (flag == "--normal-rps") {
+      config.normal_rps = number_arg(flag, next());
+    } else if (flag == "--attack-rps") {
+      config.attack_rps = number_arg(flag, next());
+    } else if (flag == "--attack-type") {
+      const auto it = attack_types.find(next());
+      if (it == attack_types.end()) fail("unknown attack type");
+      config.attack_mixture = it->second;
+    } else if (flag == "--agents") {
+      config.attack_agents =
+          static_cast<unsigned>(number_arg(flag, next()));
+    } else if (flag == "--attack-start-s") {
+      config.attack_start = seconds(number_arg(flag, next()));
+    } else if (flag == "--duration-s") {
+      config.duration = seconds(number_arg(flag, next()));
+    } else if (flag == "--seed") {
+      config.seed = static_cast<std::uint64_t>(number_arg(flag, next()));
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--power-csv") {
+      power_csv_path = next();
+    } else if (flag == "--soc-csv") {
+      soc_csv_path = next();
+    } else {
+      fail("unknown flag: " + flag);
+    }
+  }
+
+  const auto r = scenario::run_scenario(config);
+
+  std::cout << "== dopesim: " << r.scheme << " @ " << r.budget << " W, "
+            << config.normal_rps << " rps normal, " << config.attack_rps
+            << " rps attack, " << to_seconds(config.duration)
+            << " s ==\n\n";
+  TextTable table({"metric", "value"});
+  table.row("normal mean RT (ms)", r.mean_ms);
+  table.row("normal p50 / p90 / p95 / p99 (ms)",
+            TextTable::format_cell(r.p50_ms) + " / " +
+                TextTable::format_cell(r.p90_ms) + " / " +
+                TextTable::format_cell(r.p95_ms) + " / " +
+                TextTable::format_cell(r.p99_ms));
+  table.row("availability", r.availability);
+  table.row("drop fraction", r.drop_fraction);
+  table.row("mean / peak power (W)",
+            TextTable::format_cell(r.mean_power) + " / " +
+                TextTable::format_cell(r.peak_power));
+  table.row("utility energy (J)", r.energy.utility_total());
+  table.row("battery energy (J)", r.energy.battery);
+  table.row("demand violation slots",
+            static_cast<long long>(r.slot_stats.violation_slots));
+  table.row("utility violation slots",
+            static_cast<long long>(r.slot_stats.utility_violation_slots));
+  table.row("outages", static_cast<long long>(r.slot_stats.outages));
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) fail("cannot write " + csv_path);
+    scenario::write_results_csv(out, {r});
+    std::cout << "\nwrote " << csv_path << "\n";
+  }
+  if (!power_csv_path.empty()) {
+    std::ofstream out(power_csv_path);
+    if (!out) fail("cannot write " + power_csv_path);
+    scenario::write_timeline_csv(out, r.power_timeline);
+    std::cout << "wrote " << power_csv_path << "\n";
+  }
+  if (!soc_csv_path.empty()) {
+    std::ofstream out(soc_csv_path);
+    if (!out) fail("cannot write " + soc_csv_path);
+    scenario::write_timeline_csv(out, r.battery_soc_timeline);
+    std::cout << "wrote " << soc_csv_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Anti-DOPE: request-aware power management (the paper's contribution).
+//
+// Couples two halves that conventional data centers keep apart:
+//
+//   PDF  (network side)  — classify by URL power class, isolate suspect
+//                          requests on a dedicated server pool;
+//   RPM  (power side)    — on a budget violation, run Differentiated
+//                          Power Management (Algorithm 1): let the battery
+//                          bridge the actuation transient, then throttle
+//                          the *suspect pool only*, searching the DVFS
+//                          ladder for the highest level satisfying
+//                          Σ qᵢ·Pᵢ(f) ≤ B₀ (Eq. 1). The innocent pool is
+//                          touched only as a last resort.
+//
+// The result: a DOPE flood saturates and throttles the suspect pool while
+// legitimate (mostly low-power) traffic keeps its full frequency — 44 %
+// shorter mean response time and 68 % better p90 in the paper's trace
+// evaluation versus conventional capping.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "antidope/online_classifier.hpp"
+#include "antidope/pdf.hpp"
+#include "antidope/suspect_list.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/scheme.hpp"
+
+namespace dope::antidope {
+
+/// Anti-DOPE tuning parameters.
+struct AntiDopeConfig {
+  /// Per-request power (watts at f_max) above which a URL class is
+  /// forwarded to the suspect pool. 10 W separates Colla-Filt/K-means/
+  /// Word-Count from the light request types in the standard catalog.
+  Watts suspect_power_threshold = 10.0;
+  /// Fraction of servers dedicated to the suspect pool (at least one).
+  double suspect_pool_fraction = 0.25;
+  /// Hysteresis headroom for frequency restoration.
+  double headroom_margin = 0.02;
+  /// Use the cluster battery as the actuation-transient bridge.
+  bool use_battery = true;
+  /// Balancing policy inside each pool.
+  net::LbPolicy pool_policy = net::LbPolicy::kLeastLoaded;
+  /// Pre-built suspect list (e.g. from measured offline profiling);
+  /// when absent, the list is derived from the catalog at attach time.
+  std::optional<SuspectList> suspect_list;
+  /// Learn per-URL power online from node telemetry and keep the suspect
+  /// list current — catches attack URLs that were never profiled offline.
+  bool online_learning = false;
+  OnlineClassifierConfig online{};
+  /// Solve Algorithm 1's heterogeneous throttling list TL(p,q) per node
+  /// (greedy watts-per-hertz) instead of one uniform suspect-pool level.
+  bool per_node_throttling = false;
+};
+
+/// The Anti-DOPE power scheme; install into a Cluster.
+class AntiDopeScheme final : public cluster::PowerScheme {
+ public:
+  explicit AntiDopeScheme(AntiDopeConfig config = {});
+
+  std::string name() const override { return "Anti-DOPE"; }
+  void attach(cluster::Cluster& cluster) override;
+  net::Backend* route(const workload::Request& request) override;
+  void on_slot(Time now, Duration slot) override;
+
+  const PdfRouter& router() const { return *router_; }
+  const SuspectList& suspects() const { return router_->suspects(); }
+  std::size_t suspect_pool_size() const { return suspect_nodes_.size(); }
+
+  /// Watts the battery delivered in the most recent slot (telemetry).
+  Watts last_battery_power() const { return last_battery_power_; }
+  /// Current suspect-pool throttling level.
+  power::DvfsLevel suspect_level() const { return suspect_target_; }
+  /// Current innocent-pool level (max unless last-resort throttling hit).
+  power::DvfsLevel innocent_level() const { return innocent_target_; }
+
+  /// The online classifier, when enabled (nullptr otherwise).
+  const OnlineClassifier* classifier() const { return classifier_.get(); }
+
+ private:
+  AntiDopeConfig config_;
+  std::unique_ptr<PdfRouter> router_;
+  std::vector<server::ServerNode*> suspect_nodes_;
+  std::vector<server::ServerNode*> innocent_nodes_;
+  power::DvfsLevel suspect_target_ = 0;
+  power::DvfsLevel innocent_target_ = 0;
+  Watts last_battery_power_ = 0.0;
+  std::unique_ptr<OnlineClassifier> classifier_;
+};
+
+}  // namespace dope::antidope

@@ -1,0 +1,81 @@
+#include "antidope/dpm.hpp"
+
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace dope::antidope {
+
+ThrottleAssignment solve_throttling(
+    const std::vector<server::ServerNode*>& nodes,
+    const power::DvfsLadder& ladder, Watts allowance,
+    power::DvfsLevel ceiling) {
+  DOPE_REQUIRE(!nodes.empty(), "need at least one node");
+  DOPE_REQUIRE(ceiling < ladder.levels(), "ceiling out of range");
+
+  ThrottleAssignment assignment(nodes.size(), ceiling);
+  // Cache per-node power estimates at the current assignment.
+  std::vector<Watts> node_power(nodes.size());
+  Watts total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    node_power[i] = nodes[i]->estimate_power_at(ceiling);
+    total += node_power[i];
+  }
+
+  while (total > allowance) {
+    // Pick the single step-down with the best watts-per-gigahertz ratio.
+    std::size_t best = nodes.size();
+    double best_ratio = -1.0;
+    Watts best_saving = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (assignment[i] == ladder.min_level()) continue;
+      const auto next = assignment[i] - 1;
+      const Watts saving =
+          node_power[i] - nodes[i]->estimate_power_at(next);
+      const GHz lost = ladder.frequency(assignment[i]) -
+                       ladder.frequency(next);
+      // Clamped (saturated) nodes may save ~0 W for a step; still allow
+      // the move so the search cannot stall, but rank it last.
+      const double ratio = saving / std::max(lost, 1e-9);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+        best_saving = saving;
+      }
+    }
+    if (best == nodes.size()) break;  // everything at the floor
+    assignment[best] -= 1;
+    node_power[best] -= best_saving;
+    total -= best_saving;
+  }
+  return assignment;
+}
+
+Watts assignment_power(const std::vector<server::ServerNode*>& nodes,
+                       const ThrottleAssignment& assignment) {
+  DOPE_REQUIRE(nodes.size() == assignment.size(),
+               "assignment size mismatch");
+  Watts total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    total += nodes[i]->estimate_power_at(assignment[i]);
+  }
+  return total;
+}
+
+GHz assignment_frequency(const power::DvfsLadder& ladder,
+                         const ThrottleAssignment& assignment) {
+  GHz total = 0.0;
+  for (const auto level : assignment) total += ladder.frequency(level);
+  return total;
+}
+
+void apply_assignment(const std::vector<server::ServerNode*>& nodes,
+                      const ThrottleAssignment& assignment) {
+  DOPE_REQUIRE(nodes.size() == assignment.size(),
+               "assignment size mismatch");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i]->request_level(assignment[i]);
+  }
+}
+
+}  // namespace dope::antidope

@@ -1,0 +1,50 @@
+// DPM throttling-configuration solver (paper Algorithm 1, Eq. 1).
+//
+// Algorithm 1 searches a *throttling list* TL(p, q) — a per-node choice
+// of V/F operating points — such that the summed request power fits the
+// available budget: Σ qᵢ·Pᵢ(f) ≤ B₀. A single uniform level is the
+// simplest member of that family; this solver finds a heterogeneous
+// assignment that reclaims the required watts while giving up as little
+// total frequency (performance) as possible.
+//
+// Strategy: start every node at its ceiling and greedily take the
+// single-step reduction with the best power-saved-per-hertz-lost ratio
+// until the estimate fits (or every node reaches the ladder floor). With
+// monotone per-node power curves this greedy is within one step of
+// optimal for this class of separable knapsack problems — and, unlike an
+// exact DP, runs comfortably inside a 1-second management slot.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/dvfs.hpp"
+#include "server/node.hpp"
+
+namespace dope::antidope {
+
+/// Per-node level assignment (indexed like the input node vector).
+using ThrottleAssignment = std::vector<power::DvfsLevel>;
+
+/// Computes a heterogeneous throttling assignment whose estimated total
+/// power fits `allowance`. Nodes start from `ceiling` (their current
+/// target). Returns ladder-floor levels where even full throttling
+/// cannot fit. Estimates use each node's *current* active set.
+ThrottleAssignment solve_throttling(
+    const std::vector<server::ServerNode*>& nodes,
+    const power::DvfsLadder& ladder, Watts allowance,
+    power::DvfsLevel ceiling);
+
+/// Estimated total power of an assignment.
+Watts assignment_power(const std::vector<server::ServerNode*>& nodes,
+                       const ThrottleAssignment& assignment);
+
+/// Sum of assigned frequencies (the performance objective).
+GHz assignment_frequency(const power::DvfsLadder& ladder,
+                         const ThrottleAssignment& assignment);
+
+/// Applies the assignment through each node's DVFS request interface.
+void apply_assignment(const std::vector<server::ServerNode*>& nodes,
+                      const ThrottleAssignment& assignment);
+
+}  // namespace dope::antidope

@@ -1,0 +1,54 @@
+// PDF — Power-Driven Forwarding (the NLB half of Anti-DOPE).
+//
+// Splits the backend fleet into a *suspect pool* and an *innocent pool*
+// and routes by suspect-list classification of the request's URL class.
+// High-power requests — attacker traffic, plus the minority of legitimate
+// heavy requests — land on the suspect pool, so later differentiated
+// throttling hits attackers while the innocent pool keeps running at full
+// speed. Legitimate heavy requests pay a price only while an attack is
+// actually being suppressed (paper Section 5.4's deliberate KISS
+// trade-off).
+#pragma once
+
+#include <vector>
+
+#include "antidope/suspect_list.hpp"
+#include "net/backend.hpp"
+#include "net/load_balancer.hpp"
+#include "workload/request.hpp"
+
+namespace dope::antidope {
+
+/// URL-classified two-pool router.
+class PdfRouter {
+ public:
+  PdfRouter(SuspectList suspects, std::vector<net::Backend*> suspect_pool,
+            std::vector<net::Backend*> innocent_pool,
+            net::LbPolicy policy = net::LbPolicy::kLeastLoaded);
+
+  /// Chooses a backend. Suspicious requests never spill into the innocent
+  /// pool (isolation is the point); innocent requests may spill into the
+  /// suspect pool only when the innocent pool is entirely unavailable.
+  net::Backend* route(const workload::Request& request);
+
+  const SuspectList& suspects() const { return suspects_; }
+
+  /// Swaps in a new classification (online learning); pool membership is
+  /// unchanged — only which URL classes route to the suspect pool.
+  void update_suspects(SuspectList suspects);
+  bool is_suspect(const workload::Request& request) const {
+    return suspects_.suspicious(request.type);
+  }
+
+  std::uint64_t suspect_routed() const { return suspect_routed_; }
+  std::uint64_t innocent_routed() const { return innocent_routed_; }
+
+ private:
+  SuspectList suspects_;
+  net::LoadBalancer suspect_lb_;
+  net::LoadBalancer innocent_lb_;
+  std::uint64_t suspect_routed_ = 0;
+  std::uint64_t innocent_routed_ = 0;
+};
+
+}  // namespace dope::antidope

@@ -1,0 +1,111 @@
+#include "antidope/power_classes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expect.hpp"
+#include "power/power_model.hpp"
+
+namespace dope::antidope {
+
+PowerClassifier::PowerClassifier(std::vector<Watts> per_type_power,
+                                 std::size_t num_classes)
+    : per_type_power_(std::move(per_type_power)),
+      num_classes_(num_classes) {
+  DOPE_REQUIRE(!per_type_power_.empty(), "need at least one type");
+  DOPE_REQUIRE(num_classes_ >= 1, "need at least one class");
+  DOPE_REQUIRE(num_classes_ <= per_type_power_.size(),
+               "more classes than types");
+  for (const Watts p : per_type_power_) {
+    DOPE_REQUIRE(p >= 0, "powers must be non-negative");
+  }
+
+  // Rank types by power, then cut the ranking into num_classes groups of
+  // near-equal size (equal-frequency boundaries). Ties stay together.
+  std::vector<std::size_t> order(per_type_power_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return per_type_power_[a] < per_type_power_[b];
+                   });
+  class_of_.assign(per_type_power_.size(), 0);
+  const double per_class = static_cast<double>(order.size()) /
+                           static_cast<double>(num_classes_);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    auto cls = static_cast<std::size_t>(
+        static_cast<double>(rank) / per_class);
+    cls = std::min(cls, num_classes_ - 1);
+    // Keep equal powers in the same (lower) class.
+    if (rank > 0 && per_type_power_[order[rank]] ==
+                        per_type_power_[order[rank - 1]]) {
+      cls = class_of_[order[rank - 1]];
+    }
+    class_of_[order[rank]] = cls;
+  }
+}
+
+PowerClassifier PowerClassifier::from_catalog(
+    const workload::Catalog& catalog, std::size_t num_classes) {
+  std::vector<Watts> powers;
+  powers.reserve(catalog.size());
+  for (workload::RequestTypeId t = 0; t < catalog.size(); ++t) {
+    powers.push_back(power::active_power(catalog.type(t).power, 1.0));
+  }
+  return PowerClassifier(std::move(powers), num_classes);
+}
+
+std::size_t PowerClassifier::class_of(workload::RequestTypeId type) const {
+  DOPE_REQUIRE(type < class_of_.size(), "type id out of range");
+  return class_of_[type];
+}
+
+Watts PowerClassifier::class_ceiling(std::size_t c) const {
+  DOPE_REQUIRE(c < num_classes_, "class index out of range");
+  Watts ceiling = 0.0;
+  for (std::size_t t = 0; t < class_of_.size(); ++t) {
+    if (class_of_[t] == c) ceiling = std::max(ceiling, per_type_power_[t]);
+  }
+  return ceiling;
+}
+
+std::vector<workload::RequestTypeId> PowerClassifier::members(
+    std::size_t c) const {
+  DOPE_REQUIRE(c < num_classes_, "class index out of range");
+  std::vector<workload::RequestTypeId> out;
+  for (std::size_t t = 0; t < class_of_.size(); ++t) {
+    if (class_of_[t] == c) {
+      out.push_back(static_cast<workload::RequestTypeId>(t));
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> PowerClassifier::decompose(
+    const std::vector<workload::RequestTypeId>& stream) const {
+  std::vector<std::size_t> q(num_classes_, 0);
+  for (const auto type : stream) {
+    ++q[class_of(type)];
+  }
+  return q;
+}
+
+bool PowerClassifier::fits_budget(const std::vector<std::size_t>& q,
+                                  double rel, Watts budget,
+                                  const workload::Catalog& catalog) const {
+  DOPE_REQUIRE(q.size() == num_classes_, "count vector size mismatch");
+  Watts total = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    if (q[c] == 0) continue;
+    // Conservative class power: the heaviest member evaluated at `rel`
+    // with that member's own frequency sensitivity.
+    Watts worst = 0.0;
+    for (const auto type : members(c)) {
+      worst = std::max(
+          worst, power::active_power(catalog.type(type).power, rel));
+    }
+    total += static_cast<double>(q[c]) * worst;
+  }
+  return total <= budget;
+}
+
+}  // namespace dope::antidope

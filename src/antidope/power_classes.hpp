@@ -1,0 +1,62 @@
+// n-level power classification (paper Section 5.3).
+//
+// The request-control model divides the incoming flow Q into n power
+// levels ⟨q₀, q₁, …, qₙ⟩ by the provided service types — a finer notion
+// than the binary suspect list. Class 0 is the lightest; higher classes
+// draw more power per request. `PowerClassifier` builds that partition
+// from per-request powers (catalog ground truth or profiler
+// measurements) using equal-frequency (quantile) boundaries over the
+// distinct power values, and decomposes traffic into the ⟨qᵢ⟩ vector
+// Eq. 1 reasons about.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/catalog.hpp"
+#include "workload/request.hpp"
+
+namespace dope::antidope {
+
+/// Maps URL classes to one of n power levels.
+class PowerClassifier {
+ public:
+  /// Builds from explicit per-type powers (indexed by type id).
+  PowerClassifier(std::vector<Watts> per_type_power,
+                  std::size_t num_classes);
+
+  /// Builds from the catalog's analytic per-request powers at f_max.
+  static PowerClassifier from_catalog(const workload::Catalog& catalog,
+                                      std::size_t num_classes);
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t num_types() const { return class_of_.size(); }
+
+  /// Power level of a URL class (0 = lightest).
+  std::size_t class_of(workload::RequestTypeId type) const;
+
+  /// Inclusive upper power bound of class `c` (the heaviest member).
+  Watts class_ceiling(std::size_t c) const;
+
+  /// Types assigned to class `c`.
+  std::vector<workload::RequestTypeId> members(std::size_t c) const;
+
+  /// Decomposes a stream of request types into the ⟨q₀…qₙ⟩ count vector.
+  std::vector<std::size_t> decompose(
+      const std::vector<workload::RequestTypeId>& stream) const;
+
+  /// Eq. 1 feasibility: Σ qᵢ · Pᵢ(rel) ≤ budget, where Pᵢ is the class
+  /// ceiling scaled by the catalog's mean frequency-sensitivity of that
+  /// class (a conservative bound used for admission-style checks).
+  bool fits_budget(const std::vector<std::size_t>& q, double rel,
+                   Watts budget,
+                   const workload::Catalog& catalog) const;
+
+ private:
+  std::vector<std::size_t> class_of_;
+  std::vector<Watts> per_type_power_;
+  std::size_t num_classes_;
+};
+
+}  // namespace dope::antidope

@@ -1,0 +1,46 @@
+#include "antidope/suspect_list.hpp"
+
+#include "common/expect.hpp"
+#include "power/power_model.hpp"
+
+namespace dope::antidope {
+
+SuspectList::SuspectList(std::vector<bool> suspicious)
+    : suspicious_(std::move(suspicious)) {
+  DOPE_REQUIRE(!suspicious_.empty(), "suspect list must not be empty");
+}
+
+SuspectList SuspectList::from_catalog(const workload::Catalog& catalog,
+                                      Watts threshold) {
+  DOPE_REQUIRE(threshold > 0, "threshold must be positive");
+  std::vector<bool> flags(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& profile = catalog.type(static_cast<workload::RequestTypeId>(i));
+    flags[i] = power::active_power(profile.power, 1.0) >= threshold;
+  }
+  return SuspectList(std::move(flags));
+}
+
+SuspectList SuspectList::from_measurements(const std::vector<Watts>& measured,
+                                           Watts threshold) {
+  DOPE_REQUIRE(!measured.empty(), "need at least one measurement");
+  DOPE_REQUIRE(threshold > 0, "threshold must be positive");
+  std::vector<bool> flags(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    flags[i] = measured[i] >= threshold;
+  }
+  return SuspectList(std::move(flags));
+}
+
+bool SuspectList::suspicious(workload::RequestTypeId type) const {
+  DOPE_REQUIRE(type < suspicious_.size(), "type id outside suspect list");
+  return suspicious_[type];
+}
+
+std::size_t SuspectList::suspect_count() const {
+  std::size_t n = 0;
+  for (bool b : suspicious_) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace dope::antidope

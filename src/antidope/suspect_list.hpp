@@ -1,0 +1,43 @@
+// Suspect list: the offline-profiled mapping from URL class to power risk.
+//
+// Anti-DOPE's key observation (paper Section 5.2): requests for the same
+// service/URL consume near-identical power, and *high-power-per-request*
+// URLs are overwhelmingly the ones a DOPE attacker floods. The NLB can
+// therefore classify requests by URL alone — no per-user state, no
+// anomaly detection — and forward risky ones to an isolated pool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/catalog.hpp"
+#include "workload/request.hpp"
+
+namespace dope::antidope {
+
+/// Immutable per-type suspicion flags.
+class SuspectList {
+ public:
+  /// Flags indexed by RequestTypeId; must cover the whole catalog.
+  explicit SuspectList(std::vector<bool> suspicious);
+
+  /// Builds the list analytically from catalog power profiles: a type is
+  /// suspect when its per-request power at f_max reaches `threshold`.
+  static SuspectList from_catalog(const workload::Catalog& catalog,
+                                  Watts threshold);
+
+  /// Builds the list from measured per-request powers (one entry per
+  /// catalog type, watts), e.g. from `profiler::profile_catalog`.
+  static SuspectList from_measurements(const std::vector<Watts>& measured,
+                                       Watts threshold);
+
+  bool suspicious(workload::RequestTypeId type) const;
+  std::size_t size() const { return suspicious_.size(); }
+  std::size_t suspect_count() const;
+
+ private:
+  std::vector<bool> suspicious_;
+};
+
+}  // namespace dope::antidope

@@ -1,0 +1,170 @@
+#include "attack/dope_attacker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::attack {
+
+namespace {
+
+workload::GeneratorConfig generator_config(const DopeAttackerConfig& config) {
+  workload::GeneratorConfig gen;
+  gen.name = "dope-attacker";
+  gen.mixture = config.mixture;
+  gen.rate_rps = config.initial_rate_rps;
+  gen.num_sources = config.num_agents;
+  gen.source_base = config.source_base;
+  gen.ground_truth_attack = true;
+  gen.seed = config.seed;
+  return gen;
+}
+
+}  // namespace
+
+std::string phase_name(AttackPhase phase) {
+  switch (phase) {
+    case AttackPhase::kProbing: return "probing";
+    case AttackPhase::kRamping: return "ramping";
+    case AttackPhase::kHolding: return "holding";
+    case AttackPhase::kBackoff: return "backoff";
+  }
+  return "?";
+}
+
+DopeAttacker::DopeAttacker(sim::Engine& engine,
+                           const workload::Catalog& catalog,
+                           DopeAttackerConfig config,
+                           workload::RequestSink edge)
+    : engine_(engine),
+      config_(std::move(config)),
+      generator_(engine, catalog, generator_config(config_), std::move(edge)) {
+  DOPE_REQUIRE(!config_.mixture.empty(), "attacker needs a mixture");
+  DOPE_REQUIRE(config_.initial_rate_rps > 0, "initial rate must be positive");
+  DOPE_REQUIRE(config_.max_rate_rps >= config_.initial_rate_rps,
+               "max rate below initial rate");
+  DOPE_REQUIRE(config_.ramp_factor > 1.0, "ramp factor must exceed 1");
+  DOPE_REQUIRE(config_.backoff_factor > 0.0 && config_.backoff_factor < 1.0,
+               "backoff factor must be in (0, 1)");
+  DOPE_REQUIRE(config_.epoch > 0, "epoch must be positive");
+  epoch_task_ = engine_.every(config_.epoch, [this] { on_epoch(); });
+}
+
+DopeAttacker::~DopeAttacker() { stop(); }
+
+void DopeAttacker::stop() {
+  epoch_task_.stop();
+  generator_.stop();
+}
+
+bool DopeAttacker::mine(const workload::RequestRecord& record) const {
+  const auto src = record.request.source;
+  return src >= config_.source_base &&
+         src < config_.source_base + config_.num_agents;
+}
+
+workload::RecordSink DopeAttacker::feedback_sink() {
+  return [this](const workload::RequestRecord& record) {
+    if (!mine(record)) return;
+    switch (record.outcome) {
+      case workload::RequestOutcome::kCompleted:
+        ++epoch_completed_;
+        epoch_latency_sum_ms_ += to_millis(record.latency);
+        break;
+      case workload::RequestOutcome::kBlockedByFirewall:
+      case workload::RequestOutcome::kDroppedByLimit:
+      case workload::RequestOutcome::kDroppedNetwork:
+        // From the Internet these all look the same: no answer at the
+        // edge — possible detection, so they feed the backoff signal.
+        ++epoch_lost_edge_;
+        break;
+      case workload::RequestOutcome::kRejectedQueueFull:
+      case workload::RequestOutcome::kTimedOut:
+      case workload::RequestOutcome::kFailedOutage:
+        // Server-side losses: evidence of overload, not detection. They
+        // also mean the victim is hurting, so treat them as "slow".
+        break;
+    }
+  };
+}
+
+void DopeAttacker::on_epoch() {
+  ++epochs_seen_;
+  const std::uint64_t observed = epoch_completed_ + epoch_lost_edge_;
+  const double block_fraction =
+      observed == 0 ? 0.0
+                    : static_cast<double>(epoch_lost_edge_) /
+                          static_cast<double>(observed);
+  const double mean_latency_ms =
+      epoch_completed_ == 0
+          ? 0.0
+          : epoch_latency_sum_ms_ / static_cast<double>(epoch_completed_);
+
+  double latency_ratio = 0.0;
+  if (baseline_latency_ms_ > 0.0 && mean_latency_ms > 0.0) {
+    latency_ratio = mean_latency_ms / baseline_latency_ms_;
+  }
+
+  double rate = generator_.rate();
+  switch (phase_) {
+    case AttackPhase::kProbing:
+      baseline_accum_ms_ += epoch_latency_sum_ms_;
+      baseline_count_ += epoch_completed_;
+      if (epochs_seen_ >= config_.probe_epochs && baseline_count_ > 0) {
+        baseline_latency_ms_ =
+            baseline_accum_ms_ / static_cast<double>(baseline_count_);
+        phase_ = AttackPhase::kRamping;
+      }
+      break;
+
+    case AttackPhase::kRamping:
+      if (block_fraction > config_.block_tolerance) {
+        detected_ceiling_rps_ = rate;
+        rate = std::max(config_.initial_rate_rps,
+                        rate * config_.backoff_factor);
+        phase_ = AttackPhase::kBackoff;
+      } else if (latency_ratio >= config_.latency_target) {
+        phase_ = AttackPhase::kHolding;
+      } else {
+        rate = std::min(config_.max_rate_rps, rate * config_.ramp_factor);
+        if (detected_ceiling_rps_ > 0.0) {
+          // Creep toward, but stay safely under, the discovered ceiling.
+          rate = std::min(rate, 0.8 * detected_ceiling_rps_);
+        }
+      }
+      break;
+
+    case AttackPhase::kHolding:
+      if (block_fraction > config_.block_tolerance) {
+        detected_ceiling_rps_ = rate;
+        rate = std::max(config_.initial_rate_rps,
+                        rate * config_.backoff_factor);
+        phase_ = AttackPhase::kBackoff;
+      } else if (latency_ratio > 0.0 &&
+                 latency_ratio < config_.latency_target * 0.5) {
+        // Victim recovered (defense adapted); resume the hunt.
+        phase_ = AttackPhase::kRamping;
+      }
+      break;
+
+    case AttackPhase::kBackoff:
+      if (block_fraction <= config_.block_tolerance) {
+        phase_ = AttackPhase::kRamping;
+      } else {
+        rate = std::max(config_.initial_rate_rps,
+                        rate * config_.backoff_factor);
+      }
+      break;
+  }
+
+  generator_.set_rate(rate);
+  decisions_.push_back({engine_.now(), phase_, rate, block_fraction,
+                        latency_ratio});
+
+  epoch_completed_ = 0;
+  epoch_lost_edge_ = 0;
+  epoch_latency_sum_ms_ = 0.0;
+}
+
+}  // namespace dope::attack

@@ -1,0 +1,67 @@
+#include "attack/profiles.hpp"
+
+#include "common/expect.hpp"
+
+namespace dope::attack {
+
+using workload::Catalog;
+using workload::Mixture;
+
+std::string attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kHttpFlood: return "HTTP-Flood";
+    case AttackKind::kDnsFlood: return "DNS-Flood";
+    case AttackKind::kSynFlood: return "SYN-Flood";
+    case AttackKind::kUdpFlood: return "UDP-Flood";
+    case AttackKind::kSlowloris: return "Slowloris";
+    case AttackKind::kDopeCollaFilt: return "DOPE(Colla-Filt)";
+    case AttackKind::kDopeKMeans: return "DOPE(K-means)";
+    case AttackKind::kDopeWordCount: return "DOPE(Word-Count)";
+  }
+  return "?";
+}
+
+Mixture attack_mixture(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kHttpFlood:
+      // GET flood over the whole EC surface, hitting heavy URLs often.
+      return Mixture({Catalog::kCollaFilt, Catalog::kKMeans,
+                      Catalog::kWordCount, Catalog::kTextCont},
+                     {0.3, 0.3, 0.2, 0.2});
+    case AttackKind::kDnsFlood:
+      return Mixture::single(Catalog::kDnsQuery);
+    case AttackKind::kSynFlood:
+      return Mixture::single(Catalog::kSynPacket);
+    case AttackKind::kUdpFlood:
+      return Mixture::single(Catalog::kUdpPacket);
+    case AttackKind::kSlowloris:
+      // A handful of light requests held open; negligible compute.
+      return Mixture::single(Catalog::kTextCont);
+    case AttackKind::kDopeCollaFilt:
+      return Mixture::single(Catalog::kCollaFilt);
+    case AttackKind::kDopeKMeans:
+      return Mixture::single(Catalog::kKMeans);
+    case AttackKind::kDopeWordCount:
+      return Mixture::single(Catalog::kWordCount);
+  }
+  return Mixture::single(Catalog::kTextCont);
+}
+
+workload::GeneratorConfig make_attack_config(AttackKind kind, double rate_rps,
+                                             unsigned num_agents,
+                                             workload::SourceId source_base,
+                                             std::uint64_t seed) {
+  DOPE_REQUIRE(rate_rps >= 0, "attack rate must be non-negative");
+  DOPE_REQUIRE(num_agents >= 1, "need at least one agent");
+  workload::GeneratorConfig config;
+  config.name = attack_name(kind);
+  config.mixture = attack_mixture(kind);
+  config.rate_rps = rate_rps;
+  config.num_sources = num_agents;
+  config.source_base = source_base;
+  config.ground_truth_attack = true;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace dope::attack

@@ -1,0 +1,50 @@
+// Canned cyber-attack traffic profiles (paper Section 3.1, Fig. 3).
+//
+// Each kind maps to a request mixture plus a characteristic rate regime.
+// Application-layer floods (HTTP, DNS) make the victim *task-intensive*
+// and draw high power; network/volume floods (SYN, UDP) move many packets
+// that individually cost almost nothing, so their power footprint is low —
+// the asymmetry the whole paper is built on.
+#pragma once
+
+#include <string>
+
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::attack {
+
+/// The attack taxonomy exercised in Fig. 3.
+enum class AttackKind {
+  kHttpFlood,   ///< app-layer GET flood on the EC service (high power)
+  kDnsFlood,    ///< app-layer DNS query flood (medium power)
+  kSynFlood,    ///< TCP SYN volume flood (low power)
+  kUdpFlood,    ///< UDP volume flood (low power)
+  kSlowloris,   ///< few slow connections holding workers (low power)
+  /// Selective single-URL DOPE floods (Section 4):
+  kDopeCollaFilt,
+  kDopeKMeans,
+  kDopeWordCount,
+};
+
+/// All kinds, in Fig. 3 presentation order.
+inline constexpr AttackKind kAllAttackKinds[] = {
+    AttackKind::kHttpFlood,     AttackKind::kDnsFlood,
+    AttackKind::kSynFlood,      AttackKind::kUdpFlood,
+    AttackKind::kSlowloris,     AttackKind::kDopeCollaFilt,
+    AttackKind::kDopeKMeans,    AttackKind::kDopeWordCount,
+};
+
+std::string attack_name(AttackKind kind);
+
+/// The request mixture a given attack sends.
+workload::Mixture attack_mixture(AttackKind kind);
+
+/// Builds a generator config for `kind` at `rate_rps` spread over
+/// `num_agents` bot sources starting at `source_base`.
+workload::GeneratorConfig make_attack_config(AttackKind kind, double rate_rps,
+                                             unsigned num_agents,
+                                             workload::SourceId source_base,
+                                             std::uint64_t seed);
+
+}  // namespace dope::attack

@@ -1,0 +1,217 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::cluster {
+
+Cluster::Cluster(sim::Engine& engine, const workload::Catalog& catalog,
+                 ClusterConfig config)
+    : engine_(engine),
+      catalog_(catalog),
+      config_(std::move(config)),
+      budget_(config_.budget_override > 0.0
+                  ? power::PowerBudget{config_.budget_override}
+                  : power::PowerBudget::for_level(
+                        config_.budget_level,
+                        config_.server_spec.nameplate *
+                            static_cast<double>(config_.num_servers))) {
+  DOPE_REQUIRE(config_.num_servers > 0, "cluster needs at least one server");
+  DOPE_REQUIRE(config_.slot > 0, "management slot must be positive");
+
+  auto sink = [this](const workload::RequestRecord& r) { on_record(r); };
+  nodes_.reserve(config_.num_servers);
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    nodes_.push_back(std::make_unique<server::ServerNode>(
+        engine_, static_cast<int>(i), catalog_,
+        power::ServerPowerModel(config_.server_spec, config_.ladder),
+        config_.server_config, sink));
+  }
+
+  if (config_.network_switch.has_value()) {
+    switch_.emplace(*config_.network_switch);
+  }
+  if (config_.firewall.has_value()) {
+    firewall_.emplace(engine_, *config_.firewall);
+  }
+
+  std::vector<net::Backend*> pool;
+  pool.reserve(nodes_.size());
+  for (auto& n : nodes_) pool.push_back(n.get());
+  balancer_ =
+      std::make_unique<net::LoadBalancer>(config_.lb_policy, std::move(pool));
+
+  if (config_.battery_runtime > 0) {
+    auto spec = battery::BatterySpec::sized_for(total_nameplate(),
+                                                config_.battery_runtime);
+    spec.reserve_fraction = config_.battery_reserve_fraction;
+    battery_.emplace(spec);
+  }
+
+  if (config_.breaker.has_value()) {
+    breaker_.emplace(*config_.breaker);
+  }
+
+  slot_task_ =
+      engine_.every(config_.slot, [this] { management_slot(); });
+}
+
+Cluster::~Cluster() { slot_task_.stop(); }
+
+void Cluster::install_scheme(std::unique_ptr<PowerScheme> scheme) {
+  DOPE_REQUIRE(scheme != nullptr, "scheme must not be null");
+  scheme_ = std::move(scheme);
+  scheme_->attach(*this);
+}
+
+void Cluster::ingest(workload::Request&& request) {
+  // The wire comes first: a saturated switch drops packets before any
+  // defense or server sees them (network-layer DoS).
+  if (switch_ && !switch_->forward(engine_.now())) {
+    drop(std::move(request), workload::RequestOutcome::kDroppedNetwork);
+    return;
+  }
+  if (firewall_ && !firewall_->admit(request)) {
+    drop(std::move(request), workload::RequestOutcome::kBlockedByFirewall);
+    return;
+  }
+  if (scheme_ && !scheme_->admit(request)) {
+    drop(std::move(request), workload::RequestOutcome::kDroppedByLimit);
+    return;
+  }
+  net::Backend* target = scheme_ ? scheme_->route(request) : nullptr;
+  if (target != nullptr) {
+    target->submit(std::move(request));
+    return;
+  }
+  net::Backend* backend = balancer_->select(request);
+  if (backend == nullptr) {
+    // No backend accepted; surfaces as a queue-full rejection at the edge.
+    drop(std::move(request), workload::RequestOutcome::kRejectedQueueFull);
+    return;
+  }
+  backend->submit(std::move(request));
+}
+
+workload::RequestSink Cluster::edge_sink() {
+  return [this](workload::Request&& r) { ingest(std::move(r)); };
+}
+
+std::vector<server::ServerNode*> Cluster::servers() {
+  std::vector<server::ServerNode*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+server::ServerNode& Cluster::server(std::size_t i) {
+  DOPE_REQUIRE(i < nodes_.size(), "server index out of range");
+  return *nodes_[i];
+}
+
+Watts Cluster::total_nameplate() const {
+  return config_.server_spec.nameplate *
+         static_cast<double>(config_.num_servers);
+}
+
+Watts Cluster::total_power() const {
+  Watts p = 0.0;
+  for (const auto& n : nodes_) p += n->current_power();
+  return p;
+}
+
+Joules Cluster::total_energy() const {
+  Joules e = 0.0;
+  for (const auto& n : nodes_) e += n->energy();
+  return e;
+}
+
+void Cluster::add_record_listener(workload::RecordSink listener) {
+  DOPE_REQUIRE(listener != nullptr, "listener must be callable");
+  listeners_.push_back(std::move(listener));
+}
+
+void Cluster::run_for(Duration d) {
+  DOPE_REQUIRE(d >= 0, "duration must be non-negative");
+  engine_.run_until(engine_.now() + d);
+}
+
+void Cluster::on_record(const workload::RequestRecord& record) {
+  request_metrics_.record(record);
+  for (const auto& l : listeners_) l(record);
+}
+
+void Cluster::drop(workload::Request&& request,
+                   workload::RequestOutcome outcome) {
+  workload::RequestRecord record;
+  record.request = std::move(request);
+  record.outcome = outcome;
+  record.finish = engine_.now();
+  record.latency = 0;
+  record.server = -1;
+  on_record(record);
+}
+
+void Cluster::management_slot() {
+  const Time now = engine_.now();
+  const Duration slot = config_.slot;
+
+  // Average demand over the slot that just finished, from exact energy.
+  const Joules load_energy = total_energy();
+  const Joules slot_energy = load_energy - prev_load_energy_;
+  prev_load_energy_ = load_energy;
+  last_slot_demand_ = slot_energy / to_seconds(slot);
+
+  ++slot_stats_.slots;
+  const Watts overshoot = last_slot_demand_ - budget_.supply;
+  if (overshoot > 1e-9) {
+    ++slot_stats_.violation_slots;
+    slot_stats_.worst_overshoot =
+        std::max(slot_stats_.worst_overshoot, overshoot);
+  }
+
+  // Energy source attribution for the finished slot: whatever the battery
+  // delivered (or drew for recharge) since the previous boundary shifts
+  // between the utility and battery columns. This must happen *before*
+  // the scheme acts so that a discharge reserved at the start of a slot
+  // is credited to that slot, not the one before it.
+  Joules battery_delta = 0.0;
+  Joules recharge_delta = 0.0;
+  if (battery_) {
+    battery_delta = battery_->total_discharged() - prev_battery_discharged_;
+    prev_battery_discharged_ = battery_->total_discharged();
+    recharge_delta =
+        battery_->total_charge_drawn() - prev_battery_charge_drawn_;
+    prev_battery_charge_drawn_ = battery_->total_charge_drawn();
+  }
+  const Joules utility_j = std::max(0.0, slot_energy - battery_delta);
+  energy_account_.add_joules(utility_j, battery_delta, recharge_delta);
+  const Watts utility_power =
+      (utility_j + recharge_delta) / to_seconds(slot);
+  if (utility_power > budget_.supply + 1e-9) {
+    ++slot_stats_.utility_violation_slots;
+  }
+
+  // Breaker protection on the utility feed. A trip blacks out the whole
+  // cluster (the paper's Fig. 1 unplanned-outage scenario); power returns
+  // after the recovery delay and servers reboot.
+  if (breaker_ && !in_outage_ &&
+      breaker_->observe(utility_power, slot)) {
+    in_outage_ = true;
+    outage_started_ = now;
+    ++slot_stats_.outages;
+    for (auto& node : nodes_) node->power_off();
+    engine_.schedule_after(config_.outage_recovery, [this] {
+      breaker_->reset();
+      in_outage_ = false;
+      slot_stats_.downtime += engine_.now() - outage_started_;
+      for (auto& node : nodes_) node->power_on(config_.reboot_time);
+    });
+  }
+
+  if (scheme_) scheme_->on_slot(now, slot);
+}
+
+}  // namespace dope::cluster

@@ -1,0 +1,185 @@
+// Cluster assembly: servers + edge (firewall, NLB) + battery + power
+// manager, wired onto one simulation engine.
+//
+// The request path is
+//
+//   generator -> ingest() -> firewall -> scheme.admit() -> scheme.route()
+//             -> (default LB if the scheme declines) -> server queue
+//
+// and the management path is a periodic slot loop that measures demand,
+// invokes the installed `PowerScheme`, and accounts energy by source
+// (utility vs. battery) from exact integrals.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "cluster/scheme.hpp"
+#include "power/breaker.hpp"
+#include "common/units.hpp"
+#include "metrics/energy.hpp"
+#include "metrics/request_metrics.hpp"
+#include "net/firewall.hpp"
+#include "net/load_balancer.hpp"
+#include "net/switch.hpp"
+#include "power/provisioning.hpp"
+#include "server/node.hpp"
+#include "sim/engine.hpp"
+#include "workload/catalog.hpp"
+
+namespace dope::cluster {
+
+/// Everything needed to stand up a cluster.
+struct ClusterConfig {
+  /// Leaf-node count (the paper's mini rack has 4; evaluation scales up).
+  std::size_t num_servers = 8;
+  power::ServerPowerSpec server_spec{};
+  server::ServerConfig server_config{};
+  /// DVFS operating points shared by every node.
+  power::DvfsLadder ladder = power::DvfsLadder::make();
+  /// Facility supply as a fraction of aggregate nameplate.
+  power::BudgetLevel budget_level = power::BudgetLevel::kNormal;
+  /// Explicit supply in watts; overrides `budget_level` when positive
+  /// (used for "aggressively power-insufficient" scenarios like Fig. 7).
+  Watts budget_override = 0.0;
+  /// Power-manager decision interval.
+  Duration slot = 1 * kSecond;
+  /// Battery sized to sustain the full cluster for this long; 0 = none.
+  Duration battery_runtime = 0;
+  /// Fraction of battery capacity reserved for outage ride-through;
+  /// peak shaving never discharges below it.
+  double battery_reserve_fraction = 0.0;
+  /// Ingress switch capacity; disabled (infinite wire) when nullopt.
+  std::optional<net::SwitchConfig> network_switch;
+  /// Perimeter firewall; disabled when nullopt.
+  std::optional<net::FirewallConfig> firewall;
+  /// Branch-circuit breaker protecting the utility feed; when the feed's
+  /// draw trips it, the whole cluster suffers an unplanned outage.
+  std::optional<power::BreakerSpec> breaker;
+  /// How long the facility stays dark after a trip before the breaker is
+  /// reset and servers begin rebooting.
+  Duration outage_recovery = 30 * kSecond;
+  /// Per-server reboot time after power returns.
+  Duration reboot_time = 10 * kSecond;
+  /// Default NLB policy when the scheme does not route.
+  net::LbPolicy lb_policy = net::LbPolicy::kLeastLoaded;
+};
+
+/// Per-slot management telemetry.
+struct SlotStats {
+  std::uint64_t slots = 0;
+  /// Slots whose *average* demand exceeded the budget (power violations
+  /// that made it past the management plane).
+  std::uint64_t violation_slots = 0;
+  /// Slots where the *utility feed* (demand minus battery discharge)
+  /// exceeded the budget — the violations that actually trip breakers.
+  std::uint64_t utility_violation_slots = 0;
+  /// Worst single-slot overshoot above the budget (watts).
+  Watts worst_overshoot = 0.0;
+  /// Unplanned outages (breaker trips).
+  std::uint64_t outages = 0;
+  /// Total time the cluster spent dark.
+  Duration downtime = 0;
+};
+
+/// A power-constrained server cluster under test.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const workload::Catalog& catalog,
+          ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Installs the power-management scheme (replacing any previous one).
+  void install_scheme(std::unique_ptr<PowerScheme> scheme);
+  PowerScheme* scheme() { return scheme_.get(); }
+
+  // --- request path ---
+  /// Edge entry point for generated traffic.
+  void ingest(workload::Request&& request);
+  /// Sink adapter for TrafficGenerator (cluster must outlive it).
+  workload::RequestSink edge_sink();
+
+  // --- topology / control surface (for schemes and tests) ---
+  sim::Engine& engine() { return engine_; }
+  const workload::Catalog& catalog() const { return catalog_; }
+  const ClusterConfig& config() const { return config_; }
+  const power::DvfsLadder& ladder() const { return config_.ladder; }
+  std::vector<server::ServerNode*> servers();
+  server::ServerNode& server(std::size_t i);
+  std::size_t num_servers() const { return nodes_.size(); }
+
+  /// Aggregate nameplate rating (watts).
+  Watts total_nameplate() const;
+  /// Facility power budget (watts).
+  Watts budget() const { return budget_.supply; }
+  /// Instantaneous aggregate power right now.
+  Watts total_power() const;
+  /// Average aggregate power over the last completed slot.
+  Watts last_slot_demand() const { return last_slot_demand_; }
+  /// Exact aggregate energy consumed by all servers so far.
+  Joules total_energy() const;
+
+  battery::Battery* battery() { return battery_ ? &*battery_ : nullptr; }
+  net::Firewall* firewall() { return firewall_ ? &*firewall_ : nullptr; }
+  net::Switch* network_switch() {
+    return switch_ ? &*switch_ : nullptr;
+  }
+  power::CircuitBreaker* breaker() {
+    return breaker_ ? &*breaker_ : nullptr;
+  }
+  /// True while a breaker trip has the cluster dark.
+  bool in_outage() const { return in_outage_; }
+  net::LoadBalancer& default_balancer() { return *balancer_; }
+
+  // --- metrics ---
+  metrics::RequestMetrics& request_metrics() { return request_metrics_; }
+  const metrics::EnergyAccount& energy_account() const {
+    return energy_account_;
+  }
+  const SlotStats& slot_stats() const { return slot_stats_; }
+
+  /// Registers an extra observer of terminal request records (e.g. the
+  /// adaptive attacker's feedback probe).
+  void add_record_listener(workload::RecordSink listener);
+
+  /// Convenience: advances the shared engine by `d`.
+  void run_for(Duration d);
+
+ private:
+  void on_record(const workload::RequestRecord& record);
+  void management_slot();
+  void drop(workload::Request&& request, workload::RequestOutcome outcome);
+
+  sim::Engine& engine_;
+  const workload::Catalog& catalog_;
+  ClusterConfig config_;
+  power::PowerBudget budget_;
+
+  std::vector<std::unique_ptr<server::ServerNode>> nodes_;
+  std::optional<net::Switch> switch_;
+  std::optional<net::Firewall> firewall_;
+  std::unique_ptr<net::LoadBalancer> balancer_;
+  std::optional<battery::Battery> battery_;
+  std::optional<power::CircuitBreaker> breaker_;
+  bool in_outage_ = false;
+  Time outage_started_ = 0;
+  std::unique_ptr<PowerScheme> scheme_;
+
+  metrics::RequestMetrics request_metrics_;
+  std::vector<workload::RecordSink> listeners_;
+
+  sim::PeriodicHandle slot_task_;
+  metrics::EnergyAccount energy_account_;
+  SlotStats slot_stats_;
+  Joules prev_load_energy_ = 0.0;
+  Joules prev_battery_discharged_ = 0.0;
+  Joules prev_battery_charge_drawn_ = 0.0;
+  Watts last_slot_demand_ = 0.0;
+};
+
+}  // namespace dope::cluster

@@ -1,0 +1,60 @@
+#include "cluster/health.hpp"
+
+#include "cluster/cluster.hpp"
+#include "common/expect.hpp"
+
+namespace dope::cluster {
+
+std::size_t HealthReport::count(NodeHealth health) const {
+  std::size_t n = 0;
+  for (const auto& node : nodes) {
+    if (node.health == health) ++n;
+  }
+  return n;
+}
+
+bool HealthReport::any_critical() const {
+  return count(NodeHealth::kCritical) > 0;
+}
+
+HealthChecker::HealthChecker(Cluster& cluster, HealthCheckerConfig config)
+    : cluster_(&cluster), config_(config) {
+  DOPE_REQUIRE(config_.power_saturation_fraction > 0.0 &&
+                   config_.power_saturation_fraction <= 1.0,
+               "saturation fraction must be in (0, 1]");
+  DOPE_REQUIRE(config_.queue_pressure > 0,
+               "queue pressure threshold must be positive");
+}
+
+HealthReport HealthChecker::inspect() const {
+  HealthReport report;
+  report.at = cluster_->engine().now();
+  report.budget = cluster_->budget();
+  for (auto* node : cluster_->servers()) {
+    NodeReport nr;
+    nr.server = node->backend_id();
+    nr.power = node->current_power();
+    nr.queue_length = node->queue_length();
+    nr.active = node->active_count();
+    nr.dvfs_level = node->level();
+    const bool hot =
+        nr.power >= config_.power_saturation_fraction * node->nameplate();
+    const bool pressed = nr.queue_length >= config_.queue_pressure;
+    if (hot && pressed) {
+      nr.health = NodeHealth::kCritical;
+    } else if (hot) {
+      nr.health = NodeHealth::kPowerSaturated;
+    } else if (pressed) {
+      nr.health = NodeHealth::kOverloaded;
+    }
+    report.total_power += nr.power;
+    report.nodes.push_back(nr);
+  }
+  report.headroom = report.budget - report.total_power;
+  if (const auto* battery = cluster_->battery()) {
+    report.battery_soc = battery->soc();
+  }
+  return report;
+}
+
+}  // namespace dope::cluster

@@ -1,0 +1,74 @@
+// Server health checker (the RPM feedback link of Fig. 13/14).
+//
+// Periodically inspects every node and classifies it by the two signals
+// the power manager cares about: electrical pressure (power near
+// nameplate) and service pressure (queue depth vs. capacity). The
+// aggregated report also carries the supply-side state (budget headroom,
+// battery charge), giving schemes and operators one structured snapshot
+// per slot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dope::cluster {
+
+class Cluster;
+
+/// Health classification of one node.
+enum class NodeHealth {
+  kHealthy,
+  kPowerSaturated,  ///< power within a few percent of nameplate
+  kOverloaded,      ///< queue depth beyond the pressure threshold
+  kCritical,        ///< both at once
+};
+
+/// Snapshot of one node.
+struct NodeReport {
+  int server = -1;
+  NodeHealth health = NodeHealth::kHealthy;
+  Watts power = 0.0;
+  std::size_t queue_length = 0;
+  unsigned active = 0;
+  std::size_t dvfs_level = 0;
+};
+
+/// Snapshot of the whole cluster.
+struct HealthReport {
+  Time at = 0;
+  std::vector<NodeReport> nodes;
+  Watts total_power = 0.0;
+  Watts budget = 0.0;
+  /// Negative when the cluster is over budget.
+  Watts headroom = 0.0;
+  /// Battery state of charge; 1.0 when no battery is installed.
+  double battery_soc = 1.0;
+
+  std::size_t count(NodeHealth health) const;
+  bool any_critical() const;
+};
+
+/// Health-checker thresholds.
+struct HealthCheckerConfig {
+  /// Power above this fraction of nameplate flags kPowerSaturated.
+  double power_saturation_fraction = 0.95;
+  /// Queue length beyond this many requests flags kOverloaded.
+  std::size_t queue_pressure = 64;
+};
+
+/// Produces HealthReports on demand (schemes call it per slot; tests and
+/// operators call it ad hoc).
+class HealthChecker {
+ public:
+  HealthChecker(Cluster& cluster, HealthCheckerConfig config = {});
+
+  HealthReport inspect() const;
+
+ private:
+  Cluster* cluster_;
+  HealthCheckerConfig config_;
+};
+
+}  // namespace dope::cluster

@@ -1,0 +1,33 @@
+// Lightweight runtime contract checks.
+//
+// `DOPE_REQUIRE` guards public API preconditions and configuration errors:
+// it is always on and throws `std::invalid_argument` so misuse is loud in
+// both tests and production binaries. `DOPE_ASSERT` guards internal
+// invariants and compiles to the standard assert semantics.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dope::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream out;
+  out << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw std::invalid_argument(out.str());
+}
+
+}  // namespace dope::detail
+
+#define DOPE_REQUIRE(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dope::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)
+
+#define DOPE_ASSERT(cond) assert(cond)

@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace dope {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DOPE_REQUIRE(hi > lo, "histogram range must be non-empty");
+  DOPE_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  DOPE_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::percentile(double p) const {
+  DOPE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile rank out of range");
+  if (count_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double Histogram::cdf_at(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  if (x >= hi_)
+    return static_cast<double>(count_ - overflow_ + overflow_) /
+           static_cast<double>(count_);
+  std::size_t cum = underflow_;
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  for (std::size_t i = 0; i <= idx && i < counts_.size(); ++i) {
+    cum += counts_[i];
+  }
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  DOPE_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_ &&
+                   other.counts_.size() == counts_.size(),
+               "histogram layouts differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+}
+
+}  // namespace dope

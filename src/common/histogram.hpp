@@ -1,0 +1,49 @@
+// Fixed-width binned histogram for bounded-memory distribution tracking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dope {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow
+/// and overflow counters. Useful where `Percentiles` would retain too many
+/// samples (e.g. fine-grained power sampling over long runs).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Midpoint value of bin `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Approximate percentile (p in [0,100]) by linear interpolation inside
+  /// the containing bin. Underflow maps to `lo`, overflow to `hi`.
+  double percentile(double p) const;
+
+  /// Fraction of samples <= x (bin-resolution approximation).
+  double cdf_at(double x) const;
+
+  /// Merges a histogram with identical bounds and bin count.
+  void merge(const Histogram& other);
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dope

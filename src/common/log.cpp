@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace dope {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (level < Log::level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace dope

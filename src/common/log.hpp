@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, so logging is
+// intentionally simple: a global level, stderr output, printf-free
+// stream-style formatting. Parallel sweep runners serialise via a mutex.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dope {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging controls.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one line at `level` (thread-safe).
+  static void write(LogLevel level, const std::string& msg);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+}  // namespace dope
+
+#define DOPE_LOG(level)                                 \
+  if (!::dope::Log::enabled(level)) {                   \
+  } else                                                \
+    ::dope::detail::LogLine(level)
+
+#define DOPE_LOG_DEBUG DOPE_LOG(::dope::LogLevel::kDebug)
+#define DOPE_LOG_INFO DOPE_LOG(::dope::LogLevel::kInfo)
+#define DOPE_LOG_WARN DOPE_LOG(::dope::LogLevel::kWarn)
+#define DOPE_LOG_ERROR DOPE_LOG(::dope::LogLevel::kError)

@@ -1,0 +1,101 @@
+#include "common/parallel.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace dope {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    queue_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dope

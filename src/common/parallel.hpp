@@ -1,0 +1,56 @@
+// Shared-memory parallel execution helpers for parameter sweeps.
+//
+// Simulation runs are independent, so benches and sweep harnesses use a
+// plain work-stealing-free thread pool: each worker pops the next index
+// from an atomic counter. This scales linearly for the coarse-grained
+// (whole-simulation) tasks we schedule on it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dope {
+
+/// Fixed-size thread pool executing enqueued void() tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; throws std::runtime_error after shutdown.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware
+/// concurrency). Blocks until all iterations complete. Exceptions from
+/// `fn` propagate (the first one thrown is rethrown after the join).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace dope

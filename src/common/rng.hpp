@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component of the simulator takes an explicit `Rng&` (or a
+// seed) so that runs are exactly reproducible; nothing reads global entropy.
+// The generator is xoshiro256**, seeded through splitmix64, which is both
+// fast and statistically strong enough for workload modelling.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dope {
+
+/// splitmix64 step; used for seeding and cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL) { reseed(seed); }
+
+  /// Re-initialises the full 256-bit state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    // Guard against log(0); uniform() < 1 already, but u may be 0.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (single value; discards pair partner).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.28318530717958647692 * u2);
+  }
+
+  /// Lognormal sample parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Bounded Pareto sample (heavy tail), shape > 0, lo < hi.
+  double pareto(double shape, double lo, double hi) {
+    const double la = std::pow(lo, shape);
+    const double ha = std::pow(hi, shape);
+    const double u = uniform();
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dope

@@ -1,0 +1,79 @@
+// Streaming and batch statistics used throughout metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dope {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's method).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-reduction friendly).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile computation over a retained sample vector.
+///
+/// Retains every sample; intended for per-run metric collection where the
+/// sample count is bounded by the number of simulated requests. Percentiles
+/// use linear interpolation between closest ranks (the "inclusive" method).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in [0, 100]. Returns 0 for an empty sample set.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  /// The sorted sample vector (useful for exporting full CDFs).
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double x = 0.0;
+  double f = 0.0;
+};
+
+/// Downsamples an empirical distribution to `points` evenly spaced CDF
+/// points, suitable for plotting paper-style CDF figures.
+std::vector<CdfPoint> make_cdf(const Percentiles& dist, std::size_t points);
+
+}  // namespace dope

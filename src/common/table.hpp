@@ -1,0 +1,54 @@
+// Console table formatting for bench output.
+//
+// Every bench binary prints the rows/series of a paper figure; this helper
+// keeps that output aligned and uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// Builds an aligned text table and streams it.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a fully materialised row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Variadic convenience accepting strings and arithmetic values; doubles
+  /// are formatted with 3 significant decimals.
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(format_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Renders the table with a header underline.
+  void print(std::ostream& out) const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(int v) { return std::to_string(v); }
+  static std::string format_cell(long v) { return std::to_string(v); }
+  static std::string format_cell(long long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long v) { return std::to_string(v); }
+  static std::string format_cell(unsigned long long v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries ("=== Figure 7 ... ===").
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace dope

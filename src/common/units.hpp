@@ -1,0 +1,57 @@
+// Core physical and temporal units used across the simulator.
+//
+// Simulation time is an integer count of microseconds (`Time`). Power is
+// expressed in watts, energy in joules, and CPU frequency in GHz. Keeping
+// these as plain arithmetic types (with strongly named helpers) keeps the
+// hot event-processing paths allocation- and indirection-free.
+#pragma once
+
+#include <cstdint>
+
+namespace dope {
+
+/// Simulation time in microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// Duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1'000;
+inline constexpr Duration kSecond = 1'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+/// Converts a duration in (fractional) seconds to microseconds.
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a duration in (fractional) milliseconds to microseconds.
+constexpr Duration millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a microsecond duration to fractional seconds.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a microsecond duration to fractional milliseconds.
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Electrical power in watts.
+using Watts = double;
+
+/// Energy in joules (watt-seconds).
+using Joules = double;
+
+/// CPU core frequency in GHz.
+using GHz = double;
+
+/// Integrates constant power over a microsecond duration into joules.
+constexpr Joules energy_of(Watts p, Duration d) { return p * to_seconds(d); }
+
+}  // namespace dope

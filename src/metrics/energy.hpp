@@ -1,0 +1,41 @@
+// Cluster-level energy accounting.
+//
+// Splits consumed energy by origin: utility supply vs. battery discharge
+// (plus the extra utility energy spent recharging the battery). The paper
+// normalises total consumption to the supplied utility energy (Fig. 19).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dope::metrics {
+
+/// Accumulated energy by source.
+struct EnergyAccount {
+  /// Energy delivered directly by the utility feed to the IT load.
+  Joules utility = 0.0;
+  /// Energy delivered by battery discharge.
+  Joules battery = 0.0;
+  /// Utility energy diverted into recharging the battery.
+  Joules recharge = 0.0;
+
+  /// Total energy the IT load consumed.
+  Joules load_total() const { return utility + battery; }
+
+  /// Total energy drawn from the utility feed.
+  Joules utility_total() const { return utility + recharge; }
+
+  void add_slot(Watts utility_power, Watts battery_power,
+                Watts recharge_power, Duration slot) {
+    utility += energy_of(utility_power, slot);
+    battery += energy_of(battery_power, slot);
+    recharge += energy_of(recharge_power, slot);
+  }
+
+  void add_joules(Joules utility_j, Joules battery_j, Joules recharge_j) {
+    utility += utility_j;
+    battery += battery_j;
+    recharge += recharge_j;
+  }
+};
+
+}  // namespace dope::metrics

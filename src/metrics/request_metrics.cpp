@@ -1,0 +1,60 @@
+#include "metrics/request_metrics.hpp"
+
+namespace dope::metrics {
+
+namespace {
+
+void bump(OutcomeCounts& counts, workload::RequestOutcome outcome) {
+  switch (outcome) {
+    case workload::RequestOutcome::kCompleted: ++counts.completed; break;
+    case workload::RequestOutcome::kDroppedByLimit:
+      ++counts.dropped_by_limit;
+      break;
+    case workload::RequestOutcome::kBlockedByFirewall:
+      ++counts.blocked_by_firewall;
+      break;
+    case workload::RequestOutcome::kRejectedQueueFull:
+      ++counts.rejected_queue_full;
+      break;
+    case workload::RequestOutcome::kTimedOut: ++counts.timed_out; break;
+    case workload::RequestOutcome::kFailedOutage:
+      ++counts.failed_outage;
+      break;
+    case workload::RequestOutcome::kDroppedNetwork:
+      ++counts.dropped_network;
+      break;
+  }
+}
+
+}  // namespace
+
+void RequestMetrics::record(const workload::RequestRecord& record) {
+  const bool attack = record.request.ground_truth_attack;
+  OutcomeCounts& counts = attack ? attack_counts_ : normal_counts_;
+  bump(counts, record.outcome);
+  if (record.outcome == workload::RequestOutcome::kCompleted) {
+    Percentiles& latency = attack ? attack_latency_ : normal_latency_;
+    latency.add(to_millis(record.latency));
+  }
+}
+
+workload::RecordSink RequestMetrics::sink() {
+  return [this](const workload::RequestRecord& record) { this->record(record); };
+}
+
+double RequestMetrics::availability() const {
+  const std::uint64_t terminal = normal_counts_.terminal();
+  if (terminal == 0) return 1.0;
+  return static_cast<double>(normal_counts_.completed) /
+         static_cast<double>(terminal);
+}
+
+double RequestMetrics::drop_fraction() const {
+  const std::uint64_t terminal = total_terminal();
+  if (terminal == 0) return 0.0;
+  const std::uint64_t lost =
+      normal_counts_.lost() + attack_counts_.lost();
+  return static_cast<double>(lost) / static_cast<double>(terminal);
+}
+
+}  // namespace dope::metrics

@@ -1,0 +1,70 @@
+// Request-level metrics collection.
+//
+// Consumes terminal `RequestRecord`s and maintains the populations the
+// paper reports separately: legitimate ("good user") vs. attacker traffic,
+// split by outcome, with full latency distributions for completions.
+// Defenses never see the ground-truth attack flag; only this recorder does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "workload/request.hpp"
+
+namespace dope::metrics {
+
+/// Outcome counters for one traffic population.
+struct OutcomeCounts {
+  std::uint64_t completed = 0;
+  std::uint64_t dropped_by_limit = 0;
+  std::uint64_t blocked_by_firewall = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t failed_outage = 0;
+  std::uint64_t dropped_network = 0;
+
+  std::uint64_t terminal() const {
+    return completed + dropped_by_limit + blocked_by_firewall +
+           rejected_queue_full + timed_out + failed_outage +
+           dropped_network;
+  }
+  std::uint64_t lost() const { return terminal() - completed; }
+};
+
+/// Latency + outcome statistics for normal and attack populations.
+class RequestMetrics {
+ public:
+  /// Sink entry point; hand `sink()` to servers/cluster.
+  void record(const workload::RequestRecord& record);
+
+  /// Builds a RecordSink bound to this object (object must outlive it).
+  workload::RecordSink sink();
+
+  const OutcomeCounts& normal_counts() const { return normal_counts_; }
+  const OutcomeCounts& attack_counts() const { return attack_counts_; }
+
+  /// Latency distribution of *completed* requests, milliseconds.
+  const Percentiles& normal_latency_ms() const { return normal_latency_; }
+  const Percentiles& attack_latency_ms() const { return attack_latency_; }
+
+  /// Fraction of legitimate requests that completed (paper's "service
+  /// availability"). 1.0 when no legitimate request terminated yet.
+  double availability() const;
+
+  /// Fraction of *all* requests that were dropped/shed before service
+  /// (how aggressively Token-style schemes discard packets).
+  double drop_fraction() const;
+
+  std::uint64_t total_terminal() const {
+    return normal_counts_.terminal() + attack_counts_.terminal();
+  }
+
+ private:
+  OutcomeCounts normal_counts_;
+  OutcomeCounts attack_counts_;
+  Percentiles normal_latency_;
+  Percentiles attack_latency_;
+};
+
+}  // namespace dope::metrics

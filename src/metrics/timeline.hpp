@@ -1,0 +1,50 @@
+// Periodic sampling of scalar signals (power, battery SoC, queue depth).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace dope::metrics {
+
+/// One timestamped sample.
+struct Sample {
+  Time t = 0;
+  double value = 0.0;
+};
+
+/// Samples `probe()` every `interval` and retains the full timeline plus
+/// summary statistics. Used for the paper's power traces (Fig. 3, 15a) and
+/// battery SoC curves (Fig. 18).
+class TimelineRecorder {
+ public:
+  TimelineRecorder(sim::Engine& engine, Duration interval,
+                   std::function<double()> probe);
+  ~TimelineRecorder();
+
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const OnlineStats& stats() const { return stats_; }
+  const Percentiles& distribution() const { return distribution_; }
+
+  /// Stops sampling (also happens on destruction).
+  void stop();
+
+  /// Mean of samples within [from, to).
+  double mean_between(Time from, Time to) const;
+
+ private:
+  sim::Engine& engine_;
+  std::function<double()> probe_;
+  sim::PeriodicHandle handle_;
+  std::vector<Sample> samples_;
+  OnlineStats stats_;
+  Percentiles distribution_;
+};
+
+}  // namespace dope::metrics

@@ -1,0 +1,33 @@
+// Abstract backend (compute node) interface seen by the network layer.
+//
+// The load balancer and routers only need load visibility and a submit
+// path; `server::ServerNode` implements this interface. Keeping the
+// interface here avoids a dependency cycle between net and server.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/request.hpp"
+
+namespace dope::net {
+
+/// A dispatch target for the load balancer.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable identifier (server index within the cluster).
+  virtual int backend_id() const = 0;
+
+  /// Requests currently queued plus in service (load-balancing signal).
+  virtual std::size_t load() const = 0;
+
+  /// False when the node refuses new work (drained / unhealthy).
+  virtual bool accepting() const = 0;
+
+  /// Hands a request to the node. The node owns it from here and will
+  /// eventually emit a completion/drop record.
+  virtual void submit(workload::Request&& request) = 0;
+};
+
+}  // namespace dope::net

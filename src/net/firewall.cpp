@@ -1,0 +1,65 @@
+#include "net/firewall.hpp"
+
+#include "common/expect.hpp"
+#include "common/log.hpp"
+
+namespace dope::net {
+
+Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
+    : engine_(engine), config_(config) {
+  DOPE_REQUIRE(config_.threshold_rps > 0, "threshold must be positive");
+  DOPE_REQUIRE(config_.check_interval > 0, "check interval must be positive");
+  DOPE_REQUIRE(config_.required_strikes >= 1, "need at least one strike");
+  DOPE_REQUIRE(config_.ban_duration > 0, "ban duration must be positive");
+  poller_ = engine_.every(config_.check_interval, [this] { poll(); });
+}
+
+Firewall::~Firewall() { poller_.stop(); }
+
+bool Firewall::admit(const workload::Request& request) {
+  if (is_banned(request.source)) {
+    ++blocked_;
+    return false;
+  }
+  ++window_counts_[request.source];
+  return true;
+}
+
+bool Firewall::is_banned(workload::SourceId source) const {
+  const auto it = bans_.find(source);
+  return it != bans_.end() && it->second > engine_.now();
+}
+
+std::size_t Firewall::banned_count() const {
+  std::size_t n = 0;
+  const Time now = engine_.now();
+  for (const auto& [src, until] : bans_) {
+    if (until > now) ++n;
+  }
+  return n;
+}
+
+void Firewall::poll() {
+  const double window_s = to_seconds(config_.check_interval);
+  for (const auto& [source, count] : window_counts_) {
+    const double rate = static_cast<double>(count) / window_s;
+    if (rate > config_.threshold_rps) {
+      unsigned& strikes = strikes_[source];
+      ++strikes;
+      if (strikes >= config_.required_strikes) {
+        bans_[source] = engine_.now() + config_.ban_duration;
+        ++total_bans_;
+        strikes = 0;
+        DOPE_LOG_INFO << "firewall banned source " << source << " at rate "
+                      << rate << " rps";
+      }
+    } else {
+      // Streak broken: the source behaved this window.
+      const auto it = strikes_.find(source);
+      if (it != strikes_.end()) strikes_.erase(it);
+    }
+  }
+  window_counts_.clear();
+}
+
+}  // namespace dope::net

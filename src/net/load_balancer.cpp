@@ -1,0 +1,76 @@
+#include "net/load_balancer.hpp"
+
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace dope::net {
+
+LoadBalancer::LoadBalancer(LbPolicy policy, std::vector<Backend*> pool,
+                           std::uint64_t seed)
+    : policy_(policy), pool_(std::move(pool)), rng_(seed) {
+  DOPE_REQUIRE(!pool_.empty(), "load balancer pool must not be empty");
+  for (const auto* b : pool_) {
+    DOPE_REQUIRE(b != nullptr, "null backend in pool");
+  }
+}
+
+Backend* LoadBalancer::select(const workload::Request& request) {
+  const std::size_t n = pool_.size();
+  switch (policy_) {
+    case LbPolicy::kRoundRobin: {
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        Backend* b = pool_[rr_next_];
+        rr_next_ = (rr_next_ + 1) % n;
+        if (b->accepting()) return b;
+      }
+      return nullptr;
+    }
+    case LbPolicy::kLeastLoaded: {
+      Backend* best = nullptr;
+      std::size_t best_load = std::numeric_limits<std::size_t>::max();
+      for (Backend* b : pool_) {
+        if (!b->accepting()) continue;
+        const std::size_t l = b->load();
+        if (l < best_load) {
+          best = b;
+          best_load = l;
+        }
+      }
+      return best;
+    }
+    case LbPolicy::kRandom: {
+      for (std::size_t probe = 0; probe < 2 * n; ++probe) {
+        Backend* b = pool_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+        if (b->accepting()) return b;
+      }
+      // Fall back to a linear scan if random probing keeps missing.
+      for (Backend* b : pool_) {
+        if (b->accepting()) return b;
+      }
+      return nullptr;
+    }
+    case LbPolicy::kSourceHash: {
+      std::uint64_t h = request.source;
+      h = splitmix64(h);
+      const std::size_t start = static_cast<std::size_t>(h % n);
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        Backend* b = pool_[(start + probe) % n];
+        if (b->accepting()) return b;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool LoadBalancer::dispatch(workload::Request&& request) {
+  Backend* b = select(request);
+  if (b == nullptr) return false;
+  ++dispatched_;
+  b->submit(std::move(request));
+  return true;
+}
+
+}  // namespace dope::net

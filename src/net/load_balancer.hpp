@@ -1,0 +1,53 @@
+// Network load balancer (NLB).
+//
+// Dispatches incoming requests over a pool of backends. Supports the
+// classic stateless policies; Anti-DOPE's power-driven forwarding (PDF)
+// wraps two of these — one per pool — behind a suspect-list router.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/backend.hpp"
+#include "workload/request.hpp"
+
+namespace dope::net {
+
+/// Backend selection policy.
+enum class LbPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kRandom,
+  /// Consistent per-source assignment (source-affinity hashing).
+  kSourceHash,
+};
+
+/// Load balancer over one backend pool.
+class LoadBalancer {
+ public:
+  LoadBalancer(LbPolicy policy, std::vector<Backend*> pool,
+               std::uint64_t seed = 7);
+
+  const std::vector<Backend*>& pool() const { return pool_; }
+  LbPolicy policy() const { return policy_; }
+
+  /// Picks a backend for the request, skipping non-accepting nodes.
+  /// Returns nullptr when no backend accepts.
+  Backend* select(const workload::Request& request);
+
+  /// Dispatches: select + submit. Returns false when no backend accepted
+  /// (caller records the drop).
+  bool dispatch(workload::Request&& request);
+
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  LbPolicy policy_;
+  std::vector<Backend*> pool_;
+  std::size_t rr_next_ = 0;
+  Rng rng_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace dope::net

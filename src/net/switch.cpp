@@ -1,0 +1,23 @@
+#include "net/switch.hpp"
+
+#include "common/expect.hpp"
+
+namespace dope::net {
+
+Switch::Switch(SwitchConfig config)
+    : config_(config),
+      bucket_(config.buffer_packets, config.capacity_pps) {
+  DOPE_REQUIRE(config_.capacity_pps > 0, "capacity must be positive");
+  DOPE_REQUIRE(config_.buffer_packets > 0, "buffer must be positive");
+}
+
+bool Switch::forward(Time now) { return bucket_.try_consume(1.0, now); }
+
+double Switch::drop_rate() const {
+  const std::uint64_t total = forwarded() + dropped();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(dropped()) / static_cast<double>(total);
+}
+
+}  // namespace dope::net

@@ -1,0 +1,52 @@
+// Top-of-rack switch with finite packet-processing capacity.
+//
+// Network-layer DoS (paper Section 2.2) does not exhaust server CPU — it
+// exhausts *connectivity*: router/switch processing capacity. This model
+// gives the rack's ingress that finite capacity: packets are forwarded at
+// up to `capacity_pps`, a small buffer absorbs bursts, and overflow is
+// dropped before any server (or even the firewall) sees it.
+//
+// Together with the server model this completes the taxonomy the paper
+// characterises: volume floods kill connectivity at low power; app-layer
+// floods exhaust server resources; DOPE stays under both radars and
+// attacks the power envelope.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "net/token_bucket.hpp"
+
+namespace dope::net {
+
+/// Switch forwarding parameters.
+struct SwitchConfig {
+  /// Sustained forwarding capacity (packets/requests per second).
+  double capacity_pps = 20'000.0;
+  /// Burst absorption (packets) on top of the sustained rate.
+  double buffer_packets = 256.0;
+};
+
+/// Ingress switch; consult `forward` for every arriving packet.
+class Switch {
+ public:
+  explicit Switch(SwitchConfig config);
+
+  const SwitchConfig& config() const { return config_; }
+
+  /// True if the packet is forwarded; false if the switch is saturated
+  /// and the packet is dropped at the wire.
+  bool forward(Time now);
+
+  std::uint64_t forwarded() const { return bucket_.admitted(); }
+  std::uint64_t dropped() const { return bucket_.rejected(); }
+
+  /// Fraction of offered packets dropped so far.
+  double drop_rate() const;
+
+ private:
+  SwitchConfig config_;
+  TokenBucket bucket_;
+};
+
+}  // namespace dope::net

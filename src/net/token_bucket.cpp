@@ -1,0 +1,48 @@
+#include "net/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace dope::net {
+
+TokenBucket::TokenBucket(double capacity, double refill_per_second)
+    : capacity_(capacity),
+      refill_per_second_(refill_per_second),
+      tokens_(capacity) {
+  DOPE_REQUIRE(capacity > 0, "bucket capacity must be positive");
+  DOPE_REQUIRE(refill_per_second >= 0, "refill rate must be non-negative");
+}
+
+void TokenBucket::advance(Time now) {
+  DOPE_REQUIRE(now >= last_, "token bucket time went backwards");
+  if (now == last_) return;
+  tokens_ = std::min(capacity_,
+                     tokens_ + refill_per_second_ * to_seconds(now - last_));
+  last_ = now;
+}
+
+double TokenBucket::available(Time now) {
+  advance(now);
+  return tokens_;
+}
+
+bool TokenBucket::try_consume(double tokens, Time now) {
+  DOPE_REQUIRE(tokens >= 0, "token cost must be non-negative");
+  advance(now);
+  if (tokens_ + 1e-12 < tokens) {
+    ++rejected_;
+    return false;
+  }
+  tokens_ -= tokens;
+  ++admitted_;
+  return true;
+}
+
+void TokenBucket::set_refill_rate(double refill_per_second, Time now) {
+  DOPE_REQUIRE(refill_per_second >= 0, "refill rate must be non-negative");
+  advance(now);
+  refill_per_second_ = refill_per_second;
+}
+
+}  // namespace dope::net

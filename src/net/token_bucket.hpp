@@ -1,0 +1,49 @@
+// Token bucket rate limiter.
+//
+// Classic leaky-bucket admission control, parameterised in arbitrary token
+// units. The Token baseline (Table 2) instantiates it in *energy* units:
+// the bucket refills at the power budget's rate (joules per second) and
+// each admitted request debits its estimated energy cost, so admission is
+// power-aware rather than packet-count-aware.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dope::net {
+
+/// Continuous-refill token bucket. Time is supplied by the caller (the
+/// simulation clock) so the bucket itself stays engine-agnostic.
+class TokenBucket {
+ public:
+  /// `capacity`: maximum accumulated tokens; `refill_per_second`: steady
+  /// refill rate. The bucket starts full.
+  TokenBucket(double capacity, double refill_per_second);
+
+  double capacity() const { return capacity_; }
+  double refill_rate() const { return refill_per_second_; }
+
+  /// Tokens available at time `now`.
+  double available(Time now);
+
+  /// Attempts to withdraw `tokens` at time `now`. Returns true and debits
+  /// on success; leaves the bucket untouched on failure.
+  bool try_consume(double tokens, Time now);
+
+  /// Changes the refill rate from `now` onward (budget changes).
+  void set_refill_rate(double refill_per_second, Time now);
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void advance(Time now);
+
+  double capacity_;
+  double refill_per_second_;
+  double tokens_;
+  Time last_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dope::net

@@ -1,0 +1,48 @@
+#include "power/breaker.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace dope::power {
+
+CircuitBreaker::CircuitBreaker(BreakerSpec spec) : spec_(spec) {
+  DOPE_REQUIRE(spec_.rated > 0, "breaker rating must be positive");
+  DOPE_REQUIRE(spec_.instant_trip_multiple > 1.0,
+               "instant trip must exceed the rating");
+  DOPE_REQUIRE(spec_.thermal_capacity > 0,
+               "thermal capacity must be positive");
+  DOPE_REQUIRE(spec_.cooling_rate >= 0, "cooling rate must be non-negative");
+}
+
+bool CircuitBreaker::observe(Watts load, Duration dt) {
+  DOPE_REQUIRE(load >= 0, "load must be non-negative");
+  DOPE_REQUIRE(dt > 0, "observation interval must be positive");
+  if (tripped_) return false;
+
+  const double ratio = load / spec_.rated;
+  if (ratio >= spec_.instant_trip_multiple) {
+    tripped_ = true;
+    ++trips_;
+    return true;
+  }
+  const double seconds = to_seconds(dt);
+  if (ratio > 1.0) {
+    heat_ += (ratio * ratio - 1.0) * seconds;
+    if (heat_ >= spec_.thermal_capacity) {
+      tripped_ = true;
+      ++trips_;
+      return true;
+    }
+  } else {
+    heat_ = std::max(0.0, heat_ - spec_.cooling_rate * seconds);
+  }
+  return false;
+}
+
+void CircuitBreaker::reset() {
+  tripped_ = false;
+  heat_ = 0.0;
+}
+
+}  // namespace dope::power

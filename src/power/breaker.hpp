@@ -1,0 +1,64 @@
+// Branch-circuit breaker with an inverse-time (thermal) trip curve.
+//
+// This is the physical failure the whole paper is about avoiding: Fig. 1
+// ranks cyber-attack among the top root causes of *unplanned outages*,
+// because a sustained draw above a feed's rating eventually trips its
+// protection and takes every downstream server dark.
+//
+// The model mirrors real molded-case breakers:
+//   - a *magnetic* (instantaneous) trip at a large multiple of the rating;
+//   - a *thermal* trip that integrates overload heat: while the load P
+//     exceeds the rating R, heat accumulates at ((P/R)² − 1) per second
+//     (the classic I²t characteristic); below the rating the element
+//     cools linearly. The breaker trips when accumulated heat reaches its
+//     thermal capacity, so a 25% overload takes ~4× longer to trip than a
+//     50% one — exactly the window oversubscribed data centers gamble on.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dope::power {
+
+/// Breaker electrical/thermal parameters.
+struct BreakerSpec {
+  /// Continuous current rating expressed in watts of load.
+  Watts rated = 0.0;
+  /// Instantaneous (magnetic) trip at rated * this multiple.
+  double instant_trip_multiple = 2.0;
+  /// Overload-heat capacity: seconds of ((P/R)² − 1) == 1 overload
+  /// (i.e. ~41% overshoot sustained for this long trips it).
+  double thermal_capacity = 30.0;
+  /// Heat shed per second while under the rating.
+  double cooling_rate = 0.1;
+};
+
+/// Stateful breaker; feed it the observed load each management slot.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerSpec spec);
+
+  const BreakerSpec& spec() const { return spec_; }
+
+  /// Integrates `load` over `dt`; returns true if this observation
+  /// tripped the breaker (already-tripped breakers return false).
+  bool observe(Watts load, Duration dt);
+
+  bool tripped() const { return tripped_; }
+
+  /// Accumulated overload heat in [0, thermal_capacity].
+  double heat() const { return heat_; }
+
+  /// Number of trips since construction.
+  unsigned trips() const { return trips_; }
+
+  /// Manual reset after the fault is cleared; heat starts from zero.
+  void reset();
+
+ private:
+  BreakerSpec spec_;
+  double heat_ = 0.0;
+  bool tripped_ = false;
+  unsigned trips_ = 0;
+};
+
+}  // namespace dope::power

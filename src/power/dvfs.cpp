@@ -1,0 +1,54 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace dope::power {
+
+DvfsLadder DvfsLadder::make(GHz min_ghz, GHz max_ghz, GHz step_ghz) {
+  DOPE_REQUIRE(min_ghz > 0 && max_ghz >= min_ghz && step_ghz > 0,
+               "invalid ladder parameters");
+  std::vector<GHz> freqs;
+  // Walk in integer steps to avoid floating-point drift in the ladder.
+  const auto steps =
+      static_cast<std::size_t>(std::llround((max_ghz - min_ghz) / step_ghz));
+  freqs.reserve(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    // Snap to 1 kHz to keep points like "2.4" exact despite binary
+    // floating-point accumulation (1.2 + 12*0.1 != 2.4 exactly).
+    const GHz f = min_ghz + step_ghz * static_cast<double>(i);
+    freqs.push_back(std::round(f * 1e6) / 1e6);
+  }
+  return DvfsLadder(std::move(freqs));
+}
+
+DvfsLadder::DvfsLadder(std::vector<GHz> freqs) : freqs_(std::move(freqs)) {
+  DOPE_REQUIRE(!freqs_.empty(), "ladder must have at least one frequency");
+  DOPE_REQUIRE(std::is_sorted(freqs_.begin(), freqs_.end()),
+               "ladder frequencies must ascend");
+  DOPE_REQUIRE(freqs_.front() > 0, "frequencies must be positive");
+}
+
+GHz DvfsLadder::frequency(DvfsLevel level) const {
+  DOPE_REQUIRE(level < freqs_.size(), "DVFS level out of range");
+  return freqs_[level];
+}
+
+DvfsLevel DvfsLadder::level_for(GHz f) const {
+  if (f <= freqs_.front()) return 0;
+  if (f >= freqs_.back()) return freqs_.size() - 1;
+  // upper_bound gives the first frequency > f; the level before it is the
+  // highest one not exceeding f.
+  const auto it = std::upper_bound(freqs_.begin(), freqs_.end(), f);
+  return static_cast<DvfsLevel>(it - freqs_.begin()) - 1;
+}
+
+DvfsLevel DvfsLadder::clamped(std::ptrdiff_t level) const {
+  if (level < 0) return 0;
+  const auto max = static_cast<std::ptrdiff_t>(freqs_.size() - 1);
+  return static_cast<DvfsLevel>(std::min(level, max));
+}
+
+}  // namespace dope::power

@@ -1,0 +1,53 @@
+// DVFS (dynamic voltage and frequency scaling) ladder.
+//
+// Mirrors the paper's testbed: ACPI P-states from 1.2 GHz to 2.4 GHz in
+// 0.1 GHz steps. A `DvfsLadder` is an ordered list of operating points;
+// levels are indices into it (0 = slowest). Servers hold a current level
+// and power/performance models are evaluated at the level's frequency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dope::power {
+
+/// Index into a DvfsLadder; 0 is the lowest frequency.
+using DvfsLevel = std::size_t;
+
+/// Ordered set of CPU operating frequencies.
+class DvfsLadder {
+ public:
+  /// Builds a ladder spanning [min_ghz, max_ghz] at `step_ghz` increments.
+  /// The paper's testbed ladder is the default: 1.2–2.4 GHz, 0.1 steps.
+  static DvfsLadder make(GHz min_ghz = 1.2, GHz max_ghz = 2.4,
+                         GHz step_ghz = 0.1);
+
+  /// Builds a ladder from an explicit ascending frequency list.
+  explicit DvfsLadder(std::vector<GHz> freqs);
+
+  std::size_t levels() const { return freqs_.size(); }
+  DvfsLevel min_level() const { return 0; }
+  DvfsLevel max_level() const { return freqs_.size() - 1; }
+
+  GHz frequency(DvfsLevel level) const;
+  GHz min_frequency() const { return freqs_.front(); }
+  GHz max_frequency() const { return freqs_.back(); }
+
+  /// Highest level whose frequency is <= `f`; clamps to the extremes.
+  DvfsLevel level_for(GHz f) const;
+
+  /// Normalised frequency f/f_max in (0, 1].
+  double relative(DvfsLevel level) const {
+    return frequency(level) / max_frequency();
+  }
+
+  /// Clamps an arbitrary signed level delta into the valid range.
+  DvfsLevel clamped(std::ptrdiff_t level) const;
+
+ private:
+  std::vector<GHz> freqs_;
+};
+
+}  // namespace dope::power

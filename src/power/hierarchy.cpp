@@ -1,0 +1,103 @@
+#include "power/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace dope::power {
+
+PowerTopology PowerTopology::uniform(std::size_t num_servers,
+                                     std::size_t per_rack,
+                                     Watts server_nameplate,
+                                     double rack_oversubscription,
+                                     double facility_oversubscription) {
+  DOPE_REQUIRE(num_servers > 0, "need at least one server");
+  DOPE_REQUIRE(per_rack > 0, "rack size must be positive");
+  DOPE_REQUIRE(server_nameplate > 0, "nameplate must be positive");
+  DOPE_REQUIRE(
+      rack_oversubscription > 0 && rack_oversubscription <= 1.0,
+      "rack oversubscription must be in (0, 1]");
+  DOPE_REQUIRE(
+      facility_oversubscription > 0 && facility_oversubscription <= 1.0,
+      "facility oversubscription must be in (0, 1]");
+
+  PowerTopology topology;
+  topology.facility_rating = facility_oversubscription *
+                             server_nameplate *
+                             static_cast<double>(num_servers);
+  for (std::size_t base = 0; base < num_servers; base += per_rack) {
+    PduSpec pdu;
+    pdu.name = "rack-" + std::to_string(topology.pdus.size());
+    const std::size_t end = std::min(base + per_rack, num_servers);
+    for (std::size_t i = base; i < end; ++i) pdu.servers.push_back(i);
+    pdu.rating = rack_oversubscription * server_nameplate *
+                 static_cast<double>(pdu.servers.size());
+    topology.pdus.push_back(std::move(pdu));
+  }
+  return topology;
+}
+
+void PowerTopology::validate(std::size_t num_servers) const {
+  DOPE_REQUIRE(facility_rating > 0, "facility rating must be positive");
+  DOPE_REQUIRE(!pdus.empty(), "topology needs at least one PDU");
+  std::vector<bool> seen(num_servers, false);
+  for (const auto& pdu : pdus) {
+    DOPE_REQUIRE(pdu.rating > 0, "PDU rating must be positive");
+    DOPE_REQUIRE(!pdu.servers.empty(), "PDU feeds no servers");
+    for (const std::size_t s : pdu.servers) {
+      DOPE_REQUIRE(s < num_servers, "PDU server index out of range");
+      DOPE_REQUIRE(!seen[s], "server fed by two PDUs");
+      seen[s] = true;
+    }
+  }
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    DOPE_REQUIRE(seen[s], "server not fed by any PDU");
+  }
+}
+
+std::size_t PowerTopology::pdu_of(std::size_t server) const {
+  for (std::size_t p = 0; p < pdus.size(); ++p) {
+    for (const std::size_t s : pdus[p].servers) {
+      if (s == server) return p;
+    }
+  }
+  DOPE_REQUIRE(false, "server not assigned to a PDU");
+  return 0;  // unreachable
+}
+
+std::size_t HierarchyLoad::violations() const {
+  std::size_t n = facility.violated() ? 1 : 0;
+  for (const auto& pdu : pdus) {
+    if (pdu.violated()) ++n;
+  }
+  return n;
+}
+
+bool HierarchyLoad::rack_only_violation() const {
+  if (facility.violated()) return false;
+  for (const auto& pdu : pdus) {
+    if (pdu.violated()) return true;
+  }
+  return false;
+}
+
+HierarchyLoad evaluate_hierarchy(const PowerTopology& topology,
+                                 const std::vector<Watts>& server_power) {
+  topology.validate(server_power.size());
+  HierarchyLoad load;
+  load.facility.name = "facility";
+  load.facility.rating = topology.facility_rating;
+  for (const auto& pdu : topology.pdus) {
+    LevelLoad level;
+    level.name = pdu.name;
+    level.rating = pdu.rating;
+    for (const std::size_t s : pdu.servers) {
+      level.load += server_power[s];
+    }
+    load.facility.load += level.load;
+    load.pdus.push_back(std::move(level));
+  }
+  return load;
+}
+
+}  // namespace dope::power

@@ -1,0 +1,76 @@
+// Power-delivery hierarchy: facility feed -> rack PDUs -> servers.
+//
+// Fig. 2a's infrastructure is a tree, and oversubscription is practised
+// at *every* level: each rack PDU is rated below the sum of its servers'
+// nameplates, and the facility feed below the sum of the PDU ratings.
+// That matters for DOPE because a flood concentrated on one rack can
+// violate that rack's PDU while the facility total still looks healthy —
+// a blind cluster-total power manager never notices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dope::power {
+
+/// One rack-level power distribution unit.
+struct PduSpec {
+  std::string name;
+  /// Continuous rating of this PDU (watts).
+  Watts rating = 0.0;
+  /// Indices of the servers fed by this PDU.
+  std::vector<std::size_t> servers;
+};
+
+/// A two-level delivery tree over a flat server list.
+struct PowerTopology {
+  /// Facility feed rating (watts).
+  Watts facility_rating = 0.0;
+  std::vector<PduSpec> pdus;
+
+  /// Builds a uniform topology: `num_servers` split into racks of
+  /// `per_rack`, each PDU rated at `rack_oversubscription` x the rack's
+  /// aggregate nameplate, the feed at `facility_oversubscription` x the
+  /// cluster's aggregate nameplate. The last rack may be smaller.
+  static PowerTopology uniform(std::size_t num_servers, std::size_t per_rack,
+                               Watts server_nameplate,
+                               double rack_oversubscription,
+                               double facility_oversubscription);
+
+  /// Checks structural sanity: every server in exactly one PDU, indices
+  /// within [0, num_servers). Throws on violation.
+  void validate(std::size_t num_servers) const;
+
+  /// PDU index feeding a server; throws if the server is unassigned.
+  std::size_t pdu_of(std::size_t server) const;
+};
+
+/// Load evaluation of one tree level.
+struct LevelLoad {
+  std::string name;
+  Watts load = 0.0;
+  Watts rating = 0.0;
+  bool violated() const { return load > rating + 1e-9; }
+  Watts headroom() const { return rating - load; }
+};
+
+/// Full-tree load snapshot.
+struct HierarchyLoad {
+  LevelLoad facility;
+  std::vector<LevelLoad> pdus;
+
+  /// Number of violated levels (facility counts as one).
+  std::size_t violations() const;
+  /// True when some PDU is violated while the facility is not — the
+  /// "hidden" rack-local emergency a flat manager misses.
+  bool rack_only_violation() const;
+};
+
+/// Evaluates per-server powers against a topology.
+HierarchyLoad evaluate_hierarchy(const PowerTopology& topology,
+                                 const std::vector<Watts>& server_power);
+
+}  // namespace dope::power

@@ -1,0 +1,46 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::power {
+
+Watts active_power(const RequestPowerProfile& profile, double rel) {
+  DOPE_REQUIRE(rel > 0.0 && rel <= 1.0, "relative frequency out of range");
+  const double cubic = rel * rel * rel;
+  return profile.p0 * (profile.freq_sensitivity * cubic +
+                       (1.0 - profile.freq_sensitivity));
+}
+
+ServerPowerModel::ServerPowerModel(ServerPowerSpec spec, DvfsLadder ladder)
+    : spec_(spec), ladder_(std::move(ladder)) {
+  DOPE_REQUIRE(spec_.nameplate > 0, "nameplate must be positive");
+  DOPE_REQUIRE(spec_.idle_base >= 0 && spec_.idle_dyn >= 0,
+               "idle power terms must be non-negative");
+  DOPE_REQUIRE(spec_.cores > 0, "server needs at least one core");
+}
+
+Watts ServerPowerModel::idle_power(DvfsLevel level) const {
+  const double rel = ladder_.relative(level);
+  return spec_.idle_base + spec_.idle_dyn * rel * rel * rel;
+}
+
+Watts ServerPowerModel::request_power(const RequestPowerProfile& profile,
+                                      DvfsLevel level) const {
+  return active_power(profile, ladder_.relative(level));
+}
+
+Watts ServerPowerModel::clamp(Watts p) const {
+  return std::min(p, spec_.nameplate);
+}
+
+Watts ServerPowerModel::saturated_power(const RequestPowerProfile& profile,
+                                        DvfsLevel level) const {
+  return clamp(idle_power(level) +
+               static_cast<double>(spec_.cores) *
+                   request_power(profile, level));
+}
+
+}  // namespace dope::power

@@ -1,0 +1,76 @@
+// Server power models.
+//
+// A server's electrical power is the sum of a frequency-dependent idle
+// floor and one active-power term per in-flight request, clamped to the
+// nameplate rating:
+//
+//   P(f) = P_idle(f) + Σ_active p(type_i, f),          P <= nameplate
+//   P_idle(f) = idle_base + idle_dyn · (f/f_max)^3
+//   p(type, f) = p0 · (beta · (f/f_max)^3 + (1 - beta))
+//
+// `beta` is the *frequency sensitivity* of a request type's power: compute-
+// bound work (Colla-Filt) has high beta — DVFS bites hard; memory/disk-bound
+// work (K-means, Word-Count) has low beta — power barely drops with f, so
+// capping such requests needs much deeper frequency cuts (paper Fig. 6b).
+#pragma once
+
+#include "common/units.hpp"
+#include "power/dvfs.hpp"
+
+namespace dope::power {
+
+/// Per-request-type active power parameters.
+struct RequestPowerProfile {
+  /// Active power contribution of one in-flight request at f_max (watts).
+  Watts p0 = 0.0;
+  /// Fraction of p0 that scales with (f/f_max)^3; in [0, 1].
+  double freq_sensitivity = 1.0;
+};
+
+/// Active power of one request at normalised frequency `rel = f/f_max`.
+Watts active_power(const RequestPowerProfile& profile, double rel);
+
+/// Whole-server static parameters.
+struct ServerPowerSpec {
+  /// Nameplate (faceplate) rating; the paper's leaf node is 100 W.
+  Watts nameplate = 100.0;
+  /// Idle power floor independent of frequency.
+  Watts idle_base = 30.0;
+  /// Idle power that scales with (f/f_max)^3 (uncore/clock tree).
+  Watts idle_dyn = 8.0;
+  /// Number of request slots served concurrently (cores/workers).
+  unsigned cores = 4;
+  /// Power drawn while parked in a PowerNap-style deep sleep state.
+  Watts sleep_power = 4.0;
+};
+
+/// Evaluates server power laws for a given spec + ladder.
+///
+/// Holds the ladder by value, so temporaries may safely be passed in.
+class ServerPowerModel {
+ public:
+  ServerPowerModel(ServerPowerSpec spec, DvfsLadder ladder);
+
+  const ServerPowerSpec& spec() const { return spec_; }
+  const DvfsLadder& ladder() const { return ladder_; }
+
+  /// Idle power at a DVFS level.
+  Watts idle_power(DvfsLevel level) const;
+
+  /// Active power of one request of the given profile at `level`.
+  Watts request_power(const RequestPowerProfile& profile,
+                      DvfsLevel level) const;
+
+  /// Clamps a raw power sum to the nameplate rating.
+  Watts clamp(Watts p) const;
+
+  /// Peak power if every core runs the given profile at `level`.
+  Watts saturated_power(const RequestPowerProfile& profile,
+                        DvfsLevel level) const;
+
+ private:
+  ServerPowerSpec spec_;
+  DvfsLadder ladder_;
+};
+
+}  // namespace dope::power

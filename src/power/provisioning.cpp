@@ -1,0 +1,32 @@
+#include "power/provisioning.hpp"
+
+#include "common/expect.hpp"
+
+namespace dope::power {
+
+double budget_fraction(BudgetLevel level) {
+  switch (level) {
+    case BudgetLevel::kNormal: return 1.00;
+    case BudgetLevel::kHigh: return 0.90;
+    case BudgetLevel::kMedium: return 0.85;
+    case BudgetLevel::kLow: return 0.80;
+  }
+  return 1.0;
+}
+
+std::string budget_name(BudgetLevel level) {
+  switch (level) {
+    case BudgetLevel::kNormal: return "Normal-PB";
+    case BudgetLevel::kHigh: return "High-PB";
+    case BudgetLevel::kMedium: return "Medium-PB";
+    case BudgetLevel::kLow: return "Low-PB";
+  }
+  return "?";
+}
+
+PowerBudget PowerBudget::for_level(BudgetLevel level, Watts total_nameplate) {
+  DOPE_REQUIRE(total_nameplate > 0, "nameplate must be positive");
+  return PowerBudget{budget_fraction(level) * total_nameplate};
+}
+
+}  // namespace dope::power

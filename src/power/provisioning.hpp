@@ -1,0 +1,40 @@
+// Power provisioning (oversubscription) levels.
+//
+// The paper evaluates four supply scenarios, expressed as a fraction of the
+// aggregate nameplate power of the cluster:
+//   Normal-PB = 100 %, High-PB = 90 %, Medium-PB = 85 %, Low-PB = 80 %.
+// Anything below Normal-PB is an *oversubscribed* design — the facility
+// cannot supply every server at nameplate simultaneously.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace dope::power {
+
+/// The four provisioning scenarios from the paper (Section 3.3).
+enum class BudgetLevel { kNormal, kHigh, kMedium, kLow };
+
+/// Fraction of aggregate nameplate supplied at each level.
+double budget_fraction(BudgetLevel level);
+
+/// Human-readable name matching the paper ("Normal-PB", ...).
+std::string budget_name(BudgetLevel level);
+
+/// All four levels in the paper's presentation order.
+inline constexpr BudgetLevel kAllBudgetLevels[] = {
+    BudgetLevel::kNormal, BudgetLevel::kHigh, BudgetLevel::kMedium,
+    BudgetLevel::kLow};
+
+/// A concrete facility power budget.
+struct PowerBudget {
+  /// Total power the facility can supply (watts).
+  Watts supply = 0.0;
+
+  /// Builds a budget for `level` over a cluster with the given aggregate
+  /// nameplate rating.
+  static PowerBudget for_level(BudgetLevel level, Watts total_nameplate);
+};
+
+}  // namespace dope::power

@@ -1,0 +1,201 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/expect.hpp"
+#include "common/parallel.hpp"
+#include "schemes/baselines.hpp"
+#include "sim/engine.hpp"
+
+namespace dope::scenario {
+
+std::string scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNone: return "None";
+    case SchemeKind::kCapping: return "Capping";
+    case SchemeKind::kShaving: return "Shaving";
+    case SchemeKind::kToken: return "Token";
+    case SchemeKind::kAntiDope: return "Anti-DOPE";
+  }
+  return "?";
+}
+
+std::unique_ptr<cluster::PowerScheme> make_scheme(
+    SchemeKind kind, const antidope::AntiDopeConfig& antidope_config) {
+  switch (kind) {
+    case SchemeKind::kNone:
+      return std::make_unique<schemes::NoScheme>();
+    case SchemeKind::kCapping:
+      return std::make_unique<schemes::CappingScheme>();
+    case SchemeKind::kShaving:
+      return std::make_unique<schemes::ShavingScheme>();
+    case SchemeKind::kToken:
+      return std::make_unique<schemes::TokenScheme>();
+    case SchemeKind::kAntiDope:
+      return std::make_unique<antidope::AntiDopeScheme>(antidope_config);
+  }
+  return nullptr;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  DOPE_REQUIRE(config.duration > 0, "scenario duration must be positive");
+
+  sim::Engine engine;
+  const auto catalog = workload::Catalog::standard();
+
+  cluster::ClusterConfig cc;
+  cc.num_servers = config.num_servers;
+  cc.budget_level = config.budget;
+  cc.budget_override = config.budget_override;
+  cc.battery_runtime = config.battery_runtime;
+  cc.firewall = config.firewall;
+  cc.slot = config.slot;
+  cluster::Cluster cluster(engine, catalog, cc);
+  cluster.install_scheme(make_scheme(config.scheme, config.antidope));
+
+  // Normal background traffic.
+  std::unique_ptr<workload::TrafficGenerator> normal;
+  if (config.normal_rps > 0.0 || !config.normal_rate_plan.empty()) {
+    workload::GeneratorConfig gen;
+    gen.name = "normal";
+    gen.mixture = config.normal_mixture.value_or(
+        workload::Mixture::alios_normal());
+    gen.rate_rps = config.normal_rps;
+    gen.num_sources = config.normal_sources;
+    gen.source_base = 0;
+    gen.seed = config.seed * 2 + 1;
+    normal = std::make_unique<workload::TrafficGenerator>(
+        engine, catalog, gen, cluster.edge_sink());
+    if (!config.normal_rate_plan.empty()) {
+      apply_rate_plan(engine, *normal, config.normal_rate_plan);
+    }
+  }
+
+  // Attack traffic.
+  std::unique_ptr<workload::TrafficGenerator> attack;
+  if (config.attack_rps > 0.0) {
+    workload::GeneratorConfig gen;
+    gen.name = "attack";
+    gen.mixture = config.attack_mixture.value_or(
+        workload::Mixture::single(workload::Catalog::kKMeans));
+    gen.rate_rps = config.attack_rps;
+    gen.num_sources = config.attack_agents;
+    gen.source_base = 1'000'000;
+    gen.start = config.attack_start;
+    gen.stop = config.attack_stop;
+    gen.ground_truth_attack = true;
+    gen.seed = config.seed * 2 + 2;
+    attack = std::make_unique<workload::TrafficGenerator>(
+        engine, catalog, gen, cluster.edge_sink());
+    if (!config.attack_rate_plan.empty()) {
+      apply_rate_plan(engine, *attack, config.attack_rate_plan);
+    }
+  }
+
+  // Probes.
+  metrics::TimelineRecorder power_probe(
+      engine, config.power_sample_interval,
+      [&cluster] { return cluster.total_power(); });
+  std::unique_ptr<metrics::TimelineRecorder> soc_probe;
+  if (cluster.battery() != nullptr) {
+    soc_probe = std::make_unique<metrics::TimelineRecorder>(
+        engine, config.power_sample_interval,
+        [&cluster] { return cluster.battery()->soc(); });
+  }
+
+  // Track the deepest throttling any server experiences.
+  std::size_t min_level_seen = cluster.ladder().max_level();
+  auto level_probe = engine.every(config.slot, [&] {
+    for (auto* n : cluster.servers()) {
+      min_level_seen = std::min(min_level_seen, n->level());
+    }
+  });
+
+  engine.run_until(config.duration);
+  level_probe.stop();
+
+  // --- summarise ---
+  ScenarioResult result;
+  result.scheme = scheme_name(config.scheme);
+  result.budget = cluster.budget();
+
+  const auto& metrics = cluster.request_metrics();
+  const auto& latency = metrics.normal_latency_ms();
+  result.mean_ms = latency.mean();
+  result.p50_ms = latency.percentile(50);
+  result.p90_ms = latency.percentile(90);
+  result.p95_ms = latency.percentile(95);
+  result.p99_ms = latency.percentile(99);
+  result.min_ms = latency.min();
+  result.max_ms = latency.max();
+  result.availability = metrics.availability();
+  result.drop_fraction = metrics.drop_fraction();
+  result.normal_counts = metrics.normal_counts();
+  result.attack_counts = metrics.attack_counts();
+  result.attack_mean_ms = metrics.attack_latency_ms().mean();
+
+  result.mean_power = power_probe.stats().mean();
+  result.peak_power = power_probe.stats().max();
+  result.power_timeline = power_probe.samples();
+  result.power_samples_normalized.reserve(power_probe.samples().size());
+  const Watts nameplate = cluster.total_nameplate();
+  for (const auto& s : power_probe.samples()) {
+    result.power_samples_normalized.push_back(s.value / nameplate);
+  }
+
+  if (soc_probe) {
+    result.battery_soc_timeline = soc_probe->samples();
+  }
+  if (cluster.battery() != nullptr) {
+    result.battery_discharged = cluster.battery()->total_discharged();
+  }
+
+  result.energy = cluster.energy_account();
+  result.slot_stats = cluster.slot_stats();
+
+  double freq_sum = 0.0;
+  for (auto* n : cluster.servers()) {
+    freq_sum += cluster.ladder().frequency(n->level());
+  }
+  result.final_mean_frequency =
+      freq_sum / static_cast<double>(cluster.num_servers());
+  result.min_level_seen = min_level_seen;
+  return result;
+}
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs) {
+  std::vector<ScenarioResult> results(configs.size());
+  parallel_for(configs.size(), [&](std::size_t i) {
+    results[i] = run_scenario(configs[i]);
+  });
+  return results;
+}
+
+void write_results_csv(std::ostream& out,
+                       const std::vector<ScenarioResult>& results) {
+  CsvWriter writer(out);
+  writer.write_row({"scheme", "budget_w", "mean_ms", "p50_ms", "p90_ms",
+                    "p95_ms", "p99_ms", "availability", "drop_fraction",
+                    "mean_power_w", "peak_power_w", "utility_j",
+                    "battery_j", "violation_slots", "outages"});
+  for (const auto& r : results) {
+    writer.row(r.scheme, r.budget, r.mean_ms, r.p50_ms, r.p90_ms, r.p95_ms,
+               r.p99_ms, r.availability, r.drop_fraction, r.mean_power,
+               r.peak_power, r.energy.utility_total(), r.energy.battery,
+               r.slot_stats.violation_slots, r.slot_stats.outages);
+  }
+}
+
+void write_timeline_csv(std::ostream& out,
+                        const std::vector<metrics::Sample>& samples) {
+  CsvWriter writer(out);
+  writer.write_row({"time_s", "value"});
+  for (const auto& s : samples) {
+    writer.row(to_seconds(s.t), s.value);
+  }
+}
+
+}  // namespace dope::scenario

@@ -1,0 +1,138 @@
+// Turn-key experiment scenarios.
+//
+// Every evaluation in the paper is an instance of the same template: a
+// power-constrained cluster, background (trace-shaped) normal traffic, an
+// optional attack, one power-management scheme, and a 10-minute
+// observation window. `run_scenario` assembles exactly that and returns
+// the metrics the paper's tables and figures report, so bench binaries and
+// integration tests stay declarative.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "antidope/antidope.hpp"
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "metrics/energy.hpp"
+#include "metrics/request_metrics.hpp"
+#include "metrics/timeline.hpp"
+#include "net/firewall.hpp"
+#include "power/provisioning.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::scenario {
+
+/// The four evaluated schemes (Table 2) plus the uncapped reference.
+enum class SchemeKind { kNone, kCapping, kShaving, kToken, kAntiDope };
+
+inline constexpr SchemeKind kEvaluatedSchemes[] = {
+    SchemeKind::kCapping, SchemeKind::kShaving, SchemeKind::kToken,
+    SchemeKind::kAntiDope};
+
+std::string scheme_name(SchemeKind kind);
+
+/// Instantiates a scheme (Anti-DOPE takes its own sub-config).
+std::unique_ptr<cluster::PowerScheme> make_scheme(
+    SchemeKind kind, const antidope::AntiDopeConfig& antidope_config = {});
+
+/// Full scenario description.
+struct ScenarioConfig {
+  // --- cluster ---
+  std::size_t num_servers = 8;
+  power::BudgetLevel budget = power::BudgetLevel::kNormal;
+  /// Explicit budget watts; overrides `budget` when positive.
+  Watts budget_override = 0.0;
+  Duration battery_runtime = 2 * kMinute;
+  std::optional<net::FirewallConfig> firewall;
+  Duration slot = 1 * kSecond;
+
+  // --- scheme ---
+  SchemeKind scheme = SchemeKind::kNone;
+  antidope::AntiDopeConfig antidope{};
+
+  // --- normal traffic ---
+  double normal_rps = 300.0;
+  unsigned normal_sources = 256;
+  /// Empty mixture selects the AliOS normal blend.
+  std::optional<workload::Mixture> normal_mixture;
+  /// Optional piecewise-constant modulation (trace replay).
+  std::vector<workload::RateStep> normal_rate_plan;
+
+  // --- attack traffic ---
+  double attack_rps = 0.0;
+  std::optional<workload::Mixture> attack_mixture;
+  unsigned attack_agents = 64;
+  Time attack_start = 0;
+  Time attack_stop = -1;
+  /// Optional scripted attack-rate schedule (pulsating attacks etc.).
+  std::vector<workload::RateStep> attack_rate_plan;
+
+  // --- run ---
+  Duration duration = 10 * kMinute;  // the paper's observation window
+  Duration power_sample_interval = 500 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+/// Everything the paper's figures report about one run.
+struct ScenarioResult {
+  std::string scheme;
+  Watts budget = 0.0;
+
+  // Normal-user latency (completed requests, milliseconds).
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  double availability = 1.0;
+  double drop_fraction = 0.0;
+  metrics::OutcomeCounts normal_counts;
+  metrics::OutcomeCounts attack_counts;
+  double attack_mean_ms = 0.0;
+
+  // Power.
+  Watts mean_power = 0.0;
+  Watts peak_power = 0.0;
+  std::vector<metrics::Sample> power_timeline;
+  /// Power distribution (normalised to aggregate nameplate) for CDFs.
+  std::vector<double> power_samples_normalized;
+
+  // Battery.
+  std::vector<metrics::Sample> battery_soc_timeline;
+  Joules battery_discharged = 0.0;
+
+  // Energy and enforcement.
+  metrics::EnergyAccount energy;
+  cluster::SlotStats slot_stats;
+
+  // DVFS: mean applied frequency (GHz) over servers at run end, and the
+  // minimum level any server reached during the run.
+  double final_mean_frequency = 0.0;
+  std::size_t min_level_seen = 0;
+};
+
+/// Builds, runs, and summarises one scenario.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Runs one scenario per entry, in parallel when hardware allows.
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs);
+
+/// Writes a CSV summary (one row per result) for external plotting:
+/// scheme, budget, latency stats, availability, power, energy columns.
+void write_results_csv(std::ostream& out,
+                       const std::vector<ScenarioResult>& results);
+
+/// Writes a (time_s, value) CSV of a sampled timeline.
+void write_timeline_csv(std::ostream& out,
+                        const std::vector<metrics::Sample>& samples);
+
+}  // namespace dope::scenario

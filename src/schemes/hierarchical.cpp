@@ -1,0 +1,88 @@
+#include "schemes/hierarchical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::schemes {
+
+HierarchicalCappingScheme::HierarchicalCappingScheme(
+    power::PowerTopology topology, double headroom_margin,
+    unsigned recovery_debounce)
+    : topology_(std::move(topology)),
+      headroom_margin_(headroom_margin),
+      recovery_debounce_(recovery_debounce) {
+  DOPE_REQUIRE(headroom_margin >= 0.0 && headroom_margin < 1.0,
+               "headroom margin must be in [0, 1)");
+  DOPE_REQUIRE(recovery_debounce >= 1,
+               "debounce must be at least one slot");
+}
+
+void HierarchicalCappingScheme::attach(cluster::Cluster& cluster) {
+  PowerScheme::attach(cluster);
+  topology_.validate(cluster.num_servers());
+  auto nodes = cluster.servers();
+  rack_nodes_.clear();
+  rack_target_.clear();
+  for (const auto& pdu : topology_.pdus) {
+    std::vector<server::ServerNode*> rack;
+    for (const std::size_t s : pdu.servers) rack.push_back(nodes[s]);
+    rack_nodes_.push_back(std::move(rack));
+    rack_target_.push_back(cluster.ladder().max_level());
+    rack_clean_slots_.push_back(0);
+  }
+}
+
+void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
+  (void)now;
+  (void)slot;
+  const auto& ladder = cluster_->ladder();
+  auto nodes = cluster_->servers();
+  std::vector<Watts> per_server;
+  per_server.reserve(nodes.size());
+  for (auto* node : nodes) per_server.push_back(node->current_power());
+  last_load_ = power::evaluate_hierarchy(topology_, per_server);
+
+  const bool facility_hot = last_load_.facility.violated();
+  if (last_load_.rack_only_violation()) ++rack_interventions_;
+
+  for (std::size_t p = 0; p < rack_nodes_.size(); ++p) {
+    const auto& level_load = last_load_.pdus[p];
+    // A rack must satisfy both its own PDU rating and its proportional
+    // share of the facility rating when the feed itself is hot.
+    Watts allowance = level_load.rating;
+    if (facility_hot) {
+      const double share =
+          level_load.load / std::max(1e-9, last_load_.facility.load);
+      allowance = std::min(allowance,
+                           share * topology_.facility_rating);
+    }
+    if (level_load.load > allowance) {
+      rack_clean_slots_[p] = 0;
+      const auto level = find_uniform_level(rack_nodes_[p], ladder,
+                                            allowance, rack_target_[p]);
+      if (level != rack_target_[p] || level == ladder.min_level()) {
+        rack_target_[p] = level;
+        request_uniform_level(rack_nodes_[p], rack_target_[p]);
+      }
+      continue;
+    }
+    // Recovery: one step per slot within this rack's own headroom, only
+    // after a debounced streak of clean slots.
+    ++rack_clean_slots_[p];
+    if (rack_target_[p] < ladder.max_level() &&
+        rack_clean_slots_[p] >= recovery_debounce_) {
+      const auto next = rack_target_[p] + 1;
+      const Watts projected =
+          estimate_power_at_uniform(rack_nodes_[p], next);
+      if (projected <= allowance * (1.0 - headroom_margin_)) {
+        rack_target_[p] = next;
+        request_uniform_level(rack_nodes_[p], rack_target_[p]);
+        rack_clean_slots_[p] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace dope::schemes

@@ -1,0 +1,30 @@
+#include "schemes/util.hpp"
+
+namespace dope::schemes {
+
+Watts estimate_power_at_uniform(const std::vector<server::ServerNode*>& nodes,
+                                power::DvfsLevel level) {
+  Watts p = 0.0;
+  for (const auto* n : nodes) p += n->estimate_power_at(level);
+  return p;
+}
+
+power::DvfsLevel find_uniform_level(
+    const std::vector<server::ServerNode*>& nodes,
+    const power::DvfsLadder& ladder, Watts allowance,
+    power::DvfsLevel ceiling) {
+  // Walk down from the ceiling; the estimate is monotone in level, so the
+  // first level that fits is the best one.
+  for (std::ptrdiff_t l = static_cast<std::ptrdiff_t>(ceiling); l >= 0; --l) {
+    const auto level = static_cast<power::DvfsLevel>(l);
+    if (estimate_power_at_uniform(nodes, level) <= allowance) return level;
+  }
+  return ladder.min_level();
+}
+
+void request_uniform_level(const std::vector<server::ServerNode*>& nodes,
+                           power::DvfsLevel level) {
+  for (auto* n : nodes) n->request_level(level);
+}
+
+}  // namespace dope::schemes

@@ -1,0 +1,33 @@
+#include "server/rapl.hpp"
+
+#include "common/expect.hpp"
+
+namespace dope::server {
+
+void RaplInterface::set_cap(Watts cap) {
+  DOPE_REQUIRE(cap > 0, "power cap must be positive");
+  cap_ = cap;
+  enforce();
+}
+
+void RaplInterface::clear_cap() {
+  cap_.reset();
+  node_->request_level(node_->power_model().ladder().max_level());
+}
+
+void RaplInterface::enforce() {
+  if (!cap_.has_value()) return;
+  const auto& ladder = node_->power_model().ladder();
+  // Highest level fitting the cap; the estimate is monotone in level.
+  for (std::ptrdiff_t l = static_cast<std::ptrdiff_t>(ladder.max_level());
+       l >= 0; --l) {
+    const auto level = static_cast<power::DvfsLevel>(l);
+    if (node_->estimate_power_at(level) <= *cap_ ||
+        level == ladder.min_level()) {
+      if (node_->target_level() != level) node_->request_level(level);
+      return;
+    }
+  }
+}
+
+}  // namespace dope::server

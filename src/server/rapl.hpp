@@ -1,0 +1,46 @@
+// RAPL-style per-node power capping.
+//
+// Intel's Running Average Power Limit exposes a wattage knob per socket;
+// the paper's Anti-DOPE prototype actuates it through perf_event. This
+// interface reproduces those semantics on top of the node's DVFS ladder:
+// you set a cap in watts, and the interface picks the highest operating
+// point whose estimated power (for the node's *current* active set) stays
+// under the cap. Because power depends on what is running, `enforce()`
+// should be re-invoked each management slot.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "server/node.hpp"
+
+namespace dope::server {
+
+/// Wattage-cap actuator for one node.
+class RaplInterface {
+ public:
+  explicit RaplInterface(ServerNode& node) : node_(&node) {}
+
+  /// Sets (or replaces) the cap and actuates immediately.
+  void set_cap(Watts cap);
+
+  /// Removes the cap and restores the maximum operating point.
+  void clear_cap();
+
+  /// Active cap, if any.
+  std::optional<Watts> cap() const { return cap_; }
+
+  /// Re-evaluates the operating point against the current active set.
+  /// Picks the highest level whose estimate fits; when even the floor
+  /// does not fit (the cap is below idle power), the floor is applied —
+  /// like hardware, RAPL cannot turn the machine off.
+  void enforce();
+
+  ServerNode& node() const { return *node_; }
+
+ private:
+  ServerNode* node_;
+  std::optional<Watts> cap_;
+};
+
+}  // namespace dope::server

@@ -1,0 +1,82 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::sim {
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  DOPE_REQUIRE(t >= now_, "cannot schedule events in the past");
+  DOPE_REQUIRE(fn != nullptr, "event handler must be callable");
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(Duration delay, std::function<void()> fn) {
+  DOPE_REQUIRE(delay >= 0, "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+PeriodicHandle Engine::every(Duration period, std::function<void()> fn,
+                             Duration phase) {
+  DOPE_REQUIRE(period > 0, "period must be positive");
+  DOPE_REQUIRE(fn != nullptr, "periodic handler must be callable");
+  auto alive = std::make_shared<bool>(true);
+  // The tick closure owns the user callback and reschedules itself while
+  // the handle is alive.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, alive, tick, fn = std::move(fn)]() {
+    if (!*alive) return;
+    fn();
+    if (!*alive) return;
+    schedule_after(period, [tick] { (*tick)(); });
+  };
+  const Duration first = (phase < 0) ? period : phase;
+  schedule_after(first, [tick] { (*tick)(); });
+  return PeriodicHandle(alive);
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // lazily dropped cancellation
+    // Move the handler out before invoking so the handler may schedule or
+    // cancel freely without invalidating our iterator.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    DOPE_ASSERT(entry.t >= now_);
+    now_ = entry.t;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t) {
+  DOPE_REQUIRE(t >= now_, "cannot run backwards in time");
+  for (;;) {
+    // Find the next live event without executing it.
+    while (!queue_.empty() &&
+           handlers_.find(queue_.top().id) == handlers_.end()) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().t > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace dope::sim

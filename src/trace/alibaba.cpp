@@ -1,0 +1,156 @@
+#include "trace/alibaba.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "common/csv.hpp"
+#include "common/expect.hpp"
+
+namespace dope::trace {
+
+std::vector<UsageRecord> parse_server_usage(std::istream& in,
+                                            std::size_t* bad_rows) {
+  std::vector<UsageRecord> out;
+  std::size_t bad = 0;
+  CsvReader reader(in, /*has_header=*/false);
+  std::vector<std::string> fields;
+  bool first = true;
+  while (reader.next(fields)) {
+    if (fields.size() < 5) {
+      ++bad;
+      continue;
+    }
+    const auto ts = parse_int(fields[0]);
+    const auto mid = parse_int(fields[1]);
+    const auto cpu = parse_double(fields[2]);
+    const auto mem = parse_double(fields[3]);
+    const auto dsk = parse_double(fields[4]);
+    if (!ts || !mid || !cpu || !mem || !dsk) {
+      // A non-numeric first row is an optional header: skip silently.
+      if (!first) ++bad;
+      first = false;
+      continue;
+    }
+    first = false;
+    out.push_back({*ts, *mid, *cpu, *mem, *dsk});
+  }
+  if (bad_rows != nullptr) *bad_rows = bad;
+  return out;
+}
+
+namespace {
+
+/// Strips the v2018 "m_" prefix; returns nullopt for malformed ids.
+std::optional<std::int64_t> parse_machine_id_v2018(
+    const std::string& field) {
+  std::string_view v(field);
+  if (v.size() > 2 && v[0] == 'm' && v[1] == '_') v.remove_prefix(2);
+  return parse_int(v);
+}
+
+}  // namespace
+
+std::vector<UsageRecord> parse_machine_usage_v2018(std::istream& in,
+                                                   std::size_t* bad_rows) {
+  std::vector<UsageRecord> out;
+  std::size_t bad = 0;
+  CsvReader reader(in, /*has_header=*/false);
+  std::vector<std::string> fields;
+  bool first = true;
+  while (reader.next(fields)) {
+    if (fields.size() < 3) {
+      ++bad;
+      continue;
+    }
+    const auto mid = parse_machine_id_v2018(fields[0]);
+    const auto ts = parse_int(fields[1]);
+    const auto cpu = parse_double(fields[2]);
+    if (!mid || !ts || !cpu) {
+      if (!first) ++bad;  // non-numeric first row = optional header
+      first = false;
+      continue;
+    }
+    first = false;
+    UsageRecord record;
+    record.machine_id = *mid;
+    record.timestamp = *ts;
+    record.cpu_util = *cpu;
+    if (fields.size() > 3) {
+      record.mem_util = parse_double(fields[3]).value_or(0.0);
+    }
+    if (fields.size() > 8) {
+      record.disk_util = parse_double(fields[8]).value_or(0.0);
+    }
+    out.push_back(record);
+  }
+  if (bad_rows != nullptr) *bad_rows = bad;
+  return out;
+}
+
+std::vector<UsageRecord> parse_any_usage(std::istream& in,
+                                         std::size_t* bad_rows) {
+  // Sniff the first non-empty line: v2018 rows start with "m_<digits>".
+  std::string first_line;
+  while (std::getline(in, first_line)) {
+    if (!first_line.empty()) break;
+  }
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const bool v2018 = first_line.rfind("m_", 0) == 0;
+  std::istringstream replay(first_line + "\n" + rest);
+  return v2018 ? parse_machine_usage_v2018(replay, bad_rows)
+               : parse_server_usage(replay, bad_rows);
+}
+
+void write_server_usage(std::ostream& out,
+                        const std::vector<UsageRecord>& records) {
+  CsvWriter writer(out);
+  for (const auto& r : records) {
+    writer.row(r.timestamp, r.machine_id, r.cpu_util, r.mem_util,
+               r.disk_util);
+  }
+}
+
+TraceSummary summarize(const std::vector<UsageRecord>& records) {
+  DOPE_REQUIRE(!records.empty(), "cannot summarise an empty trace");
+  TraceSummary s;
+  s.records = records.size();
+  std::set<std::int64_t> machines;
+  s.t_begin = records.front().timestamp;
+  s.t_end = records.front().timestamp;
+  double cpu_sum = 0.0;
+  for (const auto& r : records) {
+    machines.insert(r.machine_id);
+    s.t_begin = std::min(s.t_begin, r.timestamp);
+    s.t_end = std::max(s.t_end, r.timestamp);
+    cpu_sum += r.cpu_util;
+    s.max_cpu = std::max(s.max_cpu, r.cpu_util);
+  }
+  s.machines = machines.size();
+  s.mean_cpu = cpu_sum / static_cast<double>(records.size());
+  return s;
+}
+
+std::vector<UtilPoint> cluster_utilization(
+    const std::vector<UsageRecord>& records) {
+  std::map<std::int64_t, std::pair<double, std::size_t>> by_time;
+  for (const auto& r : records) {
+    auto& [sum, n] = by_time[r.timestamp];
+    sum += r.cpu_util;
+    ++n;
+  }
+  std::vector<UtilPoint> out;
+  out.reserve(by_time.size());
+  for (const auto& [ts, agg] : by_time) {
+    out.push_back({ts, agg.first / static_cast<double>(agg.second)});
+  }
+  return out;
+}
+
+}  // namespace dope::trace

@@ -1,0 +1,82 @@
+// Alibaba cluster-trace ingestion.
+//
+// The paper replays the public Alibaba container/cluster trace (12 h of
+// ~1.3 k machines) to model normal-user activity. We parse the
+// `server_usage.csv` schema of cluster-trace-v2017:
+//
+//   timestamp, machine_id, cpu_util(%), mem_util(%), disk_util(%), ...
+//
+// (no header row in the published files; extra trailing columns such as
+// load1/load5/load15 are ignored). Since the real trace is not shipped
+// with this repository, `synthetic.hpp` provides a generator that emits
+// the same schema with matched first-order statistics, so every consumer
+// of this parser works identically on real or synthetic data.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dope::trace {
+
+/// One machine-utilisation sample.
+struct UsageRecord {
+  /// Seconds since trace start (the raw trace unit).
+  std::int64_t timestamp = 0;
+  std::int64_t machine_id = 0;
+  /// Percentages in [0, 100].
+  double cpu_util = 0.0;
+  double mem_util = 0.0;
+  double disk_util = 0.0;
+};
+
+/// Summary statistics of a parsed trace.
+struct TraceSummary {
+  std::size_t records = 0;
+  std::size_t machines = 0;
+  std::int64_t t_begin = 0;
+  std::int64_t t_end = 0;
+  double mean_cpu = 0.0;
+  double max_cpu = 0.0;
+};
+
+/// Parses `server_usage.csv`-style content. Tolerates an optional header
+/// row and rows with extra trailing columns; rows with fewer than five
+/// fields or malformed numbers are skipped (counted in `bad_rows`).
+std::vector<UsageRecord> parse_server_usage(std::istream& in,
+                                            std::size_t* bad_rows = nullptr);
+
+/// Parses cluster-trace-v2018 `machine_usage.csv` content:
+///   machine_id, time_stamp, cpu_util_percent, mem_util_percent,
+///   mem_gps, mkpi, net_in, net_out, disk_io_percent
+/// i.e. the id and timestamp columns are swapped relative to v2017 and
+/// machine ids carry an "m_" prefix. Missing/malformed optional columns
+/// degrade to zero; rows without id/timestamp/cpu are skipped.
+std::vector<UsageRecord> parse_machine_usage_v2018(
+    std::istream& in, std::size_t* bad_rows = nullptr);
+
+/// Sniffs which of the two public schemas a stream uses (by the "m_"
+/// machine-id prefix and column order) and parses accordingly.
+std::vector<UsageRecord> parse_any_usage(std::istream& in,
+                                         std::size_t* bad_rows = nullptr);
+
+/// Serialises records in the same headerless CSV schema.
+void write_server_usage(std::ostream& out,
+                        const std::vector<UsageRecord>& records);
+
+/// Computes summary statistics (records must be non-empty).
+TraceSummary summarize(const std::vector<UsageRecord>& records);
+
+/// Collapses a machine-level trace into a cluster-mean CPU utilisation
+/// series: one (timestamp, mean cpu%) per distinct timestamp, time-ordered.
+struct UtilPoint {
+  std::int64_t timestamp = 0;
+  double mean_cpu = 0.0;
+};
+std::vector<UtilPoint> cluster_utilization(
+    const std::vector<UsageRecord>& records);
+
+}  // namespace dope::trace

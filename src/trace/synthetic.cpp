@@ -1,0 +1,70 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace dope::trace {
+
+std::vector<UsageRecord> generate_server_usage(
+    const SyntheticTraceConfig& config) {
+  DOPE_REQUIRE(config.machines > 0, "need at least one machine");
+  DOPE_REQUIRE(config.interval_s > 0, "interval must be positive");
+  DOPE_REQUIRE(config.duration_s >= config.interval_s,
+               "duration shorter than one interval");
+  Rng rng(config.seed);
+  // Per-machine offsets: some machines run consistently hotter.
+  std::vector<double> machine_bias(config.machines);
+  for (auto& b : machine_bias) b = rng.normal(0.0, 4.0);
+
+  std::vector<UsageRecord> out;
+  const auto steps =
+      static_cast<std::size_t>(config.duration_s / config.interval_s);
+  out.reserve(steps * config.machines);
+  constexpr double kTwoPi = 6.28318530717958647692;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::int64_t ts =
+        static_cast<std::int64_t>(s) * config.interval_s;
+    // Diurnal component: trough in the early morning, peak in the evening.
+    const double day_phase =
+        static_cast<double>(ts % 86400) / 86400.0;
+    const double diurnal = 0.5 * config.diurnal_amplitude *
+                           std::sin(kTwoPi * (day_phase - 0.25));
+    for (std::size_t m = 0; m < config.machines; ++m) {
+      double cpu = config.mean_cpu + diurnal + machine_bias[m] +
+                   rng.normal(0.0, config.noise_sigma);
+      if (rng.chance(config.burst_prob)) {
+        cpu += config.burst_scale * rng.pareto(1.5, 0.5, 3.0);
+      }
+      cpu = std::clamp(cpu, 0.0, 100.0);
+      // Memory tracks CPU loosely; disk is mostly independent.
+      const double mem = std::clamp(
+          0.6 * cpu + 25.0 + rng.normal(0.0, 3.0), 0.0, 100.0);
+      const double dsk = std::clamp(
+          10.0 + rng.normal(0.0, 4.0) + 0.1 * cpu, 0.0, 100.0);
+      out.push_back({ts, static_cast<std::int64_t>(m), cpu, mem, dsk});
+    }
+  }
+  return out;
+}
+
+std::vector<workload::RateStep> to_rate_plan(
+    const std::vector<UtilPoint>& util, double peak_rps,
+    double time_compression) {
+  DOPE_REQUIRE(peak_rps > 0, "peak rate must be positive");
+  DOPE_REQUIRE(time_compression > 0, "time compression must be positive");
+  std::vector<workload::RateStep> plan;
+  plan.reserve(util.size());
+  for (const auto& p : util) {
+    workload::RateStep step;
+    step.at = static_cast<Time>(
+        static_cast<double>(p.timestamp) / time_compression *
+        static_cast<double>(kSecond));
+    step.rate_rps = peak_rps * std::clamp(p.mean_cpu, 0.0, 100.0) / 100.0;
+    plan.push_back(step);
+  }
+  return plan;
+}
+
+}  // namespace dope::trace

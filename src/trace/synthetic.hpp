@@ -1,0 +1,53 @@
+// Synthetic Alibaba-style trace generation.
+//
+// Stands in for the real cluster trace (documented substitution; see
+// DESIGN.md): produces `server_usage`-schema records whose first-order
+// statistics match the published trace — ~30-40 % mean CPU utilisation, a
+// pronounced diurnal swing, per-machine noise, and occasional heavy-tailed
+// bursts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "trace/alibaba.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::trace {
+
+/// Parameters of the synthetic trace.
+struct SyntheticTraceConfig {
+  std::size_t machines = 64;
+  /// Total covered wall time in seconds (the real trace spans 12 h).
+  std::int64_t duration_s = 12 * 3600;
+  /// Sampling interval in seconds (Alibaba samples every 300 s).
+  std::int64_t interval_s = 300;
+  /// Mean CPU utilisation in percent.
+  double mean_cpu = 35.0;
+  /// Peak-to-trough amplitude of the diurnal component (percent).
+  double diurnal_amplitude = 18.0;
+  /// Per-sample Gaussian noise sigma (percent).
+  double noise_sigma = 5.0;
+  /// Probability a machine-sample belongs to a burst...
+  double burst_prob = 0.02;
+  /// ...and how many percent a burst adds (bounded-Pareto scaled).
+  double burst_scale = 25.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates machine-level records, time-major (all machines at t, then
+/// t + interval, ...).
+std::vector<UsageRecord> generate_server_usage(
+    const SyntheticTraceConfig& config);
+
+/// Converts a cluster-utilisation series into a piecewise-constant request
+/// rate plan for a `TrafficGenerator`: rate(t) = peak_rps * cpu(t)/100,
+/// with trace seconds mapped onto simulation time scaled by
+/// `time_compression` (e.g. 72 maps 12 h of trace onto 10 min of sim).
+std::vector<workload::RateStep> to_rate_plan(
+    const std::vector<UtilPoint>& util, double peak_rps,
+    double time_compression = 1.0);
+
+}  // namespace dope::trace

@@ -1,0 +1,60 @@
+#include "workload/bursty.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace dope::workload {
+
+BurstModulator::BurstModulator(sim::Engine& engine,
+                               TrafficGenerator& generator,
+                               BurstConfig config)
+    : engine_(engine),
+      generator_(generator),
+      config_(config),
+      rng_(config.seed) {
+  DOPE_REQUIRE(config_.base_rps >= 0, "base rate must be non-negative");
+  DOPE_REQUIRE(config_.burst_rps > config_.base_rps,
+               "burst rate must exceed the base rate");
+  DOPE_REQUIRE(config_.mean_quiet > 0 && config_.mean_burst > 0,
+               "dwell times must be positive");
+  generator_.set_rate(config_.base_rps);
+  const auto dwell = static_cast<Duration>(
+      rng_.exponential(static_cast<double>(config_.mean_quiet)));
+  pending_ = engine_.schedule_after(std::max<Duration>(dwell, 1),
+                                    [this] { transition(); });
+}
+
+BurstModulator::~BurstModulator() { stop(); }
+
+void BurstModulator::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  engine_.cancel(pending_);
+}
+
+double BurstModulator::expected_mean_rate() const {
+  const double quiet = static_cast<double>(config_.mean_quiet);
+  const double burst = static_cast<double>(config_.mean_burst);
+  return (config_.base_rps * quiet + config_.burst_rps * burst) /
+         (quiet + burst);
+}
+
+void BurstModulator::transition() {
+  if (stopped_) return;
+  bursting_ = !bursting_;
+  if (bursting_) {
+    ++bursts_;
+    generator_.set_rate(config_.burst_rps);
+  } else {
+    generator_.set_rate(config_.base_rps);
+  }
+  const Duration mean =
+      bursting_ ? config_.mean_burst : config_.mean_quiet;
+  const auto dwell =
+      static_cast<Duration>(rng_.exponential(static_cast<double>(mean)));
+  pending_ = engine_.schedule_after(std::max<Duration>(dwell, 1),
+                                    [this] { transition(); });
+}
+
+}  // namespace dope::workload

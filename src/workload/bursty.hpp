@@ -1,0 +1,65 @@
+// Markov-modulated (ON/OFF) burst traffic.
+//
+// Real normal-user load is not a stationary Poisson process: flash
+// crowds, sales events, and cache misses produce bursts. The paper's
+// oversubscription premise ("servers rarely reach peak load
+// simultaneously") lives or dies by this burstiness, so the simulator
+// models it explicitly: a two-state Markov modulator drives a
+// TrafficGenerator between a base rate and a burst rate with
+// exponentially distributed dwell times — the classic MMPP(2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::workload {
+
+/// ON/OFF modulation parameters.
+struct BurstConfig {
+  /// Rate while in the quiet state (rps).
+  double base_rps = 100.0;
+  /// Rate while bursting (rps).
+  double burst_rps = 500.0;
+  /// Mean dwell time in the quiet state.
+  Duration mean_quiet = 60 * kSecond;
+  /// Mean dwell time in the burst state.
+  Duration mean_burst = 10 * kSecond;
+  std::uint64_t seed = 71;
+};
+
+/// Drives a generator's rate between base and burst levels.
+class BurstModulator {
+ public:
+  BurstModulator(sim::Engine& engine, TrafficGenerator& generator,
+                 BurstConfig config);
+  ~BurstModulator();
+
+  BurstModulator(const BurstModulator&) = delete;
+  BurstModulator& operator=(const BurstModulator&) = delete;
+
+  bool bursting() const { return bursting_; }
+  unsigned bursts_started() const { return bursts_; }
+
+  /// Long-run mean rate implied by the configuration.
+  double expected_mean_rate() const;
+
+  void stop();
+
+ private:
+  void transition();
+
+  sim::Engine& engine_;
+  TrafficGenerator& generator_;
+  BurstConfig config_;
+  Rng rng_;
+  bool bursting_ = false;
+  bool stopped_ = false;
+  unsigned bursts_ = 0;
+  sim::EventId pending_ = 0;
+};
+
+}  // namespace dope::workload

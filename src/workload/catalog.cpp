@@ -1,0 +1,145 @@
+#include "workload/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace dope::workload {
+
+Duration RequestTypeProfile::service_time(double rel, double size) const {
+  DOPE_REQUIRE(rel > 0.0 && rel <= 1.0, "relative frequency out of range");
+  DOPE_REQUIRE(size > 0.0, "size factor must be positive");
+  const double slowdown =
+      cpu_bound_fraction / rel + (1.0 - cpu_bound_fraction);
+  const double t = static_cast<double>(base_service_time) * size * slowdown;
+  return static_cast<Duration>(std::llround(t));
+}
+
+Catalog Catalog::standard() {
+  std::vector<RequestTypeProfile> types;
+  types.push_back({
+      "Colla-Filt", "/api/recommend",
+      millis(80.0),  // long, compute-heavy recommendation
+      0.90,          // almost fully CPU-bound
+      {19.0, 0.80},  // high power per request, strongly f-sensitive
+      0.25,
+  });
+  types.push_back({
+      "K-means", "/api/classify",
+      millis(60.0),
+      0.55,          // partly memory-bound: DVFS helps latency less
+      {21.0, 0.35},  // highest per-request power, weakly f-sensitive
+      0.25,
+  });
+  types.push_back({
+      "Word-Count", "/api/wordcount",
+      millis(40.0),
+      0.40,          // disk-dominated
+      {15.0, 0.45},
+      0.30,
+  });
+  types.push_back({
+      "Text-Cont", "/api/text",
+      millis(8.0),
+      0.70,
+      {6.0, 0.70},
+      0.20,
+  });
+  types.push_back({
+      "DNS-Q", "/dns",
+      millis(5.0),
+      0.85,
+      {8.0, 0.75},
+      0.10,
+  });
+  types.push_back({
+      "SYN", "/syn",
+      static_cast<Duration>(200),  // 0.2 ms of protocol handling
+      1.0,
+      {0.8, 1.0},
+      0.0,
+  });
+  types.push_back({
+      "UDP", "/udp",
+      static_cast<Duration>(150),
+      1.0,
+      {0.6, 1.0},
+      0.0,
+  });
+  return Catalog(std::move(types));
+}
+
+Catalog::Catalog(std::vector<RequestTypeProfile> types)
+    : types_(std::move(types)) {
+  DOPE_REQUIRE(!types_.empty(), "catalog must not be empty");
+  for (const auto& t : types_) {
+    DOPE_REQUIRE(t.base_service_time > 0, "service time must be positive");
+    DOPE_REQUIRE(t.cpu_bound_fraction >= 0.0 && t.cpu_bound_fraction <= 1.0,
+                 "cpu_bound_fraction must be in [0,1]");
+    DOPE_REQUIRE(t.power.p0 >= 0.0, "request power must be non-negative");
+    DOPE_REQUIRE(
+        t.power.freq_sensitivity >= 0.0 && t.power.freq_sensitivity <= 1.0,
+        "freq_sensitivity must be in [0,1]");
+  }
+}
+
+const RequestTypeProfile& Catalog::type(RequestTypeId id) const {
+  DOPE_REQUIRE(id < types_.size(), "request type id out of range");
+  return types_[id];
+}
+
+RequestTypeId Catalog::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<RequestTypeId>(i);
+  }
+  DOPE_REQUIRE(false, "unknown request type: " + name);
+  return 0;  // unreachable
+}
+
+Mixture::Mixture(std::vector<RequestTypeId> types, std::vector<double> weights)
+    : types_(std::move(types)) {
+  DOPE_REQUIRE(types_.size() == weights.size(),
+               "types/weights size mismatch");
+  DOPE_REQUIRE(!types_.empty(), "mixture must not be empty");
+  double total = 0.0;
+  for (double w : weights) {
+    DOPE_REQUIRE(w >= 0.0, "mixture weights must be non-negative");
+    total += w;
+  }
+  DOPE_REQUIRE(total > 0.0, "mixture weights must sum to a positive value");
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+Mixture Mixture::single(RequestTypeId type) { return Mixture({type}, {1.0}); }
+
+Mixture Mixture::alios_normal() {
+  // Normal users browsing the EC application: overwhelmingly light text
+  // requests, with a thin tail of heavy recommendation/classification and
+  // catalog-scan calls. The heavy tail is what PDF co-locates with attack
+  // traffic, so its share bounds the collateral damage Anti-DOPE accepts
+  // (paper Section 5.4).
+  return Mixture(
+      {Catalog::kCollaFilt, Catalog::kKMeans, Catalog::kWordCount,
+       Catalog::kTextCont},
+      {0.01, 0.015, 0.025, 0.95});
+}
+
+RequestTypeId Mixture::sample(Rng& rng) const {
+  DOPE_REQUIRE(!types_.empty(), "cannot sample an empty mixture");
+  const double u = rng.uniform();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(types_.size()) - 1));
+  return types_[idx];
+}
+
+}  // namespace dope::workload

@@ -1,0 +1,123 @@
+// Request-type catalog (paper Table 1).
+//
+// Each entry couples a service-time model with a power model:
+//
+//   service time  t(f) = t0 · size · (alpha · f_max/f + (1 - alpha))
+//   active power  p(f) = p0 · (beta · (f/f_max)^3 + (1 - beta))
+//
+// `alpha` is the CPU-bound fraction of the work (how much DVFS slows it
+// down); `beta` is the frequency sensitivity of its power draw. The default
+// catalog reproduces the paper's scaled-down EC testbed:
+//
+//   Colla-Filt  compute-intensive recommender; saturates a node's power at
+//               low request rates (Fig. 5a: right-most, sub-vertical CDF)
+//   K-means     memory-intensive classification; highest power *per
+//               request* and the least frequency-sensitive power, so
+//               capping it requires the deepest V/F cuts (Fig. 6b)
+//   Word-Count  disk-heavy text scan
+//   Text-Cont   light text fetch (the bulk of normal traffic)
+//   DNS-Q       DNS query handling (application-layer flood target)
+//   SYN / UDP   volume-based packets: negligible per-packet power
+//               (Fig. 5b: "volume-based traffic consumes much less power")
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "power/power_model.hpp"
+#include "workload/request.hpp"
+
+namespace dope::workload {
+
+/// Static description of one request type / URL class.
+struct RequestTypeProfile {
+  std::string name;
+  std::string url;
+  /// Base service time at f_max for a size-1 request.
+  Duration base_service_time = 0;
+  /// CPU-bound fraction in [0, 1]: 1 = pure compute, 0 = no DVFS effect.
+  double cpu_bound_fraction = 1.0;
+  /// Active power parameters.
+  power::RequestPowerProfile power;
+  /// Lognormal sigma of the per-request size factor (0 = deterministic).
+  double size_sigma = 0.0;
+
+  /// Service time at relative frequency `rel = f/f_max` for `size`.
+  Duration service_time(double rel, double size = 1.0) const;
+};
+
+/// Immutable, indexable set of request types.
+class Catalog {
+ public:
+  /// The paper's EC-service catalog (see file header).
+  static Catalog standard();
+
+  /// Builds a catalog from explicit profiles (tests, what-if studies).
+  explicit Catalog(std::vector<RequestTypeProfile> types);
+
+  std::size_t size() const { return types_.size(); }
+  const RequestTypeProfile& type(RequestTypeId id) const;
+  const RequestTypeProfile& operator[](RequestTypeId id) const {
+    return type(id);
+  }
+
+  /// Finds a type by name; throws if absent.
+  RequestTypeId id_of(const std::string& name) const;
+
+  /// Well-known indices into `standard()`.
+  static constexpr RequestTypeId kCollaFilt = 0;
+  static constexpr RequestTypeId kKMeans = 1;
+  static constexpr RequestTypeId kWordCount = 2;
+  static constexpr RequestTypeId kTextCont = 3;
+  static constexpr RequestTypeId kDnsQuery = 4;
+  static constexpr RequestTypeId kSynPacket = 5;
+  static constexpr RequestTypeId kUdpPacket = 6;
+
+ private:
+  std::vector<RequestTypeProfile> types_;
+};
+
+/// A discrete distribution over request types (e.g. the AliOS normal-user
+/// mix, or an attacker's chosen blend).
+class Mixture {
+ public:
+  Mixture() = default;
+
+  /// weights need not be normalised; they must be non-negative and sum > 0.
+  Mixture(std::vector<RequestTypeId> types, std::vector<double> weights);
+
+  /// Single-type "mixture".
+  static Mixture single(RequestTypeId type);
+
+  /// The paper's normal-user blend over the EC service (Text-Cont heavy).
+  static Mixture alios_normal();
+
+  bool empty() const { return types_.empty(); }
+
+  /// Samples a type.
+  RequestTypeId sample(Rng& rng) const;
+
+  const std::vector<RequestTypeId>& types() const { return types_; }
+  const std::vector<double>& weights() const { return cumulative_; }
+
+  /// Expected value of f(type) under the mixture.
+  template <typename F>
+  double expectation(F&& f) const {
+    double acc = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      acc += (cumulative_[i] - prev) * f(types_[i]);
+      prev = cumulative_[i];
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<RequestTypeId> types_;
+  std::vector<double> cumulative_;  // normalised cumulative weights
+};
+
+}  // namespace dope::workload

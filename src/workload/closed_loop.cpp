@@ -1,0 +1,110 @@
+#include "workload/closed_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::workload {
+
+ClosedLoopClients::ClosedLoopClients(sim::Engine& engine,
+                                     const Catalog& catalog,
+                                     ClosedLoopConfig config,
+                                     RequestSink edge)
+    : engine_(engine),
+      catalog_(catalog),
+      config_(std::move(config)),
+      edge_(std::move(edge)),
+      rng_(config_.seed),
+      users_(config_.num_users) {
+  DOPE_REQUIRE(edge_ != nullptr, "closed-loop clients need a sink");
+  DOPE_REQUIRE(config_.num_users >= 1, "need at least one user");
+  DOPE_REQUIRE(!config_.mixture.empty(), "need a request mixture");
+  DOPE_REQUIRE(config_.mean_think > 0, "think time must be positive");
+  DOPE_REQUIRE(config_.patience > 0, "patience must be positive");
+  // Stagger the initial requests over one think time so the population
+  // does not arrive as a single synchronised burst.
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    const auto stagger = static_cast<Duration>(
+        rng_.uniform() * static_cast<double>(config_.mean_think));
+    engine_.schedule_after(std::max<Duration>(stagger, 1),
+                           [this, u] { send(u); });
+  }
+}
+
+ClosedLoopClients::~ClosedLoopClients() { stop(); }
+
+void ClosedLoopClients::stop() { stopped_ = true; }
+
+void ClosedLoopClients::send(std::size_t user_index) {
+  if (stopped_) return;
+  User& user = users_[user_index];
+  DOPE_ASSERT(!user.waiting);
+  Request request;
+  // Top bits: a fixed tag for this population; low bits: serial.
+  request.id = (static_cast<std::uint64_t>(config_.seed) << 48) ^
+               (0xC105EDULL << 24) ^ next_serial_++;
+  request.type = config_.mixture.sample(rng_);
+  const auto& profile = catalog_.type(request.type);
+  if (profile.size_sigma > 0.0) {
+    const double sigma = profile.size_sigma;
+    request.size_factor = rng_.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  request.source =
+      config_.source_base + static_cast<SourceId>(user_index);
+  request.arrival = engine_.now();
+  user.waiting = true;
+  user.outstanding_id = request.id;
+  // Patience timer: the user gives up and thinks again.
+  user.patience_event = engine_.schedule_after(
+      config_.patience, [this, user_index] {
+        User& u = users_[user_index];
+        if (!u.waiting) return;
+        u.waiting = false;
+        ++abandoned_cycles_;
+        think_then_send(user_index);
+      });
+  ++sent_;
+  edge_(std::move(request));
+}
+
+void ClosedLoopClients::think_then_send(std::size_t user_index) {
+  if (stopped_) return;
+  const auto think = static_cast<Duration>(
+      rng_.exponential(static_cast<double>(config_.mean_think)));
+  engine_.schedule_after(std::max<Duration>(think, 1),
+                         [this, user_index] { send(user_index); });
+}
+
+void ClosedLoopClients::on_record(const RequestRecord& record) {
+  const auto src = record.request.source;
+  if (src < config_.source_base ||
+      src >= config_.source_base + users_.size()) {
+    return;
+  }
+  const auto user_index =
+      static_cast<std::size_t>(src - config_.source_base);
+  User& user = users_[user_index];
+  if (!user.waiting || record.request.id != user.outstanding_id) return;
+  user.waiting = false;
+  engine_.cancel(user.patience_event);
+  if (record.outcome == RequestOutcome::kCompleted) {
+    ++completed_cycles_;
+  } else {
+    ++abandoned_cycles_;
+  }
+  think_then_send(user_index);
+}
+
+RecordSink ClosedLoopClients::feedback_sink() {
+  return [this](const RequestRecord& record) { on_record(record); };
+}
+
+double ClosedLoopClients::effective_rate() const {
+  const double seconds = to_seconds(engine_.now());
+  return seconds <= 0.0
+             ? 0.0
+             : static_cast<double>(completed_cycles_) / seconds;
+}
+
+}  // namespace dope::workload

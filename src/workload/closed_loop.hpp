@@ -1,0 +1,91 @@
+// Closed-loop client sessions.
+//
+// Interactive users are *closed-loop*: each has at most one request in
+// flight and thinks for a while after every response. That feedback is
+// what makes DOPE so asymmetric — when the victim throttles, legitimate
+// closed-loop users naturally slow their own sending rate (each cycle
+// takes longer), voluntarily ceding capacity, while the open-loop
+// attacker keeps hammering at full rate. This module models a population
+// of such sessions for studying that effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "workload/catalog.hpp"
+#include "workload/request.hpp"
+
+namespace dope::workload {
+
+/// Closed-loop population parameters.
+struct ClosedLoopConfig {
+  /// Concurrent user sessions (one outstanding request each).
+  std::size_t num_users = 50;
+  /// Mean think time between a response and the next request
+  /// (exponentially distributed).
+  Duration mean_think = 2 * kSecond;
+  /// A user abandons an unanswered request after this long and thinks
+  /// again (they hit reload later).
+  Duration patience = 8 * kSecond;
+  /// Request blend.
+  Mixture mixture;
+  /// Each user gets its own source ID starting here.
+  SourceId source_base = 0;
+  std::uint64_t seed = 37;
+};
+
+/// A population of think-time-gated user sessions.
+class ClosedLoopClients {
+ public:
+  ClosedLoopClients(sim::Engine& engine, const Catalog& catalog,
+                    ClosedLoopConfig config, RequestSink edge);
+  ~ClosedLoopClients();
+
+  ClosedLoopClients(const ClosedLoopClients&) = delete;
+  ClosedLoopClients& operator=(const ClosedLoopClients&) = delete;
+
+  /// Record listener that delivers responses back to the sessions;
+  /// register with `Cluster::add_record_listener`.
+  RecordSink feedback_sink();
+
+  /// Completed request/response cycles across the population.
+  std::uint64_t completed_cycles() const { return completed_cycles_; }
+  /// Cycles abandoned because the response never came.
+  std::uint64_t abandoned_cycles() const { return abandoned_cycles_; }
+  /// Requests sent so far.
+  std::uint64_t sent() const { return sent_; }
+
+  /// Current effective request rate (completed cycles per second since
+  /// start); the self-backoff signal.
+  double effective_rate() const;
+
+  void stop();
+
+ private:
+  struct User {
+    bool waiting = false;
+    std::uint64_t outstanding_id = 0;
+    sim::EventId patience_event = 0;
+  };
+
+  void send(std::size_t user_index);
+  void think_then_send(std::size_t user_index);
+  void on_record(const RequestRecord& record);
+
+  sim::Engine& engine_;
+  const Catalog& catalog_;
+  ClosedLoopConfig config_;
+  RequestSink edge_;
+  Rng rng_;
+  std::vector<User> users_;
+  bool stopped_ = false;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t completed_cycles_ = 0;
+  std::uint64_t abandoned_cycles_ = 0;
+};
+
+}  // namespace dope::workload

@@ -1,0 +1,121 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace dope::workload {
+
+TrafficGenerator::TrafficGenerator(sim::Engine& engine, const Catalog& catalog,
+                                   GeneratorConfig config, RequestSink sink)
+    : engine_(engine),
+      catalog_(catalog),
+      config_(std::move(config)),
+      sink_(std::move(sink)),
+      rng_(config_.seed),
+      rate_(config_.rate_rps) {
+  DOPE_REQUIRE(sink_ != nullptr, "generator needs a sink");
+  DOPE_REQUIRE(!config_.mixture.empty(), "generator needs a mixture");
+  DOPE_REQUIRE(config_.rate_rps >= 0.0, "rate must be non-negative");
+  DOPE_REQUIRE(config_.num_sources >= 1, "need at least one source");
+  DOPE_REQUIRE(config_.start >= engine_.now(),
+               "generation window starts in the past");
+  if (rate_ > 0.0) {
+    // First arrival is exponentially distributed after the window opens.
+    armed_ = true;
+    const auto gap = static_cast<Duration>(
+        rng_.exponential(static_cast<double>(kSecond) / rate_));
+    pending_ = engine_.schedule_at(config_.start + gap, [this] { emit(); });
+  }
+}
+
+bool TrafficGenerator::window_open(Time t) const {
+  if (t < config_.start) return false;
+  if (config_.stop >= 0 && t >= config_.stop) return false;
+  return true;
+}
+
+void TrafficGenerator::schedule_next() {
+  armed_ = false;
+  if (stopped_ || rate_ <= 0.0) return;
+  const double mean_gap_us = static_cast<double>(kSecond) / rate_;
+  auto gap = static_cast<Duration>(rng_.exponential(mean_gap_us));
+  if (gap < 1) gap = 1;
+  const Time t = engine_.now() + gap;
+  if (config_.stop >= 0 && t >= config_.stop) return;
+  armed_ = true;
+  pending_ = engine_.schedule_at(t, [this] { emit(); });
+}
+
+void TrafficGenerator::emit() {
+  armed_ = false;
+  if (stopped_) return;
+  const Time now = engine_.now();
+  if (window_open(now)) {
+    Request req;
+    // Serial numbers are unique per generator; combining with the seed in
+    // the top bits keeps IDs unique across generators in one run.
+    req.id = (config_.seed << 40) ^ next_request_serial_++;
+    req.type = config_.mixture.sample(rng_);
+    const auto& profile = catalog_.type(req.type);
+    if (profile.size_sigma > 0.0) {
+      const double sigma = profile.size_sigma;
+      // mean-1 lognormal: mu = -sigma^2/2
+      req.size_factor = rng_.lognormal(-0.5 * sigma * sigma, sigma);
+    }
+    req.source = config_.source_base +
+                 static_cast<SourceId>(rng_.uniform_int(
+                     0, static_cast<std::int64_t>(config_.num_sources) - 1));
+    req.arrival = now;
+    req.ground_truth_attack = config_.ground_truth_attack;
+    ++generated_;
+    sink_(std::move(req));
+  }
+  schedule_next();
+}
+
+void TrafficGenerator::set_rate(double rps) {
+  DOPE_REQUIRE(rps >= 0.0, "rate must be non-negative");
+  const bool was_idle = (rate_ <= 0.0);
+  rate_ = rps;
+  if (stopped_) return;
+  if (rate_ > 0.0 && was_idle && !armed_) {
+    // Resume from parked state.
+    if (engine_.now() >= config_.start) {
+      schedule_next();
+    } else {
+      armed_ = true;
+      pending_ = engine_.schedule_at(config_.start, [this] { emit(); });
+    }
+  }
+  // A rate *decrease* leaves the already-scheduled arrival in place; the
+  // new rate applies from the next gap onward. This matches how an
+  // attacker or client pool changes its sending rate.
+}
+
+void TrafficGenerator::set_mixture(Mixture mixture) {
+  DOPE_REQUIRE(!mixture.empty(), "mixture must not be empty");
+  config_.mixture = std::move(mixture);
+}
+
+void TrafficGenerator::stop() {
+  stopped_ = true;
+  if (armed_) {
+    engine_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+void apply_rate_plan(sim::Engine& engine, TrafficGenerator& gen,
+                     const std::vector<RateStep>& plan) {
+  Time prev = engine.now();
+  for (const auto& step : plan) {
+    DOPE_REQUIRE(step.at >= prev, "rate plan must be time-ordered");
+    prev = step.at;
+    engine.schedule_at(step.at,
+                       [&gen, rate = step.rate_rps] { gen.set_rate(rate); });
+  }
+}
+
+}  // namespace dope::workload

@@ -1,0 +1,106 @@
+// Open-loop traffic generation.
+//
+// A `TrafficGenerator` produces Poisson arrivals of requests drawn from a
+// type mixture and pushes them into a sink (normally the cluster's edge:
+// firewall -> NLB). Open-loop generation is essential here: real Internet
+// clients — and certainly attackers — do not slow down because the victim
+// is throttled, which is exactly why power capping interacts so badly with
+// traffic floods.
+//
+// The rate can be changed at any simulated time (`set_rate`), which is how
+// the adaptive DOPE attacker (Fig. 12) and trace-driven load replay
+// modulate their traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+#include "workload/catalog.hpp"
+#include "workload/request.hpp"
+
+namespace dope::workload {
+
+/// Static configuration of one traffic source population.
+struct GeneratorConfig {
+  std::string name = "traffic";
+  /// Request-type blend.
+  Mixture mixture;
+  /// Mean aggregate arrival rate (requests/second) at start.
+  double rate_rps = 0.0;
+  /// Generation window [start, stop); stop < 0 means "until sim end".
+  Time start = 0;
+  Time stop = -1;
+  /// Arrivals are spread uniformly over this many distinct source IDs
+  /// (clients); per-source rate = rate_rps / num_sources. This is what a
+  /// botnet manipulates to stay under per-source firewall thresholds.
+  unsigned num_sources = 1;
+  /// First source ID of this population's contiguous ID range.
+  SourceId source_base = 0;
+  /// Ground-truth tag stamped on emitted requests (metrics only).
+  bool ground_truth_attack = false;
+  /// RNG seed for this generator's private stream.
+  std::uint64_t seed = 1;
+};
+
+/// Poisson open-loop request generator bound to a simulation engine.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(sim::Engine& engine, const Catalog& catalog,
+                   GeneratorConfig config, RequestSink sink);
+
+  TrafficGenerator(const TrafficGenerator&) = delete;
+  TrafficGenerator& operator=(const TrafficGenerator&) = delete;
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Current aggregate rate (rps).
+  double rate() const { return rate_; }
+
+  /// Changes the aggregate rate, effective immediately. A zero rate parks
+  /// the generator; a later non-zero rate resumes it.
+  void set_rate(double rps);
+
+  /// Swaps the request-type blend from now on (attack-type switching).
+  void set_mixture(Mixture mixture);
+
+  /// Permanently stops generation.
+  void stop();
+
+  /// Requests emitted so far.
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+  void emit();
+  bool window_open(Time t) const;
+
+  sim::Engine& engine_;
+  const Catalog& catalog_;
+  GeneratorConfig config_;
+  RequestSink sink_;
+  Rng rng_;
+  double rate_;
+  bool stopped_ = false;
+  bool armed_ = false;  // an arrival event is pending
+  sim::EventId pending_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t next_request_serial_ = 0;
+};
+
+/// One step of a piecewise-constant rate plan.
+struct RateStep {
+  Time at = 0;
+  double rate_rps = 0.0;
+};
+
+/// Schedules `set_rate` calls on `gen` for every step in `plan`. Steps must
+/// be time-ordered. Used for trace replay and scripted attack phases.
+void apply_rate_plan(sim::Engine& engine, TrafficGenerator& gen,
+                     const std::vector<RateStep>& plan);
+
+}  // namespace dope::workload

@@ -1,0 +1,68 @@
+// The unit of work flowing through the system: one HTTP-style request.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+
+namespace dope::workload {
+
+/// Index into the `Catalog` of request types; doubles as the "URL class"
+/// used for suspect-list forwarding (requests for the same service/URL
+/// consume near-identical resources — paper Section 5.2).
+using RequestTypeId = std::uint32_t;
+
+/// Identifies the network origin (client IP) of a request. Firewalls and
+/// rate limiters track state per source.
+using SourceId = std::uint32_t;
+
+/// One in-flight request.
+struct Request {
+  /// Unique per run; assigned by the generator.
+  std::uint64_t id = 0;
+  /// Service/URL class (index into the workload catalog).
+  RequestTypeId type = 0;
+  /// Originating client.
+  SourceId source = 0;
+  /// Time the request arrived at the data center edge.
+  Time arrival = 0;
+  /// Multiplier on the type's base service time (captures per-request
+  /// size variation; sampled by the generator).
+  double size_factor = 1.0;
+  /// Ground truth: whether an attacker generated this request. Defense
+  /// mechanisms must never read this — it exists only so metrics can be
+  /// split into legitimate vs. malicious populations.
+  bool ground_truth_attack = false;
+};
+
+/// Terminal status of a request.
+enum class RequestOutcome {
+  kCompleted,       ///< served to completion
+  kDroppedByLimit,  ///< shed by a rate limiter / token bucket
+  kBlockedByFirewall,
+  kRejectedQueueFull,
+  kTimedOut,        ///< exceeded its queueing deadline and was abandoned
+  kFailedOutage,    ///< lost in-flight when its server lost power
+  kDroppedNetwork,  ///< dropped at a saturated switch (connectivity loss)
+};
+
+/// Completion record emitted to metrics sinks.
+struct RequestRecord {
+  Request request;
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  /// Departure (or drop) time.
+  Time finish = 0;
+  /// End-to-end latency for completed requests (finish - arrival).
+  Duration latency = 0;
+  /// Which server served it (-1 when never dispatched).
+  int server = -1;
+};
+
+/// Consumes terminal request records (metrics, attacker feedback probes).
+using RecordSink = std::function<void(const RequestRecord&)>;
+
+/// Receives generated requests (the data-center edge).
+using RequestSink = std::function<void(Request&&)>;
+
+}  // namespace dope::workload

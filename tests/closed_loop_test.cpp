@@ -1,0 +1,132 @@
+// Tests for closed-loop client sessions and the self-backoff asymmetry
+// that makes open-loop power attacks so effective.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "schemes/baselines.hpp"
+#include "workload/closed_loop.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::workload {
+namespace {
+
+struct LoopRig {
+  sim::Engine engine;
+  Catalog catalog = Catalog::standard();
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<ClosedLoopClients> clients;
+
+  explicit LoopRig(std::size_t num_users = 50,
+                   Duration think = 2 * kSecond) {
+    cluster::ClusterConfig cc;
+    cc.num_servers = 4;
+    cluster = std::make_unique<cluster::Cluster>(engine, catalog, cc);
+    ClosedLoopConfig config;
+    config.num_users = num_users;
+    config.mean_think = think;
+    config.mixture = Mixture::single(Catalog::kTextCont);
+    config.source_base = 500;
+    clients = std::make_unique<ClosedLoopClients>(
+        engine, catalog, config, cluster->edge_sink());
+    cluster->add_record_listener(clients->feedback_sink());
+  }
+};
+
+TEST(ClosedLoop, ThroughputFollowsLittlesLaw) {
+  // 50 users, 2 s think, ~10 ms response: rate ≈ 50 / 2.01 ≈ 24.9 rps.
+  LoopRig rig;
+  rig.cluster->run_for(2 * kMinute);
+  EXPECT_NEAR(rig.clients->effective_rate(), 50.0 / 2.01, 3.0);
+  EXPECT_EQ(rig.clients->abandoned_cycles(), 0u);
+}
+
+TEST(ClosedLoop, AtMostOneOutstandingRequestPerUser) {
+  LoopRig rig(10, 100 * kMillisecond);
+  rig.cluster->run_for(30 * kSecond);
+  // Sent counts equal completed + abandoned + currently-in-flight.
+  EXPECT_LE(rig.clients->sent(),
+            rig.clients->completed_cycles() +
+                rig.clients->abandoned_cycles() + 10);
+  EXPECT_GE(rig.clients->sent(), rig.clients->completed_cycles());
+}
+
+TEST(ClosedLoop, PatienceAbandonsUnansweredRequests) {
+  // A cluster with every node refusing traffic: responses never come;
+  // every cycle must end in abandonment, and the users keep retrying.
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 2;
+  cluster::Cluster cluster(engine, catalog, cc);
+  for (std::size_t i = 0; i < 2; ++i) {
+    cluster.server(i).power_off();
+  }
+  ClosedLoopConfig config;
+  config.num_users = 5;
+  config.mean_think = kSecond;
+  config.patience = 2 * kSecond;
+  config.mixture = Mixture::single(Catalog::kTextCont);
+  ClosedLoopClients clients(engine, catalog, config, cluster.edge_sink());
+  cluster.add_record_listener(clients.feedback_sink());
+  engine.run_until(kMinute);
+  EXPECT_EQ(clients.completed_cycles(), 0u);
+  EXPECT_GT(clients.abandoned_cycles(), 20u);
+  EXPECT_GT(clients.sent(), 20u);
+}
+
+TEST(ClosedLoop, SelfBackoffUnderThrottling) {
+  // The asymmetry at the heart of DOPE: when the victim is throttled,
+  // closed-loop users slow *themselves* down (longer cycles -> lower
+  // rate), while an open-loop attacker keeps its rate.
+  const auto run = [](bool throttled) {
+    sim::Engine engine;
+    const auto catalog = Catalog::standard();
+    cluster::ClusterConfig cc;
+    cc.num_servers = 4;
+    cluster::Cluster cluster(engine, catalog, cc);
+    if (throttled) {
+      for (auto* node : cluster.servers()) node->force_level(0);
+    }
+    ClosedLoopConfig config;
+    config.num_users = 60;
+    config.mean_think = 200 * kMillisecond;
+    config.mixture = Mixture::single(Catalog::kCollaFilt);  // heavy
+    ClosedLoopClients clients(engine, catalog, config,
+                              cluster.edge_sink());
+    cluster.add_record_listener(clients.feedback_sink());
+    engine.run_until(2 * kMinute);
+    return clients.effective_rate();
+  };
+  const double fast = run(false);
+  const double slow = run(true);
+  EXPECT_LT(slow, 0.8 * fast);
+  EXPECT_GT(slow, 0.0);
+}
+
+TEST(ClosedLoop, StopHaltsSending) {
+  LoopRig rig(5, 100 * kMillisecond);
+  rig.cluster->run_for(10 * kSecond);
+  rig.clients->stop();
+  const auto sent = rig.clients->sent();
+  rig.cluster->run_for(30 * kSecond);
+  EXPECT_EQ(rig.clients->sent(), sent);
+}
+
+TEST(ClosedLoop, ValidatesConfig) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  ClosedLoopConfig config;  // empty mixture
+  EXPECT_THROW(
+      ClosedLoopClients(engine, catalog, config, [](Request&&) {}),
+      std::invalid_argument);
+  config.mixture = Mixture::single(Catalog::kTextCont);
+  config.num_users = 0;
+  EXPECT_THROW(
+      ClosedLoopClients(engine, catalog, config, [](Request&&) {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dope::workload

@@ -1,0 +1,235 @@
+// Unit tests for cluster assembly: request path, management slots, energy
+// attribution, and the scheme hook points.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "cluster/scheme.hpp"
+#include "workload/generator.hpp"
+
+namespace dope::cluster {
+namespace {
+
+using workload::Catalog;
+using workload::Request;
+using workload::RequestOutcome;
+
+Request request_of(workload::RequestTypeId type, Time arrival,
+                   workload::SourceId source = 0) {
+  Request r;
+  r.type = type;
+  r.arrival = arrival;
+  r.source = source;
+  return r;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  Catalog catalog_ = Catalog::standard();
+
+  std::unique_ptr<Cluster> make_cluster(ClusterConfig config = {}) {
+    return std::make_unique<Cluster>(engine_, catalog_, config);
+  }
+};
+
+TEST_F(ClusterTest, BuildsRequestedTopology) {
+  ClusterConfig config;
+  config.num_servers = 4;
+  auto cluster = make_cluster(config);
+  EXPECT_EQ(cluster->num_servers(), 4u);
+  EXPECT_DOUBLE_EQ(cluster->total_nameplate(), 400.0);
+  EXPECT_DOUBLE_EQ(cluster->budget(), 400.0);  // Normal-PB
+  EXPECT_EQ(cluster->battery(), nullptr);
+  EXPECT_EQ(cluster->firewall(), nullptr);
+}
+
+TEST_F(ClusterTest, BudgetLevelsScaleSupply) {
+  ClusterConfig config;
+  config.num_servers = 10;
+  config.budget_level = power::BudgetLevel::kLow;
+  auto cluster = make_cluster(config);
+  EXPECT_DOUBLE_EQ(cluster->budget(), 800.0);
+}
+
+TEST_F(ClusterTest, BatteryCreatedWithRequestedRuntime) {
+  ClusterConfig config;
+  config.num_servers = 4;
+  config.battery_runtime = 2 * kMinute;
+  auto cluster = make_cluster(config);
+  ASSERT_NE(cluster->battery(), nullptr);
+  EXPECT_DOUBLE_EQ(cluster->battery()->spec().capacity, 400.0 * 120.0);
+}
+
+TEST_F(ClusterTest, IngestDispatchesAndCompletes) {
+  auto cluster = make_cluster();
+  cluster->ingest(request_of(Catalog::kTextCont, engine_.now()));
+  cluster->run_for(kSecond);
+  EXPECT_EQ(cluster->request_metrics().normal_counts().completed, 1u);
+}
+
+TEST_F(ClusterTest, EdgeSinkFeedsIngest) {
+  auto cluster = make_cluster();
+  auto sink = cluster->edge_sink();
+  sink(request_of(Catalog::kTextCont, engine_.now()));
+  cluster->run_for(kSecond);
+  EXPECT_EQ(cluster->request_metrics().normal_counts().completed, 1u);
+}
+
+TEST_F(ClusterTest, DefaultLeastLoadedSpreadsRequests) {
+  ClusterConfig config;
+  config.num_servers = 4;
+  auto cluster = make_cluster(config);
+  for (int i = 0; i < 4; ++i) {
+    cluster->ingest(request_of(Catalog::kCollaFilt, engine_.now()));
+  }
+  for (auto* s : cluster->servers()) {
+    EXPECT_EQ(s->active_count(), 1u);
+  }
+}
+
+TEST_F(ClusterTest, FirewallBlocksBannedSources) {
+  ClusterConfig config;
+  config.num_servers = 2;
+  net::FirewallConfig firewall;
+  firewall.threshold_rps = 10.0;
+  firewall.check_interval = kSecond;
+  config.firewall = firewall;
+  auto cluster = make_cluster(config);
+
+  workload::GeneratorConfig gen_config;
+  gen_config.mixture = workload::Mixture::single(Catalog::kTextCont);
+  gen_config.rate_rps = 200.0;  // one source, way over threshold
+  workload::TrafficGenerator gen(engine_, catalog_, gen_config,
+                                 cluster->edge_sink());
+  cluster->run_for(10 * kSecond);
+  EXPECT_GT(
+      cluster->request_metrics().normal_counts().blocked_by_firewall, 0u);
+}
+
+TEST_F(ClusterTest, TotalPowerSumsServers) {
+  ClusterConfig config;
+  config.num_servers = 3;
+  auto cluster = make_cluster(config);
+  EXPECT_DOUBLE_EQ(cluster->total_power(), 3 * 38.0);
+  cluster->ingest(request_of(Catalog::kKMeans, engine_.now()));
+  EXPECT_DOUBLE_EQ(cluster->total_power(), 3 * 38.0 + 21.0);
+}
+
+TEST_F(ClusterTest, LastSlotDemandTracksLoad) {
+  auto cluster = make_cluster();
+  cluster->run_for(2 * kSecond);
+  EXPECT_NEAR(cluster->last_slot_demand(), 8 * 38.0, 1.0);
+}
+
+TEST_F(ClusterTest, EnergyAccountAllUtilityWithoutBattery) {
+  auto cluster = make_cluster();
+  cluster->run_for(10 * kSecond);
+  const auto& account = cluster->energy_account();
+  EXPECT_NEAR(account.utility, 8 * 38.0 * 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(account.battery, 0.0);
+  EXPECT_NEAR(account.load_total(), cluster->total_energy(), 1.0);
+}
+
+TEST_F(ClusterTest, SlotStatsCountViolations) {
+  ClusterConfig config;
+  config.num_servers = 2;
+  config.budget_level = power::BudgetLevel::kLow;  // 160 W budget
+  auto cluster = make_cluster(config);
+  // Saturate both servers with heavy requests; no scheme installed, so
+  // demand (~200 W) stays above budget and every slot violates.
+  workload::GeneratorConfig gen_config;
+  gen_config.mixture = workload::Mixture::single(Catalog::kKMeans);
+  gen_config.rate_rps = 500.0;
+  workload::TrafficGenerator gen(engine_, catalog_, gen_config,
+                                 cluster->edge_sink());
+  cluster->run_for(10 * kSecond);
+  EXPECT_GT(cluster->slot_stats().violation_slots, 5u);
+  EXPECT_GT(cluster->slot_stats().worst_overshoot, 10.0);
+}
+
+// A scheme that drops every request at admission.
+class DropAllScheme final : public PowerScheme {
+ public:
+  std::string name() const override { return "drop-all"; }
+  bool admit(const Request&) override { return false; }
+  void on_slot(Time, Duration) override {}
+};
+
+TEST_F(ClusterTest, SchemeAdmitGate) {
+  auto cluster = make_cluster();
+  cluster->install_scheme(std::make_unique<DropAllScheme>());
+  cluster->ingest(request_of(Catalog::kTextCont, engine_.now()));
+  cluster->run_for(kSecond);
+  EXPECT_EQ(cluster->request_metrics().normal_counts().dropped_by_limit, 1u);
+  EXPECT_EQ(cluster->request_metrics().normal_counts().completed, 0u);
+}
+
+// A scheme that routes everything to server 0.
+class PinScheme final : public PowerScheme {
+ public:
+  std::string name() const override { return "pin"; }
+  void attach(Cluster& cluster) override {
+    PowerScheme::attach(cluster);
+    target_ = cluster.servers().front();
+  }
+  net::Backend* route(const Request&) override { return target_; }
+  void on_slot(Time, Duration) override { ++slots_; }
+
+  int slots_ = 0;
+
+ private:
+  net::Backend* target_ = nullptr;
+};
+
+TEST_F(ClusterTest, SchemeRouteOverridesBalancer) {
+  ClusterConfig config;
+  config.num_servers = 4;
+  auto cluster = make_cluster(config);
+  auto scheme = std::make_unique<PinScheme>();
+  cluster->install_scheme(std::move(scheme));
+  for (int i = 0; i < 3; ++i) {
+    cluster->ingest(request_of(Catalog::kCollaFilt, engine_.now()));
+  }
+  EXPECT_EQ(cluster->server(0).active_count(), 3u);
+  EXPECT_EQ(cluster->server(1).active_count(), 0u);
+}
+
+TEST_F(ClusterTest, OnSlotInvokedEverySlot) {
+  ClusterConfig config;
+  config.slot = kSecond;
+  auto cluster = make_cluster(config);
+  auto* scheme = new PinScheme();
+  cluster->install_scheme(std::unique_ptr<PowerScheme>(scheme));
+  cluster->run_for(10 * kSecond);
+  EXPECT_EQ(scheme->slots_, 10);
+  EXPECT_EQ(cluster->slot_stats().slots, 10u);
+}
+
+TEST_F(ClusterTest, RecordListenersObserveTerminalRecords) {
+  auto cluster = make_cluster();
+  int seen = 0;
+  cluster->add_record_listener(
+      [&seen](const workload::RequestRecord&) { ++seen; });
+  cluster->ingest(request_of(Catalog::kTextCont, engine_.now()));
+  cluster->run_for(kSecond);
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(ClusterTest, ValidatesConfig) {
+  ClusterConfig config;
+  config.num_servers = 0;
+  EXPECT_THROW(make_cluster(config), std::invalid_argument);
+  config = {};
+  config.slot = 0;
+  EXPECT_THROW(make_cluster(config), std::invalid_argument);
+}
+
+TEST_F(ClusterTest, ServerIndexBoundsChecked) {
+  auto cluster = make_cluster();
+  EXPECT_THROW(cluster->server(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dope::cluster

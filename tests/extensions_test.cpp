@@ -1,0 +1,457 @@
+// Tests for the extension features: RAPL per-node capping, battery
+// reserve policy, cluster health checker, online power classification,
+// and the oracle / per-node capping ablation schemes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "antidope/antidope.hpp"
+#include "antidope/online_classifier.hpp"
+#include "battery/battery.hpp"
+#include "cluster/health.hpp"
+#include "schemes/oracle.hpp"
+#include "schemes/rapl_capping.hpp"
+#include "server/rapl.hpp"
+#include "workload/generator.hpp"
+
+namespace dope {
+namespace {
+
+using workload::Catalog;
+
+// -------------------------------------------------------------------- RAPL
+
+class RaplTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  workload::Catalog catalog_ = Catalog::standard();
+  power::DvfsLadder ladder_ = power::DvfsLadder::make();
+  server::ServerConfig config_{.queue_capacity = 64,
+                               .queue_deadline = 0,
+                               .dvfs_latency = 0};
+  server::ServerNode node_{engine_, 0, catalog_,
+                           power::ServerPowerModel({}, ladder_), config_,
+                           [](const workload::RequestRecord&) {}};
+
+  void load_kmeans(int n) {
+    for (int i = 0; i < n; ++i) {
+      workload::Request r;
+      r.type = Catalog::kKMeans;
+      r.size_factor = 1e6;  // pin the active set
+      node_.submit(std::move(r));
+    }
+  }
+};
+
+TEST_F(RaplTest, UncappedNodeRunsAtMax) {
+  server::RaplInterface rapl(node_);
+  EXPECT_FALSE(rapl.cap().has_value());
+  rapl.enforce();  // no-op without a cap
+  EXPECT_EQ(node_.target_level(), ladder_.max_level());
+}
+
+TEST_F(RaplTest, CapSelectsHighestFittingLevel) {
+  load_kmeans(4);  // 38 idle + 4x21 -> clamped 100 W at max
+  server::RaplInterface rapl(node_);
+  rapl.set_cap(90.0);
+  engine_.run_until(kSecond);
+  EXPECT_LE(node_.estimate_power_at(node_.level()), 90.0);
+  // One level higher must violate the cap (highest fitting level).
+  if (node_.level() < ladder_.max_level()) {
+    EXPECT_GT(node_.estimate_power_at(node_.level() + 1), 90.0);
+  }
+}
+
+TEST_F(RaplTest, CapBelowIdleFloorsAtMinLevel) {
+  load_kmeans(4);
+  server::RaplInterface rapl(node_);
+  rapl.set_cap(10.0);  // below even idle power: RAPL can't power off
+  engine_.run_until(kSecond);
+  EXPECT_EQ(node_.level(), ladder_.min_level());
+}
+
+TEST_F(RaplTest, ClearCapRestoresMax) {
+  load_kmeans(4);
+  server::RaplInterface rapl(node_);
+  rapl.set_cap(80.0);
+  engine_.run_until(kSecond);
+  ASSERT_LT(node_.level(), ladder_.max_level());
+  rapl.clear_cap();
+  engine_.run_until(2 * kSecond);
+  EXPECT_EQ(node_.level(), ladder_.max_level());
+  EXPECT_FALSE(rapl.cap().has_value());
+}
+
+TEST_F(RaplTest, EnforceReactsToLoadChanges) {
+  server::RaplInterface rapl(node_);
+  rapl.set_cap(60.0);
+  engine_.run_until(kSecond);
+  EXPECT_EQ(node_.level(), ladder_.max_level());  // idle fits easily
+  load_kmeans(2);  // 38 + 42 = 80 > 60
+  rapl.enforce();
+  engine_.run_until(2 * kSecond);
+  EXPECT_LT(node_.level(), ladder_.max_level());
+}
+
+TEST_F(RaplTest, RejectsNonPositiveCap) {
+  server::RaplInterface rapl(node_);
+  EXPECT_THROW(rapl.set_cap(0.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- battery reserve
+
+TEST(BatteryReserve, ShavingStopsAtReserveFloor) {
+  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  spec.reserve_fraction = 0.25;
+  battery::Battery b(spec);
+  // Drain by shaving: must stop at 25% SoC.
+  for (int i = 0; i < 600; ++i) b.discharge(100.0, kSecond);
+  EXPECT_NEAR(b.soc(), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(b.discharge(100.0, kSecond), 0.0);
+}
+
+TEST(BatteryReserve, EmergencyDischargeTapsTheReserve) {
+  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  spec.reserve_fraction = 0.25;
+  battery::Battery b(spec);
+  for (int i = 0; i < 600; ++i) b.discharge(100.0, kSecond);
+  ASSERT_NEAR(b.soc(), 0.25, 1e-9);
+  EXPECT_GT(b.discharge(100.0, kSecond, /*emergency=*/true), 0.0);
+  EXPECT_LT(b.soc(), 0.25);
+}
+
+TEST(BatteryReserve, ShavableReportsHeadroomAboveReserve) {
+  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  spec.reserve_fraction = 0.5;
+  battery::Battery b(spec);
+  EXPECT_DOUBLE_EQ(b.shavable(), 3000.0);  // half of the 6000 J capacity
+  b.discharge(100.0, 10 * kSecond);
+  EXPECT_DOUBLE_EQ(b.shavable(), 2000.0);
+}
+
+TEST(BatteryReserve, ValidatesReserveFraction) {
+  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  spec.reserve_fraction = 1.0;
+  EXPECT_THROW(battery::Battery{spec}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ health
+
+class HealthTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  workload::Catalog catalog_ = Catalog::standard();
+  cluster::ClusterConfig config_ = [] {
+    cluster::ClusterConfig c;
+    c.num_servers = 4;
+    c.battery_runtime = 2 * kMinute;
+    return c;
+  }();
+  cluster::Cluster cluster_{engine_, catalog_, config_};
+};
+
+TEST_F(HealthTest, IdleClusterIsHealthy) {
+  cluster::HealthChecker checker(cluster_);
+  const auto report = checker.inspect();
+  ASSERT_EQ(report.nodes.size(), 4u);
+  EXPECT_EQ(report.count(cluster::NodeHealth::kHealthy), 4u);
+  EXPECT_FALSE(report.any_critical());
+  EXPECT_NEAR(report.total_power, 4 * 38.0, 1e-9);
+  EXPECT_GT(report.headroom, 0.0);
+  EXPECT_DOUBLE_EQ(report.battery_soc, 1.0);
+}
+
+TEST_F(HealthTest, FlagsPowerSaturatedNodes) {
+  // Saturate server 0 with K-means.
+  for (int i = 0; i < 4; ++i) {
+    workload::Request r;
+    r.type = Catalog::kKMeans;
+    r.size_factor = 100.0;
+    cluster_.server(0).submit(std::move(r));
+  }
+  cluster::HealthChecker checker(cluster_);
+  const auto report = checker.inspect();
+  EXPECT_EQ(report.nodes[0].health, cluster::NodeHealth::kPowerSaturated);
+  EXPECT_EQ(report.count(cluster::NodeHealth::kHealthy), 3u);
+}
+
+TEST_F(HealthTest, FlagsOverloadedAndCriticalNodes) {
+  cluster::HealthCheckerConfig config;
+  config.queue_pressure = 8;
+  for (int i = 0; i < 16; ++i) {
+    workload::Request r;
+    r.type = Catalog::kKMeans;
+    r.size_factor = 100.0;
+    cluster_.server(1).submit(std::move(r));
+  }
+  cluster::HealthChecker checker(cluster_, config);
+  const auto report = checker.inspect();
+  // Saturated power AND a deep queue: critical.
+  EXPECT_EQ(report.nodes[1].health, cluster::NodeHealth::kCritical);
+  EXPECT_TRUE(report.any_critical());
+}
+
+TEST_F(HealthTest, HeadroomGoesNegativeOverBudget) {
+  cluster::ClusterConfig tight = config_;
+  tight.budget_override = 100.0;  // below the 152 W idle floor
+  cluster::Cluster cluster(engine_, catalog_, tight);
+  cluster::HealthChecker checker(cluster);
+  EXPECT_LT(checker.inspect().headroom, 0.0);
+}
+
+TEST_F(HealthTest, ValidatesConfig) {
+  cluster::HealthCheckerConfig bad;
+  bad.queue_pressure = 0;
+  EXPECT_THROW(cluster::HealthChecker(cluster_, bad),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- online classifier
+
+TEST(OnlineClassifier, LearnsHeavyTypeFromIngestedSamples) {
+  auto classifier = antidope::OnlineClassifier::untrained(4);
+  for (int i = 0; i < 20; ++i) classifier.ingest(2, 18.0);
+  EXPECT_TRUE(classifier.suspicious(2));
+  EXPECT_FALSE(classifier.suspicious(0));
+  EXPECT_NEAR(classifier.estimate(2), 18.0, 1e-9);
+  EXPECT_EQ(classifier.reclassifications(), 1u);
+}
+
+TEST(OnlineClassifier, RequiresMinimumEvidence) {
+  antidope::OnlineClassifierConfig config;
+  config.min_observations = 50;
+  auto classifier = antidope::OnlineClassifier::untrained(2, config);
+  for (int i = 0; i < 49; ++i) classifier.ingest(0, 30.0);
+  EXPECT_FALSE(classifier.suspicious(0));
+  classifier.ingest(0, 30.0);
+  EXPECT_TRUE(classifier.suspicious(0));
+}
+
+TEST(OnlineClassifier, HysteresisPreventsFlapping) {
+  antidope::OnlineClassifierConfig config;
+  config.suspect_threshold = 10.0;
+  config.hysteresis = 0.2;  // releases below 8 W
+  config.alpha = 1.0;       // track the last sample exactly
+  config.min_observations = 1;
+  auto classifier = antidope::OnlineClassifier::untrained(1, config);
+  classifier.ingest(0, 12.0);
+  EXPECT_TRUE(classifier.suspicious(0));
+  classifier.ingest(0, 9.0);  // inside the hysteresis band: stays suspect
+  EXPECT_TRUE(classifier.suspicious(0));
+  classifier.ingest(0, 7.0);  // below the release point
+  EXPECT_FALSE(classifier.suspicious(0));
+}
+
+TEST(OnlineClassifier, PriorFlagsPersistWithoutEvidence) {
+  const antidope::SuspectList prior(std::vector<bool>{true, false});
+  antidope::OnlineClassifier classifier(2, prior);
+  EXPECT_TRUE(classifier.suspicious(0));
+  EXPECT_FALSE(classifier.suspicious(1));
+}
+
+TEST(OnlineClassifier, ObserveAttributesNodePowerToActiveTypes) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  const auto ladder = power::DvfsLadder::make();
+  server::ServerNode node(engine, 0, catalog,
+                          power::ServerPowerModel({}, ladder),
+                          {.queue_capacity = 16, .queue_deadline = 0},
+                          [](const workload::RequestRecord&) {});
+  for (int i = 0; i < 2; ++i) {
+    workload::Request r;
+    r.type = Catalog::kKMeans;
+    r.size_factor = 100.0;
+    node.submit(std::move(r));
+  }
+  antidope::OnlineClassifierConfig config;
+  config.min_observations = 5;
+  auto classifier = antidope::OnlineClassifier::untrained(
+      catalog.size(), config);
+  for (int i = 0; i < 10; ++i) classifier.observe(node);
+  // Two K-means at 21 W each: the attributed share is ~21 W.
+  EXPECT_NEAR(classifier.estimate(Catalog::kKMeans), 21.0, 1.0);
+  EXPECT_TRUE(classifier.suspicious(Catalog::kKMeans));
+}
+
+TEST(OnlineClassifier, ValidatesInputs) {
+  EXPECT_THROW(antidope::OnlineClassifier::untrained(0),
+               std::invalid_argument);
+  auto classifier = antidope::OnlineClassifier::untrained(2);
+  EXPECT_THROW(classifier.ingest(5, 1.0), std::invalid_argument);
+  EXPECT_THROW(classifier.ingest(0, -1.0), std::invalid_argument);
+}
+
+// -------------------------------------- online learning inside Anti-DOPE
+
+TEST(OnlineAntiDope, LearnsUnprofiledAttackUrlAndReroutes) {
+  // The operator never profiled anything: the initial suspect list is
+  // empty, so at first the K-means flood spreads over the innocent pool.
+  // The online classifier must learn its power and pull it into the
+  // suspect pool.
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 8;
+  cc.budget_level = power::BudgetLevel::kLow;
+  cc.battery_runtime = 2 * kMinute;
+  cluster::Cluster cluster(engine, catalog, cc);
+
+  antidope::AntiDopeConfig config;
+  config.suspect_list = antidope::SuspectList(
+      std::vector<bool>(catalog.size(), false));  // nothing profiled
+  config.online_learning = true;
+  auto scheme_ptr = std::make_unique<antidope::AntiDopeScheme>(config);
+  auto* scheme = scheme_ptr.get();
+  cluster.install_scheme(std::move(scheme_ptr));
+
+  workload::GeneratorConfig attack;
+  attack.mixture = workload::Mixture::single(Catalog::kKMeans);
+  attack.rate_rps = 400.0;
+  attack.num_sources = 64;
+  attack.source_base = 1'000'000;
+  attack.ground_truth_attack = true;
+  workload::TrafficGenerator attack_gen(engine, catalog, attack,
+                                        cluster.edge_sink());
+
+  engine.run_until(kMinute);
+  ASSERT_NE(scheme->classifier(), nullptr);
+  EXPECT_TRUE(scheme->classifier()->suspicious(Catalog::kKMeans));
+  EXPECT_TRUE(scheme->suspects().suspicious(Catalog::kKMeans));
+  // After learning, innocent-pool servers shed the attack again.
+  engine.run_until(3 * kMinute);
+  std::size_t innocent_load = 0;
+  for (std::size_t i = 2; i < cluster.num_servers(); ++i) {
+    innocent_load += cluster.server(i).load();
+  }
+  EXPECT_LT(innocent_load, 20u);
+}
+
+TEST(OnlineAntiDope, LightTypesStayInnocent) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 4;
+  cluster::Cluster cluster(engine, catalog, cc);
+  antidope::AntiDopeConfig config;
+  config.online_learning = true;
+  auto scheme_ptr = std::make_unique<antidope::AntiDopeScheme>(config);
+  auto* scheme = scheme_ptr.get();
+  cluster.install_scheme(std::move(scheme_ptr));
+
+  workload::GeneratorConfig normal;
+  normal.mixture = workload::Mixture::single(Catalog::kTextCont);
+  normal.rate_rps = 400.0;
+  normal.num_sources = 64;
+  workload::TrafficGenerator gen(engine, catalog, normal,
+                                 cluster.edge_sink());
+  engine.run_until(2 * kMinute);
+  EXPECT_FALSE(scheme->suspects().suspicious(Catalog::kTextCont));
+}
+
+// ------------------------------------------------------------------ oracle
+
+TEST(Oracle, QuarantinesAttackTrafficPerfectly) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 8;
+  cc.budget_level = power::BudgetLevel::kLow;
+  cluster::Cluster cluster(engine, catalog, cc);
+  cluster.install_scheme(std::make_unique<schemes::OracleScheme>());
+
+  workload::GeneratorConfig attack;
+  attack.mixture = workload::Mixture::single(Catalog::kKMeans);
+  attack.rate_rps = 300.0;
+  attack.num_sources = 32;
+  attack.source_base = 1'000'000;
+  attack.ground_truth_attack = true;
+  workload::TrafficGenerator attack_gen(engine, catalog, attack,
+                                        cluster.edge_sink());
+  engine.run_until(10 * kSecond);
+  std::size_t clean_load = 0;
+  for (std::size_t i = 2; i < cluster.num_servers(); ++i) {
+    clean_load += cluster.server(i).load();
+  }
+  EXPECT_EQ(clean_load, 0u);
+}
+
+TEST(Oracle, LegitimateHeavyRequestsAreUnaffected) {
+  // The oracle's whole advantage: legit Colla-Filt users do NOT share
+  // the quarantine pool.
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 8;
+  cluster::Cluster cluster(engine, catalog, cc);
+  cluster.install_scheme(std::make_unique<schemes::OracleScheme>());
+  workload::Request legit;
+  legit.type = Catalog::kCollaFilt;
+  legit.ground_truth_attack = false;
+  cluster.ingest(std::move(legit));
+  std::size_t quarantine_load =
+      cluster.server(0).load() + cluster.server(1).load();
+  EXPECT_EQ(quarantine_load, 0u);
+}
+
+TEST(Oracle, ValidatesConfig) {
+  EXPECT_THROW(schemes::OracleScheme(0.0), std::invalid_argument);
+  EXPECT_THROW(schemes::OracleScheme(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- per-node capping
+
+TEST(RaplCapping, ThrottlesOnlyHotNodes) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 4;
+  cc.budget_override = 250.0;
+  cluster::Cluster cluster(engine, catalog, cc);
+  auto scheme_ptr = std::make_unique<schemes::RaplCappingScheme>();
+  auto* scheme = scheme_ptr.get();
+  cluster.install_scheme(std::move(scheme_ptr));
+
+  // Pin heavy work on servers 0 and 1 only (long requests).
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      workload::Request r;
+      r.type = Catalog::kKMeans;
+      r.size_factor = 10'000.0;
+      cluster.server(static_cast<std::size_t>(s)).submit(std::move(r));
+    }
+  }
+  engine.run_until(10 * kSecond);
+  EXPECT_TRUE(scheme->capping());
+  // Hot nodes throttle; idle nodes keep their frequency.
+  EXPECT_LT(cluster.server(0).level(), cluster.ladder().max_level());
+  EXPECT_EQ(cluster.server(3).level(), cluster.ladder().max_level());
+}
+
+TEST(RaplCapping, ReleasesCapsWhenLoadSubsides) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 4;
+  cc.budget_override = 280.0;
+  cluster::Cluster cluster(engine, catalog, cc);
+  auto scheme_ptr = std::make_unique<schemes::RaplCappingScheme>();
+  cluster.install_scheme(std::move(scheme_ptr));
+
+  workload::GeneratorConfig burst;
+  burst.mixture = workload::Mixture::single(Catalog::kKMeans);
+  burst.rate_rps = 300.0;
+  burst.stop = 30 * kSecond;
+  workload::TrafficGenerator gen(engine, catalog, burst,
+                                 cluster.edge_sink());
+  engine.run_until(3 * kMinute);
+  for (auto* node : cluster.servers()) {
+    EXPECT_EQ(node->level(), cluster.ladder().max_level());
+  }
+}
+
+TEST(RaplCapping, ValidatesMargin) {
+  EXPECT_THROW(schemes::RaplCappingScheme(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dope

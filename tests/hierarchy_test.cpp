@@ -1,0 +1,202 @@
+// Tests for the power-delivery hierarchy and hierarchy-aware capping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "power/hierarchy.hpp"
+#include "schemes/hierarchical.hpp"
+#include "workload/generator.hpp"
+
+namespace dope {
+namespace {
+
+using workload::Catalog;
+
+// --------------------------------------------------------------- topology
+
+TEST(PowerTopology, UniformBuildsRacksAndRatings) {
+  const auto topology =
+      power::PowerTopology::uniform(8, 4, 100.0, 0.85, 0.80);
+  ASSERT_EQ(topology.pdus.size(), 2u);
+  EXPECT_DOUBLE_EQ(topology.pdus[0].rating, 340.0);
+  EXPECT_DOUBLE_EQ(topology.facility_rating, 640.0);
+  EXPECT_EQ(topology.pdus[0].servers,
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  topology.validate(8);
+  EXPECT_EQ(topology.pdu_of(5), 1u);
+}
+
+TEST(PowerTopology, UnevenLastRack) {
+  const auto topology =
+      power::PowerTopology::uniform(10, 4, 100.0, 0.9, 0.9);
+  ASSERT_EQ(topology.pdus.size(), 3u);
+  EXPECT_EQ(topology.pdus[2].servers.size(), 2u);
+  EXPECT_DOUBLE_EQ(topology.pdus[2].rating, 180.0);
+  topology.validate(10);
+}
+
+TEST(PowerTopology, ValidateCatchesStructuralErrors) {
+  auto topology = power::PowerTopology::uniform(4, 2, 100.0, 0.9, 0.9);
+  EXPECT_THROW(topology.validate(5), std::invalid_argument);  // orphan
+  topology.pdus[0].servers.push_back(3);  // fed twice
+  EXPECT_THROW(topology.validate(4), std::invalid_argument);
+  EXPECT_THROW(power::PowerTopology::uniform(0, 2, 100.0, 0.9, 0.9),
+               std::invalid_argument);
+  EXPECT_THROW(power::PowerTopology::uniform(4, 2, 100.0, 1.5, 0.9),
+               std::invalid_argument);
+}
+
+TEST(EvaluateHierarchy, AggregatesPerLevel) {
+  const auto topology =
+      power::PowerTopology::uniform(4, 2, 100.0, 0.85, 0.80);
+  const auto load =
+      power::evaluate_hierarchy(topology, {80.0, 90.0, 30.0, 30.0});
+  EXPECT_DOUBLE_EQ(load.facility.load, 230.0);
+  EXPECT_DOUBLE_EQ(load.pdus[0].load, 170.0);
+  EXPECT_DOUBLE_EQ(load.pdus[1].load, 60.0);
+  EXPECT_DOUBLE_EQ(load.pdus[0].rating, 170.0);
+  EXPECT_FALSE(load.pdus[0].violated());  // exactly at the rating
+  EXPECT_FALSE(load.facility.violated());
+  EXPECT_EQ(load.violations(), 0u);
+}
+
+TEST(EvaluateHierarchy, DetectsRackOnlyViolation) {
+  const auto topology =
+      power::PowerTopology::uniform(4, 2, 100.0, 0.85, 0.80);
+  // Rack 0 over its 170 W PDU; facility total (260) under the 320 feed.
+  const auto load =
+      power::evaluate_hierarchy(topology, {100.0, 100.0, 30.0, 30.0});
+  EXPECT_TRUE(load.pdus[0].violated());
+  EXPECT_FALSE(load.facility.violated());
+  EXPECT_TRUE(load.rack_only_violation());
+  EXPECT_EQ(load.violations(), 1u);
+}
+
+// --------------------------------------------------- hierarchical capping
+
+struct HierRig {
+  sim::Engine engine;
+  workload::Catalog catalog = Catalog::standard();
+  std::unique_ptr<cluster::Cluster> cluster;
+  schemes::HierarchicalCappingScheme* scheme = nullptr;
+
+  HierRig() {
+    cluster::ClusterConfig cc;
+    cc.num_servers = 8;
+    cc.budget_level = power::BudgetLevel::kNormal;  // feed rarely binds
+    cc.lb_policy = net::LbPolicy::kSourceHash;      // concentration!
+    cluster = std::make_unique<cluster::Cluster>(engine, catalog, cc);
+    auto topology =
+        power::PowerTopology::uniform(8, 4, 100.0, 0.85, 1.00);
+    auto s = std::make_unique<schemes::HierarchicalCappingScheme>(
+        std::move(topology));
+    scheme = s.get();
+    cluster->install_scheme(std::move(s));
+  }
+};
+
+TEST(HierarchicalCapping, DetectsAndThrottlesRackLocalHotspot) {
+  HierRig rig;
+  // Source-hash routing pins each flow to one server. Pick four source
+  // IDs that provably hash onto servers 0-3 (rack 0), creating a
+  // rack-local hotspot the cluster total cannot see.
+  std::vector<workload::SourceId> hot_sources;
+  std::vector<bool> covered(4, false);
+  for (workload::SourceId s = 0; hot_sources.size() < 4; ++s) {
+    std::uint64_t h = s;
+    const auto start = static_cast<std::size_t>(splitmix64(h) % 8);
+    if (start < 4 && !covered[start]) {
+      covered[start] = true;
+      hot_sources.push_back(s);
+    }
+  }
+  std::vector<std::unique_ptr<workload::TrafficGenerator>> generators;
+  for (std::size_t i = 0; i < hot_sources.size(); ++i) {
+    workload::GeneratorConfig attack;
+    attack.mixture = workload::Mixture::single(Catalog::kCollaFilt);
+    attack.rate_rps = 75.0;  // saturates one Colla-Filt server
+    attack.num_sources = 1;
+    attack.source_base = hot_sources[i];
+    attack.seed = 9 + i;
+    generators.push_back(std::make_unique<workload::TrafficGenerator>(
+        rig.engine, rig.catalog, attack, rig.cluster->edge_sink()));
+  }
+  rig.cluster->run_for(2 * kMinute);
+
+  EXPECT_GT(rig.scheme->rack_interventions(), 0u);
+  // The hot rack got throttled; check that SOME server is below max and
+  // the facility never violated.
+  bool any_throttled = false;
+  for (auto* node : rig.cluster->servers()) {
+    if (node->level() < rig.cluster->ladder().max_level()) {
+      any_throttled = true;
+    }
+  }
+  EXPECT_TRUE(any_throttled);
+  EXPECT_FALSE(rig.scheme->last_load().facility.violated());
+  // Post-throttle, the PDUs respect their ratings.
+  for (const auto& pdu : rig.scheme->last_load().pdus) {
+    EXPECT_LE(pdu.load, pdu.rating * 1.05) << pdu.name;
+  }
+}
+
+TEST(HierarchicalCapping, ColdRacksKeepFullFrequency) {
+  HierRig rig;
+  // Pin heavy work onto rack 0's servers directly.
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (int i = 0; i < 4; ++i) {
+      workload::Request r;
+      r.type = Catalog::kCollaFilt;
+      r.size_factor = 10'000.0;
+      rig.cluster->server(s).submit(std::move(r));
+    }
+  }
+  rig.cluster->run_for(30 * kSecond);
+  // Rack 1 (servers 4-7) is idle and must remain at max frequency.
+  for (std::size_t s = 4; s < 8; ++s) {
+    EXPECT_EQ(rig.cluster->server(s).level(),
+              rig.cluster->ladder().max_level());
+  }
+  // Rack 0 got throttled to its PDU rating.
+  bool rack0_throttled = false;
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (rig.cluster->server(s).level() <
+        rig.cluster->ladder().max_level()) {
+      rack0_throttled = true;
+    }
+  }
+  EXPECT_TRUE(rack0_throttled);
+}
+
+TEST(HierarchicalCapping, RecoversAfterHotspotCools) {
+  HierRig rig;
+  workload::GeneratorConfig burst;
+  burst.mixture = workload::Mixture::single(Catalog::kCollaFilt);
+  burst.rate_rps = 300.0;
+  burst.num_sources = 2;
+  burst.stop = kMinute;
+  workload::TrafficGenerator gen(rig.engine, rig.catalog, burst,
+                                 rig.cluster->edge_sink());
+  rig.cluster->run_for(5 * kMinute);
+  for (auto* node : rig.cluster->servers()) {
+    EXPECT_EQ(node->level(), rig.cluster->ladder().max_level());
+  }
+}
+
+TEST(HierarchicalCapping, RejectsMismatchedTopology) {
+  sim::Engine engine;
+  const auto catalog = Catalog::standard();
+  cluster::ClusterConfig cc;
+  cc.num_servers = 4;
+  cluster::Cluster cluster(engine, catalog, cc);
+  auto topology = power::PowerTopology::uniform(8, 4, 100.0, 0.9, 0.9);
+  auto scheme = std::make_unique<schemes::HierarchicalCappingScheme>(
+      std::move(topology));
+  EXPECT_THROW(cluster.install_scheme(std::move(scheme)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dope

@@ -1,0 +1,185 @@
+// End-to-end integration tests: the paper's headline comparisons, run
+// through the same scenario harness the bench binaries use.
+//
+// These assert *shape*, not absolute numbers: orderings between schemes,
+// crossover behaviour across budget levels, and enforcement invariants.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace dope::scenario {
+namespace {
+
+using workload::Catalog;
+
+workload::Mixture heavy_blend() {
+  // The paper's injected malicious load: Colla-Filt, K-means, Word-Count.
+  return workload::Mixture(
+      {Catalog::kCollaFilt, Catalog::kKMeans, Catalog::kWordCount},
+      {1.0, 1.0, 1.0});
+}
+
+ScenarioConfig base_scenario(SchemeKind scheme, power::BudgetLevel budget,
+                             double attack_rps = 400.0) {
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.budget = budget;
+  config.normal_rps = 300.0;
+  config.attack_rps = attack_rps;
+  config.attack_mixture = heavy_blend();
+  config.duration = 5 * kMinute;
+  config.seed = 7;
+  return config;
+}
+
+// --------------------------------------------------- no-attack equivalence
+
+TEST(Integration, NoAttackAllSchemesServeFast) {
+  // Paper Fig. 16 baseline: with adequate power and no DOPE, all schemes
+  // behave identically and the mean stays low.
+  for (const auto scheme : kEvaluatedSchemes) {
+    auto config = base_scenario(scheme, power::BudgetLevel::kNormal,
+                                /*attack_rps=*/0.0);
+    const auto r = run_scenario(config);
+    EXPECT_LT(r.mean_ms, 40.0) << r.scheme;
+    EXPECT_GT(r.availability, 0.999) << r.scheme;
+    EXPECT_EQ(r.slot_stats.utility_violation_slots, 0u) << r.scheme;
+  }
+}
+
+// ------------------------------------------------------ headline latencies
+
+TEST(Integration, AntiDopeMeanResponseBeatsCappingUnderDope) {
+  // Paper headline: "Anti-DOPE allows 44% shorter average response time".
+  for (const auto budget :
+       {power::BudgetLevel::kMedium, power::BudgetLevel::kLow}) {
+    const auto capping =
+        run_scenario(base_scenario(SchemeKind::kCapping, budget));
+    const auto antidope =
+        run_scenario(base_scenario(SchemeKind::kAntiDope, budget));
+    EXPECT_LT(antidope.mean_ms, 0.56 * capping.mean_ms)
+        << power::budget_name(budget);
+  }
+}
+
+TEST(Integration, AntiDopeTailLatencyBeatsCappingUnderDope) {
+  // Paper headline: "improves the 90th percentile tail latency by 68.1%".
+  const auto capping = run_scenario(
+      base_scenario(SchemeKind::kCapping, power::BudgetLevel::kMedium));
+  const auto antidope = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kMedium));
+  EXPECT_LT(antidope.p90_ms, (1.0 - 0.681) * capping.p90_ms);
+}
+
+TEST(Integration, CappingDegradesAsBudgetShrinks) {
+  // Paper Fig. 16/17: lower budgets mean worse service under DOPE.
+  const auto normal = run_scenario(
+      base_scenario(SchemeKind::kCapping, power::BudgetLevel::kNormal));
+  const auto low = run_scenario(
+      base_scenario(SchemeKind::kCapping, power::BudgetLevel::kLow));
+  EXPECT_GT(low.mean_ms, 5.0 * normal.mean_ms);
+  EXPECT_GT(low.p90_ms, 5.0 * normal.p90_ms);
+}
+
+TEST(Integration, AntiDopeLatencyInsensitiveToBudget) {
+  // Anti-DOPE sustains service quality "regardless of the supplied power".
+  const auto normal = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kNormal));
+  const auto low = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kLow));
+  EXPECT_NEAR(low.p90_ms, normal.p90_ms, 0.5 * normal.p90_ms + 5.0);
+}
+
+// ----------------------------------------------------------------- Token
+
+TEST(Integration, TokenDropsTrafficButSurvivorsAreFast) {
+  // Paper: Token "abandons packages to satisfy the power limit" yet shows
+  // deceptively good latency for what it admits.
+  const auto token = run_scenario(
+      base_scenario(SchemeKind::kToken, power::BudgetLevel::kLow));
+  const auto capping = run_scenario(
+      base_scenario(SchemeKind::kCapping, power::BudgetLevel::kLow));
+  EXPECT_GT(token.drop_fraction, 0.10);
+  EXPECT_GT(token.drop_fraction, capping.drop_fraction);
+  EXPECT_LT(token.p90_ms, 50.0);
+}
+
+TEST(Integration, TokenDropsMajorityUnderExtremeForce) {
+  // At the paper's extreme 1000+ rps force, Token sheds most packets
+  // ("abandons more than 60% of the packages").
+  auto config = base_scenario(SchemeKind::kToken, power::BudgetLevel::kLow,
+                              /*attack_rps=*/1'500.0);
+  const auto r = run_scenario(config);
+  EXPECT_GT(r.drop_fraction, 0.60);
+}
+
+// --------------------------------------------------------------- batteries
+
+TEST(Integration, ShavingDrainsBatteryUnderSustainedDope) {
+  // Paper Fig. 18: a long DOPE peak exhausts a shave-first battery.
+  auto config = base_scenario(SchemeKind::kShaving, power::BudgetLevel::kLow);
+  config.duration = 10 * kMinute;
+  const auto r = run_scenario(config);
+  ASSERT_FALSE(r.battery_soc_timeline.empty());
+  EXPECT_LT(r.battery_soc_timeline.back().value, 0.5);
+  EXPECT_GT(r.battery_discharged, 10'000.0);
+}
+
+TEST(Integration, AntiDopeSipsBatteryUnderSustainedDope) {
+  auto config = base_scenario(SchemeKind::kAntiDope,
+                              power::BudgetLevel::kLow);
+  config.duration = 10 * kMinute;
+  const auto r = run_scenario(config);
+  ASSERT_FALSE(r.battery_soc_timeline.empty());
+  EXPECT_GT(r.battery_soc_timeline.back().value, 0.9);
+}
+
+// -------------------------------------------------------------- power side
+
+TEST(Integration, EnforcingSchemesKeepUtilityDrawWithinBudget) {
+  for (const auto scheme : kEvaluatedSchemes) {
+    auto config = base_scenario(scheme, power::BudgetLevel::kLow);
+    const auto r = run_scenario(config);
+    // Mean utility power over the run must respect the feed (small slack
+    // for convergence transients in the first slots).
+    const double seconds = to_seconds(config.duration);
+    const Watts mean_utility = r.energy.utility_total() / seconds;
+    EXPECT_LE(mean_utility, r.budget * 1.05) << r.scheme;
+    // The utility feed should be clean for the battery/selective schemes.
+    if (scheme == SchemeKind::kShaving || scheme == SchemeKind::kAntiDope) {
+      EXPECT_LT(r.slot_stats.utility_violation_slots,
+                r.slot_stats.slots / 5)
+          << r.scheme;
+    }
+  }
+}
+
+TEST(Integration, UncappedClusterViolatesShrunkBudget) {
+  // The vulnerability itself: without management, DOPE pushes demand past
+  // an oversubscribed feed almost every slot.
+  auto config = base_scenario(SchemeKind::kNone, power::BudgetLevel::kLow);
+  const auto r = run_scenario(config);
+  EXPECT_GT(r.slot_stats.violation_slots, r.slot_stats.slots * 9 / 10);
+}
+
+// ------------------------------------------------------------ availability
+
+TEST(Integration, AntiDopeAvailabilityStaysHigh) {
+  const auto r = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kLow));
+  EXPECT_GT(r.availability, 0.90);
+}
+
+TEST(Integration, ResultsAreDeterministic) {
+  const auto a = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kMedium));
+  const auto b = run_scenario(
+      base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kMedium));
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.p90_ms, b.p90_ms);
+  EXPECT_DOUBLE_EQ(a.mean_power, b.mean_power);
+  EXPECT_EQ(a.slot_stats.violation_slots, b.slot_stats.violation_slots);
+}
+
+}  // namespace
+}  // namespace dope::scenario

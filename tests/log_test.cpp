@@ -1,0 +1,81 @@
+// Tests for the logging facility and miscellaneous uncovered edges.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dope {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Log::level()) {}
+  ~LogLevelGuard() { Log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelGatingEnablesAndDisables) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, MacroShortCircuitsWhenDisabled) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  DOPE_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  Log::set_level(LogLevel::kDebug);
+  DOPE_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, WriteBelowLevelIsDropped) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kError);
+  // Nothing observable to assert on stderr here beyond "does not crash";
+  // the gating itself is covered above.
+  Log::write(LogLevel::kInfo, "dropped");
+  Log::write(LogLevel::kError, "emitted");
+  SUCCEED();
+}
+
+TEST(Units, DurationArithmeticIsExact) {
+  // Integer microseconds: no drift across large sums.
+  Duration total = 0;
+  for (int i = 0; i < 1'000'000; ++i) total += kMillisecond;
+  EXPECT_EQ(total, 1'000 * kSecond);
+}
+
+TEST(Rng, ReseedReproducesStream) {
+  Rng rng(1);
+  const auto a1 = rng();
+  const auto a2 = rng();
+  rng.reseed(1);
+  EXPECT_EQ(rng(), a1);
+  EXPECT_EQ(rng(), a2);
+}
+
+TEST(Splitmix, IsDeterministicAndMixing) {
+  std::uint64_t s1 = 42, s2 = 42, s3 = 43;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  std::uint64_t t1 = 42, t2 = 43;
+  EXPECT_NE(splitmix64(t1), splitmix64(t2));
+  (void)s3;
+}
+
+}  // namespace
+}  // namespace dope

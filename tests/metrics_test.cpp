@@ -1,0 +1,160 @@
+// Unit tests for metrics: request populations, timelines, energy account.
+#include <gtest/gtest.h>
+
+#include "metrics/energy.hpp"
+#include "metrics/request_metrics.hpp"
+#include "metrics/timeline.hpp"
+#include "sim/engine.hpp"
+
+namespace dope::metrics {
+namespace {
+
+using workload::RequestOutcome;
+using workload::RequestRecord;
+
+RequestRecord record_of(bool attack, RequestOutcome outcome,
+                        Duration latency = millis(10.0)) {
+  RequestRecord r;
+  r.request.ground_truth_attack = attack;
+  r.outcome = outcome;
+  r.latency = latency;
+  return r;
+}
+
+TEST(RequestMetrics, SplitsPopulationsByGroundTruth) {
+  RequestMetrics m;
+  m.record(record_of(false, RequestOutcome::kCompleted));
+  m.record(record_of(true, RequestOutcome::kCompleted));
+  m.record(record_of(true, RequestOutcome::kCompleted));
+  EXPECT_EQ(m.normal_counts().completed, 1u);
+  EXPECT_EQ(m.attack_counts().completed, 2u);
+  EXPECT_EQ(m.normal_latency_ms().count(), 1u);
+  EXPECT_EQ(m.attack_latency_ms().count(), 2u);
+}
+
+TEST(RequestMetrics, CountsEveryOutcomeKind) {
+  RequestMetrics m;
+  m.record(record_of(false, RequestOutcome::kCompleted));
+  m.record(record_of(false, RequestOutcome::kDroppedByLimit));
+  m.record(record_of(false, RequestOutcome::kBlockedByFirewall));
+  m.record(record_of(false, RequestOutcome::kRejectedQueueFull));
+  m.record(record_of(false, RequestOutcome::kTimedOut));
+  const auto& c = m.normal_counts();
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.dropped_by_limit, 1u);
+  EXPECT_EQ(c.blocked_by_firewall, 1u);
+  EXPECT_EQ(c.rejected_queue_full, 1u);
+  EXPECT_EQ(c.timed_out, 1u);
+  EXPECT_EQ(c.terminal(), 5u);
+  EXPECT_EQ(c.lost(), 4u);
+}
+
+TEST(RequestMetrics, OnlyCompletionsContributeLatency) {
+  RequestMetrics m;
+  m.record(record_of(false, RequestOutcome::kTimedOut, millis(500.0)));
+  m.record(record_of(false, RequestOutcome::kCompleted, millis(20.0)));
+  EXPECT_EQ(m.normal_latency_ms().count(), 1u);
+  EXPECT_DOUBLE_EQ(m.normal_latency_ms().mean(), 20.0);
+}
+
+TEST(RequestMetrics, AvailabilityIsNormalCompletionFraction) {
+  RequestMetrics m;
+  EXPECT_DOUBLE_EQ(m.availability(), 1.0);  // vacuous before traffic
+  m.record(record_of(false, RequestOutcome::kCompleted));
+  m.record(record_of(false, RequestOutcome::kTimedOut));
+  m.record(record_of(true, RequestOutcome::kTimedOut));  // attacker ignored
+  EXPECT_DOUBLE_EQ(m.availability(), 0.5);
+}
+
+TEST(RequestMetrics, DropFractionSpansBothPopulations) {
+  RequestMetrics m;
+  m.record(record_of(false, RequestOutcome::kCompleted));
+  m.record(record_of(true, RequestOutcome::kDroppedByLimit));
+  m.record(record_of(true, RequestOutcome::kDroppedByLimit));
+  m.record(record_of(true, RequestOutcome::kCompleted));
+  EXPECT_DOUBLE_EQ(m.drop_fraction(), 0.5);
+}
+
+TEST(RequestMetrics, SinkAdapterForwards) {
+  RequestMetrics m;
+  auto sink = m.sink();
+  sink(record_of(false, RequestOutcome::kCompleted));
+  EXPECT_EQ(m.normal_counts().completed, 1u);
+}
+
+// ---------------------------------------------------------------- timeline
+
+TEST(TimelineRecorder, SamplesAtFixedInterval) {
+  sim::Engine engine;
+  double value = 1.0;
+  TimelineRecorder recorder(engine, kSecond, [&value] { return value; });
+  engine.run_until(3 * kSecond + kSecond / 2);
+  ASSERT_EQ(recorder.samples().size(), 3u);
+  EXPECT_EQ(recorder.samples()[0].t, kSecond);
+  EXPECT_EQ(recorder.samples()[2].t, 3 * kSecond);
+}
+
+TEST(TimelineRecorder, TracksChangingSignal) {
+  sim::Engine engine;
+  TimelineRecorder recorder(engine, kSecond, [&engine] {
+    return static_cast<double>(engine.now() / kSecond);
+  });
+  engine.run_until(10 * kSecond);
+  EXPECT_EQ(recorder.samples().size(), 10u);
+  EXPECT_DOUBLE_EQ(recorder.stats().min(), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.stats().max(), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.stats().mean(), 5.5);
+}
+
+TEST(TimelineRecorder, StopHaltsSampling) {
+  sim::Engine engine;
+  TimelineRecorder recorder(engine, kSecond, [] { return 1.0; });
+  engine.run_until(2 * kSecond);
+  recorder.stop();
+  engine.run_until(10 * kSecond);
+  EXPECT_EQ(recorder.samples().size(), 2u);
+}
+
+TEST(TimelineRecorder, MeanBetweenWindows) {
+  sim::Engine engine;
+  TimelineRecorder recorder(engine, kSecond, [&engine] {
+    return engine.now() <= 5 * kSecond ? 10.0 : 20.0;
+  });
+  engine.run_until(10 * kSecond);
+  EXPECT_DOUBLE_EQ(recorder.mean_between(0, 5 * kSecond + 1), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_between(6 * kSecond, 11 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_between(50 * kSecond, 60 * kSecond), 0.0);
+}
+
+TEST(TimelineRecorder, ValidatesArguments) {
+  sim::Engine engine;
+  EXPECT_THROW(TimelineRecorder(engine, 0, [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(TimelineRecorder(engine, kSecond, nullptr),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ energy
+
+TEST(EnergyAccount, SlotAccumulationBySource) {
+  EnergyAccount account;
+  account.add_slot(300.0, 50.0, 20.0, kSecond);
+  account.add_slot(300.0, 0.0, 0.0, kSecond);
+  EXPECT_DOUBLE_EQ(account.utility, 600.0);
+  EXPECT_DOUBLE_EQ(account.battery, 50.0);
+  EXPECT_DOUBLE_EQ(account.recharge, 20.0);
+  EXPECT_DOUBLE_EQ(account.load_total(), 650.0);
+  EXPECT_DOUBLE_EQ(account.utility_total(), 620.0);
+}
+
+TEST(EnergyAccount, JouleAccumulation) {
+  EnergyAccount account;
+  account.add_joules(100.0, 10.0, 5.0);
+  account.add_joules(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(account.utility, 101.0);
+  EXPECT_DOUBLE_EQ(account.battery, 12.0);
+  EXPECT_DOUBLE_EQ(account.recharge, 8.0);
+}
+
+}  // namespace
+}  // namespace dope::metrics

@@ -1,0 +1,230 @@
+// Property-based and parameterized sweeps over the simulator's invariants.
+//
+// These are the guardrails that must hold for *every* scheme, budget, and
+// load point — conservation laws, monotonicity, determinism, stability —
+// exercised via TEST_P grids rather than hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "scenario/scenario.hpp"
+
+namespace dope::scenario {
+namespace {
+
+using workload::Catalog;
+
+ScenarioConfig sweep_config(SchemeKind scheme, power::BudgetLevel budget,
+                            double attack_rps) {
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.budget = budget;
+  config.normal_rps = 250.0;
+  config.attack_rps = attack_rps;
+  if (attack_rps > 0) {
+    config.attack_mixture = workload::Mixture(
+        {Catalog::kCollaFilt, Catalog::kKMeans, Catalog::kWordCount},
+        {1.0, 1.0, 1.0});
+  }
+  config.duration = 3 * kMinute;
+  config.seed = 31;
+  return config;
+}
+
+// ------------------------------------------------- scheme x budget grid
+
+using GridParam = std::tuple<SchemeKind, power::BudgetLevel, double>;
+
+class SchemeGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  ScenarioResult run() {
+    const auto [scheme, budget, rate] = GetParam();
+    return run_scenario(sweep_config(scheme, budget, rate));
+  }
+};
+
+TEST_P(SchemeGrid, EnergyConservation) {
+  // Load energy == utility + battery contributions, exactly.
+  const auto r = run();
+  const Joules total = r.energy.load_total();
+  EXPECT_NEAR(total, r.energy.utility + r.energy.battery,
+              1e-6 * std::max(1.0, total));
+  EXPECT_GE(r.energy.utility, 0.0);
+  EXPECT_GE(r.energy.battery, 0.0);
+  EXPECT_GE(r.energy.recharge, 0.0);
+}
+
+TEST_P(SchemeGrid, MeanPowerMatchesEnergyIntegral) {
+  // The sampled power timeline and the exact energy integral must agree
+  // closely (sampling at 500 ms vs. event-exact integration).
+  const auto r = run();
+  const auto [scheme, budget, rate] = GetParam();
+  const double seconds = to_seconds(sweep_config(scheme, budget, rate)
+                                        .duration);
+  const Watts from_energy = r.energy.load_total() / seconds;
+  EXPECT_NEAR(r.mean_power, from_energy,
+              0.05 * std::max(10.0, from_energy));
+}
+
+TEST_P(SchemeGrid, PowerNeverExceedsAggregateNameplate) {
+  const auto r = run();
+  EXPECT_LE(r.peak_power, 8 * 100.0 + 1e-9);
+  for (const auto& s : r.power_timeline) {
+    ASSERT_GE(s.value, 0.0);
+    ASSERT_LE(s.value, 800.0 + 1e-9);
+  }
+}
+
+TEST_P(SchemeGrid, RequestAccountingIsComplete) {
+  // Every terminal request lands in exactly one outcome bucket; counts
+  // are internally consistent.
+  const auto r = run();
+  const auto& n = r.normal_counts;
+  EXPECT_EQ(n.terminal(),
+            n.completed + n.dropped_by_limit + n.blocked_by_firewall +
+                n.rejected_queue_full + n.timed_out);
+  EXPECT_GE(r.availability, 0.0);
+  EXPECT_LE(r.availability, 1.0);
+  EXPECT_GE(r.drop_fraction, 0.0);
+  EXPECT_LE(r.drop_fraction, 1.0);
+}
+
+TEST_P(SchemeGrid, LatencyPercentilesAreOrdered) {
+  const auto r = run();
+  EXPECT_LE(r.min_ms, r.p50_ms);
+  EXPECT_LE(r.p50_ms, r.p90_ms);
+  EXPECT_LE(r.p90_ms, r.p95_ms);
+  EXPECT_LE(r.p95_ms, r.p99_ms);
+  EXPECT_LE(r.p99_ms, r.max_ms);
+  EXPECT_GE(r.min_ms, 0.0);
+}
+
+TEST_P(SchemeGrid, BatterySocStaysInRange) {
+  const auto r = run();
+  for (const auto& s : r.battery_soc_timeline) {
+    ASSERT_GE(s.value, -1e-9);
+    ASSERT_LE(s.value, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(SchemeGrid, Deterministic) {
+  const auto [scheme, budget, rate] = GetParam();
+  const auto a = run_scenario(sweep_config(scheme, budget, rate));
+  const auto b = run_scenario(sweep_config(scheme, budget, rate));
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_DOUBLE_EQ(a.mean_power, b.mean_power);
+  EXPECT_DOUBLE_EQ(a.energy.utility, b.energy.utility);
+  EXPECT_EQ(a.normal_counts.terminal(), b.normal_counts.terminal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesBudgetsLoads, SchemeGrid,
+    ::testing::Combine(
+        ::testing::Values(SchemeKind::kNone, SchemeKind::kCapping,
+                          SchemeKind::kShaving, SchemeKind::kToken,
+                          SchemeKind::kAntiDope),
+        ::testing::Values(power::BudgetLevel::kNormal,
+                          power::BudgetLevel::kMedium,
+                          power::BudgetLevel::kLow),
+        ::testing::Values(0.0, 400.0)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      // NOTE: no structured bindings here — their commas would split the
+      // INSTANTIATE_TEST_SUITE_P macro arguments.
+      std::string name =
+          scheme_name(std::get<0>(info.param)) + "_" +
+          power::budget_name(std::get<1>(info.param)) + "_" +
+          (std::get<2>(info.param) > 0 ? "attack" : "calm");
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// -------------------------------------------------- rate monotonicity
+
+class RateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateSweep, PowerGrowsWithOfferedLoad) {
+  // Mean power at rate r must not be (materially) below mean power at
+  // a quarter of that rate — power is monotone in offered load.
+  const double rate = GetParam();
+  auto hi = sweep_config(SchemeKind::kNone, power::BudgetLevel::kNormal,
+                         rate);
+  auto lo = hi;
+  lo.attack_rps = rate / 4.0;
+  const auto r_hi = run_scenario(hi);
+  const auto r_lo = run_scenario(lo);
+  EXPECT_GE(r_hi.mean_power, r_lo.mean_power - 3.0);
+}
+
+TEST_P(RateSweep, ThroughputSaturatesAtCapacity) {
+  // Completions per second can never exceed the cluster's service
+  // capacity for the attack type blend.
+  const double rate = GetParam();
+  auto config = sweep_config(SchemeKind::kNone,
+                             power::BudgetLevel::kNormal, rate);
+  const auto r = run_scenario(config);
+  const double seconds = to_seconds(config.duration);
+  const double completed_rps =
+      static_cast<double>(r.normal_counts.completed +
+                          r.attack_counts.completed) /
+      seconds;
+  // 32 cores; the lightest request is 8 ms => hard ceiling 4000 rps.
+  EXPECT_LT(completed_rps, 4'000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep,
+                         ::testing::Values(50.0, 200.0, 800.0));
+
+// ------------------------------------------------ budget monotonicity
+
+TEST(BudgetMonotonicity, CappingLatencyWorsensAsBudgetShrinks) {
+  double prev_mean = 0.0;
+  for (const auto budget :
+       {power::BudgetLevel::kNormal, power::BudgetLevel::kMedium,
+        power::BudgetLevel::kLow}) {
+    const auto r = run_scenario(
+        sweep_config(SchemeKind::kCapping, budget, 400.0));
+    EXPECT_GE(r.mean_ms, prev_mean * 0.8);  // allow small noise
+    prev_mean = r.mean_ms;
+  }
+}
+
+TEST(BudgetMonotonicity, UtilityEnergyBoundedByBudgetEnvelope) {
+  for (const auto scheme :
+       {SchemeKind::kCapping, SchemeKind::kToken, SchemeKind::kAntiDope}) {
+    const auto config =
+        sweep_config(scheme, power::BudgetLevel::kLow, 400.0);
+    const auto r = run_scenario(config);
+    const double seconds = to_seconds(config.duration);
+    EXPECT_LE(r.energy.utility_total(), r.budget * seconds * 1.10)
+        << scheme_name(scheme);
+  }
+}
+
+// ------------------------------------------------------ seed stability
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, HeadlineOrderingRobustAcrossSeeds) {
+  // The core result (Anti-DOPE beats Capping under DOPE at Low-PB) must
+  // not depend on the random seed.
+  auto capping =
+      sweep_config(SchemeKind::kCapping, power::BudgetLevel::kLow, 400.0);
+  auto antidope =
+      sweep_config(SchemeKind::kAntiDope, power::BudgetLevel::kLow, 400.0);
+  capping.seed = GetParam();
+  antidope.seed = GetParam();
+  const auto r_capping = run_scenario(capping);
+  const auto r_antidope = run_scenario(antidope);
+  EXPECT_LT(r_antidope.p90_ms, r_capping.p90_ms);
+  EXPECT_LT(r_antidope.mean_ms, r_capping.mean_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 1234u, 987654321u));
+
+}  // namespace
+}  // namespace dope::scenario

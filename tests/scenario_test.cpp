@@ -1,0 +1,148 @@
+// Tests for the scenario runner: scheme factory, config plumbing,
+// parallel sweeps, CSV export, and a larger-scale invariant run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dope::scenario {
+namespace {
+
+using workload::Catalog;
+
+TEST(SchemeFactory, NamesMatchTable2) {
+  EXPECT_EQ(scheme_name(SchemeKind::kNone), "None");
+  EXPECT_EQ(scheme_name(SchemeKind::kCapping), "Capping");
+  EXPECT_EQ(scheme_name(SchemeKind::kShaving), "Shaving");
+  EXPECT_EQ(scheme_name(SchemeKind::kToken), "Token");
+  EXPECT_EQ(scheme_name(SchemeKind::kAntiDope), "Anti-DOPE");
+}
+
+TEST(SchemeFactory, MakesEveryScheme) {
+  for (const auto kind :
+       {SchemeKind::kNone, SchemeKind::kCapping, SchemeKind::kShaving,
+        SchemeKind::kToken, SchemeKind::kAntiDope}) {
+    const auto scheme = make_scheme(kind);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), scheme_name(kind));
+  }
+}
+
+TEST(RunScenario, PlumbsBudgetOverride) {
+  ScenarioConfig config;
+  config.budget_override = 123.0;
+  config.duration = kSecond;
+  config.normal_rps = 1.0;
+  const auto r = run_scenario(config);
+  EXPECT_DOUBLE_EQ(r.budget, 123.0);
+}
+
+TEST(RunScenario, AttackWindowHonoured) {
+  ScenarioConfig config;
+  config.scheme = SchemeKind::kNone;
+  config.normal_rps = 0.0;
+  config.attack_rps = 200.0;
+  config.attack_start = 10 * kSecond;
+  config.attack_stop = 20 * kSecond;
+  config.duration = 60 * kSecond;
+  const auto r = run_scenario(config);
+  // ~2000 attack requests, only inside the window.
+  EXPECT_NEAR(static_cast<double>(r.attack_counts.terminal()), 2'000.0,
+              200.0);
+  // Power returns to idle after the window: the last samples are near
+  // the 8-node idle floor.
+  ASSERT_FALSE(r.power_timeline.empty());
+  EXPECT_NEAR(r.power_timeline.back().value, 8 * 38.0, 5.0);
+}
+
+TEST(RunScenario, RatePlanDrivesNormalTraffic) {
+  ScenarioConfig config;
+  config.normal_rps = 10.0;
+  config.normal_rate_plan = {{10 * kSecond, 500.0}, {20 * kSecond, 0.0}};
+  config.duration = 40 * kSecond;
+  const auto r = run_scenario(config);
+  // Roughly 10*10 + 500*10 + 0*20 = 5100 normal requests.
+  EXPECT_NEAR(static_cast<double>(r.normal_counts.terminal()), 5'100.0,
+              500.0);
+}
+
+TEST(RunScenarios, MatchesSequentialRuns) {
+  ScenarioConfig a;
+  a.scheme = SchemeKind::kCapping;
+  a.budget = power::BudgetLevel::kLow;
+  a.normal_rps = 100.0;
+  a.attack_rps = 200.0;
+  a.duration = kMinute;
+  ScenarioConfig b = a;
+  b.scheme = SchemeKind::kAntiDope;
+  const auto batch = run_scenarios({a, b});
+  ASSERT_EQ(batch.size(), 2u);
+  const auto ra = run_scenario(a);
+  const auto rb = run_scenario(b);
+  EXPECT_DOUBLE_EQ(batch[0].mean_ms, ra.mean_ms);
+  EXPECT_DOUBLE_EQ(batch[1].mean_ms, rb.mean_ms);
+  EXPECT_EQ(batch[0].scheme, "Capping");
+  EXPECT_EQ(batch[1].scheme, "Anti-DOPE");
+}
+
+TEST(Csv, ResultsRoundTripThroughHeaderedCsv) {
+  ScenarioConfig config;
+  config.duration = kSecond;
+  config.normal_rps = 10.0;
+  const auto r = run_scenario(config);
+  std::ostringstream out;
+  write_results_csv(out, {r});
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  ASSERT_TRUE(reader.column("scheme").has_value());
+  ASSERT_TRUE(reader.column("p90_ms").has_value());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[*reader.column("scheme")], "None");
+  EXPECT_TRUE(
+      parse_double(row[*reader.column("mean_power_w")]).has_value());
+  EXPECT_FALSE(reader.next(row));
+}
+
+TEST(Csv, TimelineExport) {
+  std::ostringstream out;
+  write_timeline_csv(out, {{kSecond, 1.5}, {2 * kSecond, 2.5}});
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_DOUBLE_EQ(*parse_double(row[0]), 1.0);
+  EXPECT_DOUBLE_EQ(*parse_double(row[1]), 1.5);
+}
+
+TEST(Scale, LargeClusterKeepsInvariants) {
+  // 64 servers, 2000 rps normal + 800 rps attack for two minutes: the
+  // invariants that hold at rack scale must hold here too.
+  ScenarioConfig config;
+  config.num_servers = 64;
+  config.scheme = SchemeKind::kAntiDope;
+  config.budget = power::BudgetLevel::kLow;
+  config.normal_rps = 2'000.0;
+  config.normal_sources = 1'024;
+  config.attack_rps = 800.0;
+  config.attack_agents = 128;
+  config.duration = 2 * kMinute;
+  const auto r = run_scenario(config);
+  EXPECT_LE(r.peak_power, 64 * 100.0 + 1e-6);
+  EXPECT_NEAR(r.energy.load_total(), r.energy.utility + r.energy.battery,
+              1.0);
+  EXPECT_GT(r.availability, 0.9);
+  EXPECT_LE(r.p90_ms, 100.0);
+  EXPECT_GT(r.normal_counts.completed, 100'000u);
+}
+
+TEST(RunScenario, ValidatesDuration) {
+  ScenarioConfig config;
+  config.duration = 0;
+  EXPECT_THROW(run_scenario(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dope::scenario

@@ -1,0 +1,199 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// periodic tasks, and deterministic replay.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace dope::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsFireInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  Time fired_at = -1;
+  engine.schedule_at(100, [&] {
+    engine.schedule_after(50, [&] { fired_at = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RejectsNullHandler) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(1, nullptr), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel is a no-op
+  engine.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelFromInsideAnEarlierEvent) {
+  Engine engine;
+  bool fired = false;
+  const EventId victim = engine.schedule_at(20, [&] { fired = true; });
+  engine.schedule_at(10, [&] { engine.cancel(victim); });
+  engine.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine engine;
+  engine.run_until(12'345);
+  EXPECT_EQ(engine.now(), 12'345);
+  EXPECT_THROW(engine.run_until(100), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  std::vector<Time> fired;
+  engine.schedule_at(10, [&] { fired.push_back(10); });
+  engine.schedule_at(20, [&] { fired.push_back(20); });
+  engine.schedule_at(21, [&] { fired.push_back(21); });
+  engine.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(engine.now(), 20);
+  engine.run_until(25);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(1, [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(Engine, PendingCountsLiveEventsOnly) {
+  Engine engine;
+  const EventId a = engine.schedule_at(5, [] {});
+  engine.schedule_at(6, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, PeriodicFiresAtFixedCadence) {
+  Engine engine;
+  std::vector<Time> fires;
+  auto handle = engine.every(10, [&] { fires.push_back(engine.now()); });
+  engine.run_until(35);
+  handle.stop();
+  EXPECT_EQ(fires, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(Engine, PeriodicPhaseControlsFirstFiring) {
+  Engine engine;
+  std::vector<Time> fires;
+  auto handle =
+      engine.every(10, [&] { fires.push_back(engine.now()); }, 0);
+  engine.run_until(25);
+  handle.stop();
+  EXPECT_EQ(fires, (std::vector<Time>{0, 10, 20}));
+}
+
+TEST(Engine, PeriodicStopsWhenHandleStopped) {
+  Engine engine;
+  int count = 0;
+  auto handle = engine.every(10, [&] { ++count; });
+  engine.run_until(25);
+  handle.stop();
+  EXPECT_FALSE(handle.active());
+  engine.run_until(100);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, PeriodicCanStopItselfFromCallback) {
+  Engine engine;
+  int count = 0;
+  PeriodicHandle handle;
+  handle = engine.every(10, [&] {
+    ++count;
+    if (count == 3) handle.stop();
+  });
+  engine.run_until(1'000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RejectsNonPositivePeriod) {
+  Engine engine;
+  EXPECT_THROW(engine.every(0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, DeterministicReplayProducesIdenticalTrace) {
+  const auto run = [] {
+    Engine engine;
+    std::vector<Time> trace;
+    auto p = engine.every(7, [&] { trace.push_back(engine.now()); });
+    engine.schedule_at(15, [&] { trace.push_back(-engine.now()); });
+    engine.run_until(100);
+    p.stop();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine engine;
+  Time last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    // Deterministic pseudo-random times via a simple LCG.
+    const Time t = (static_cast<Time>(i) * 48271) % 65'536;
+    engine.schedule_at(t, [&, t] {
+      if (engine.now() < last) monotone = false;
+      last = engine.now();
+    });
+  }
+  engine.run_all();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(engine.executed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace dope::sim
