@@ -35,6 +35,8 @@ int main() {
 
   const auto attacked = scenario::run_scenario(antidope_run(400.0));
   const auto baseline = scenario::run_scenario(antidope_run(0.0));
+  bench::result_metrics("attacked", attacked);
+  bench::result_metrics("baseline", baseline);
 
   // ---- (a) power timeline around the attack onset ----
   std::cout << "\n(a) cluster power (W), DOPE onset at t=120 s, budget = "

@@ -4,17 +4,102 @@
 // or more "SHAPE" lines asserting the qualitative property the paper
 // claims (who wins, where the knee is). Shape lines print PASS/CHECK so a
 // full bench run can be eyeballed or grepped.
+// Besides the console output, every bench binary also leaves a
+// machine-readable mirror behind: `figure_header` opens a JSON report,
+// `shape`/`metric` append to it, and `BENCH_<figure id>.json` is written
+// at process exit (into $DOPE_BENCH_JSON_DIR when set, else the working
+// directory) for dashboards and regression diffing.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/json.hpp"
 #include "scenario/scenario.hpp"
 #include "workload/catalog.hpp"
 
 namespace dope::bench {
+
+/// Collects one bench run's figures, shape checks, and named metrics;
+/// flushed as JSON when the process exits. Access via the free helpers
+/// below rather than directly.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void begin_figure(const std::string& id, const std::string& title) {
+    if (id_.empty()) id_ = id;  // the first figure names the file
+    figures_.emplace_back(id, title);
+  }
+  void add_shape(const std::string& claim, bool holds) {
+    shapes_.emplace_back(claim, holds);
+  }
+  void add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// `BENCH_<sanitized id>.json`, honoring $DOPE_BENCH_JSON_DIR.
+  std::string path() const {
+    std::string name = "BENCH_";
+    for (const char c : id_) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+      name += ok ? c : '_';
+    }
+    name += ".json";
+    if (const char* dir = std::getenv("DOPE_BENCH_JSON_DIR")) {
+      return std::string(dir) + "/" + name;
+    }
+    return name;
+  }
+
+ private:
+  JsonReport() = default;
+  ~JsonReport() { flush(); }
+
+  void flush() const {
+    if (id_.empty()) return;  // no figure_header — nothing to report
+    std::ofstream out(path());
+    if (!out) return;
+    out << "{\n  \"figures\": [";
+    for (std::size_t i = 0; i < figures_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ") << "{\"id\": ";
+      obs::write_json_string(out, figures_[i].first);
+      out << ", \"title\": ";
+      obs::write_json_string(out, figures_[i].second);
+      out << "}";
+    }
+    out << "\n  ],\n  \"shapes\": [";
+    for (std::size_t i = 0; i < shapes_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ") << "{\"claim\": ";
+      obs::write_json_string(out, shapes_[i].first);
+      out << ", \"pass\": " << (shapes_[i].second ? "true" : "false")
+          << "}";
+    }
+    out << "\n  ],\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ");
+      obs::write_json_string(out, metrics_[i].first);
+      out << ": ";
+      obs::write_json_number(out, metrics_[i].second);
+    }
+    out << "\n  }\n}\n";
+  }
+
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> figures_;
+  std::vector<std::pair<std::string, bool>> shapes_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// The paper's injected malicious blend (Colla-Filt + K-means +
 /// Word-Count service attacks, Section 6.1).
@@ -56,16 +141,37 @@ inline scenario::ScenarioConfig testbed_scenario(
   return config;
 }
 
-/// Prints one qualitative shape check.
+/// Prints one qualitative shape check (also captured in the JSON report).
 inline void shape(const std::string& claim, bool holds) {
   std::cout << "SHAPE [" << (holds ? "PASS" : "CHECK") << "] " << claim
             << "\n";
+  JsonReport::instance().add_shape(claim, holds);
 }
 
 inline void figure_header(const std::string& id, const std::string& title) {
   std::cout << "\n==================================================\n"
             << id << ": " << title << "\n"
             << "==================================================\n";
+  JsonReport::instance().begin_figure(id, title);
+}
+
+/// Records one named scalar into the bench's JSON report.
+inline void metric(const std::string& key, double value) {
+  JsonReport::instance().add_metric(key, value);
+}
+
+/// Records a scenario result's headline numbers under `prefix.`.
+inline void result_metrics(const std::string& prefix,
+                           const scenario::ScenarioResult& r) {
+  metric(prefix + ".mean_ms", r.mean_ms);
+  metric(prefix + ".p90_ms", r.p90_ms);
+  metric(prefix + ".p99_ms", r.p99_ms);
+  metric(prefix + ".availability", r.availability);
+  metric(prefix + ".mean_power_w", r.mean_power);
+  metric(prefix + ".peak_power_w", r.peak_power);
+  metric(prefix + ".violation_slots",
+         static_cast<double>(r.slot_stats.violation_slots));
+  metric(prefix + ".outages", static_cast<double>(r.slot_stats.outages));
 }
 
 }  // namespace dope::bench

@@ -12,10 +12,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/hub.hpp"
 #include "scenario/scenario.hpp"
 
 namespace {
@@ -34,6 +36,7 @@ cluster
   --budget-watts W     explicit supply in watts (overrides --budget)
   --battery-min M      battery runtime in minutes at full load (default 2)
   --firewall           enable the DDoS-deflate firewall (150 rps/source)
+  --breaker-watts W    protect the utility feed with a breaker rated W
   --slot-ms MS         management slot (default 1000)
 
 scheme
@@ -56,6 +59,14 @@ run
   --csv FILE           append a one-row CSV summary
   --power-csv FILE     write the power timeline
   --soc-csv FILE       write the battery state-of-charge timeline
+
+observability (see docs/OBSERVABILITY.md)
+  --metrics-out FILE   write the metrics registry as JSON
+  --trace-out FILE     write the structured event trace; a .jsonl suffix
+                       selects JSONL, anything else Chrome trace_event
+                       (load in chrome://tracing or ui.perfetto.dev)
+  --alerts             run the power-emergency watchdog and print any
+                       alerts it raised
   --help               this text
 )";
 }
@@ -89,6 +100,8 @@ int main(int argc, char** argv) {
   config.seed = 42;
 
   std::string csv_path, power_csv_path, soc_csv_path;
+  std::string metrics_path, trace_path;
+  bool want_alerts = false;
 
   const std::map<std::string, scenario::SchemeKind> schemes = {
       {"none", scenario::SchemeKind::kNone},
@@ -139,6 +152,10 @@ int main(int argc, char** argv) {
       firewall.threshold_rps = 150.0;
       firewall.check_interval = 5 * kSecond;
       config.firewall = firewall;
+    } else if (flag == "--breaker-watts") {
+      power::BreakerSpec breaker;
+      breaker.rated = number_arg(flag, next());
+      config.breaker = breaker;
     } else if (flag == "--slot-ms") {
       config.slot = millis(number_arg(flag, next()));
     } else if (flag == "--scheme") {
@@ -174,9 +191,22 @@ int main(int argc, char** argv) {
       power_csv_path = next();
     } else if (flag == "--soc-csv") {
       soc_csv_path = next();
+    } else if (flag == "--metrics-out") {
+      metrics_path = next();
+    } else if (flag == "--trace-out") {
+      trace_path = next();
+    } else if (flag == "--alerts") {
+      want_alerts = true;
     } else {
       fail("unknown flag: " + flag);
     }
+  }
+
+  std::unique_ptr<obs::Hub> hub;
+  if (!metrics_path.empty() || !trace_path.empty() || want_alerts) {
+    hub = std::make_unique<obs::Hub>();
+    config.obs = hub.get();
+    config.default_alert_rules = want_alerts;
   }
 
   const auto r = scenario::run_scenario(config);
@@ -223,6 +253,45 @@ int main(int argc, char** argv) {
     if (!out) fail("cannot write " + soc_csv_path);
     scenario::write_timeline_csv(out, r.battery_soc_timeline);
     std::cout << "wrote " << soc_csv_path << "\n";
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) fail("cannot write " + metrics_path);
+    hub->registry().write_json(out);
+    std::cout << "wrote " << metrics_path << " ("
+              << hub->registry().size() << " metrics)\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) fail("cannot write " + trace_path);
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.rfind(".jsonl") == trace_path.size() - 6;
+    if (jsonl) {
+      hub->trace().write_jsonl(out);
+    } else {
+      hub->trace().write_chrome_trace(out);
+    }
+    std::cout << "wrote " << trace_path << " ("
+              << hub->trace().recorded() << " events, "
+              << hub->trace().distinct_types() << " types, "
+              << (jsonl ? "jsonl" : "chrome") << ")\n";
+  }
+  if (want_alerts) {
+    const auto& alerts = hub->watchdog().alerts();
+    std::cout << "\n== watchdog: " << alerts.size() << " alert(s), "
+              << hub->watchdog().active_count() << " still active ==\n";
+    if (!alerts.empty()) {
+      TextTable table({"alert", "signal", "raised_s", "cleared_s", "value"});
+      for (const auto& a : alerts) {
+        table.row(a.rule, a.signal, to_seconds(a.raised_at),
+                  a.active() ? std::string("-")
+                             : TextTable::format_cell(
+                                   to_seconds(a.cleared_at)),
+                  a.value);
+      }
+      table.print(std::cout);
+    }
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "antidope/dpm.hpp"
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 #include "schemes/util.hpp"
 
 namespace dope::antidope {
@@ -58,6 +59,36 @@ void AntiDopeScheme::attach(cluster::Cluster& cluster) {
 
   suspect_target_ = cluster.ladder().max_level();
   innocent_target_ = cluster.ladder().max_level();
+
+  hub_ = cluster.engine().obs();
+  if (hub_ != nullptr) {
+    auto& reg = hub_->registry();
+    obs_tl_iterations_ = &reg.counter("dpm.tl_iterations");
+    obs_throttle_slots_ = &reg.counter("dpm.throttle_slots");
+  }
+}
+
+void AntiDopeScheme::trace_throttle(Time now, Watts deficit,
+                                    const char* mode,
+                                    const SolveStats* stats) const {
+  if (hub_ == nullptr) return;
+  obs::TraceEvent e;
+  e.t = now;
+  e.type = obs::EventType::kThrottleApplied;
+  e.source = "antidope";
+  e.num.emplace_back("deficit_w", deficit);
+  e.num.emplace_back("suspect_level", suspect_target_);
+  e.num.emplace_back("innocent_level", innocent_target_);
+  e.num.emplace_back("battery_w", last_battery_power_);
+  if (stats != nullptr) {
+    e.num.emplace_back("tl_iterations",
+                       static_cast<double>(stats->iterations));
+    e.num.emplace_back("throttled_nodes",
+                       static_cast<double>(stats->throttled_nodes));
+    e.num.emplace_back("final_power_w", stats->final_power);
+  }
+  e.str.emplace_back("mode", mode);
+  hub_->event(std::move(e));
 }
 
 net::Backend* AntiDopeScheme::route(const workload::Request& request) {
@@ -66,7 +97,6 @@ net::Backend* AntiDopeScheme::route(const workload::Request& request) {
 }
 
 void AntiDopeScheme::on_slot(Time now, Duration slot) {
-  (void)now;
   if (classifier_) {
     // Fold this slot's node telemetry into the online belief and keep the
     // router's classification current.
@@ -92,13 +122,20 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
     const Watts suspect_allowance = std::max(0.0, budget - innocent_now);
     if (config_.per_node_throttling) {
       // Heterogeneous TL(p,q): each suspect node gets its own level.
-      const auto assignment = solve_throttling(
-          suspect_nodes_, ladder, suspect_allowance, suspect_target_);
+      SolveStats stats;
+      const auto assignment =
+          solve_throttling(suspect_nodes_, ladder, suspect_allowance,
+                           suspect_target_, &stats);
       apply_assignment(suspect_nodes_, assignment);
       suspect_target_ = *std::min_element(assignment.begin(),
                                           assignment.end());
       if (battery != nullptr) {
         last_battery_power_ = battery->discharge(deficit, slot);
+      }
+      if (hub_ != nullptr) {
+        obs_tl_iterations_->inc(static_cast<double>(stats.iterations));
+        obs_throttle_slots_->inc();
+        trace_throttle(now, deficit, "tl", &stats);
       }
       return;
     }
@@ -126,6 +163,10 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
     // facility inside its budget in the meantime ("transition medium").
     if (battery != nullptr) {
       last_battery_power_ = battery->discharge(deficit, slot);
+    }
+    if (hub_ != nullptr) {
+      obs_throttle_slots_->inc();
+      trace_throttle(now, deficit, "uniform", nullptr);
     }
     return;
   }

@@ -27,7 +27,14 @@
 #include "cluster/cluster.hpp"
 #include "cluster/scheme.hpp"
 
+namespace dope::obs {
+class Counter;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::antidope {
+
+struct SolveStats;  // dpm.hpp
 
 /// Anti-DOPE tuning parameters.
 struct AntiDopeConfig {
@@ -80,6 +87,9 @@ class AntiDopeScheme final : public cluster::PowerScheme {
   const OnlineClassifier* classifier() const { return classifier_.get(); }
 
  private:
+  void trace_throttle(Time now, Watts deficit, const char* mode,
+                      const SolveStats* stats) const;
+
   AntiDopeConfig config_;
   std::unique_ptr<PdfRouter> router_;
   std::vector<server::ServerNode*> suspect_nodes_;
@@ -88,6 +98,9 @@ class AntiDopeScheme final : public cluster::PowerScheme {
   power::DvfsLevel innocent_target_ = 0;
   Watts last_battery_power_ = 0.0;
   std::unique_ptr<OnlineClassifier> classifier_;
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* obs_tl_iterations_ = nullptr;
+  obs::Counter* obs_throttle_slots_ = nullptr;
 };
 
 }  // namespace dope::antidope

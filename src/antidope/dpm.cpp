@@ -9,7 +9,7 @@ namespace dope::antidope {
 ThrottleAssignment solve_throttling(
     const std::vector<server::ServerNode*>& nodes,
     const power::DvfsLadder& ladder, Watts allowance,
-    power::DvfsLevel ceiling) {
+    power::DvfsLevel ceiling, SolveStats* stats) {
   DOPE_REQUIRE(!nodes.empty(), "need at least one node");
   DOPE_REQUIRE(ceiling < ladder.levels(), "ceiling out of range");
 
@@ -47,6 +47,14 @@ ThrottleAssignment solve_throttling(
     assignment[best] -= 1;
     node_power[best] -= best_saving;
     total -= best_saving;
+    if (stats != nullptr) ++stats->iterations;
+  }
+  if (stats != nullptr) {
+    stats->final_power = total;
+    stats->throttled_nodes = 0;
+    for (const auto level : assignment) {
+      if (level < ceiling) ++stats->throttled_nodes;
+    }
   }
   return assignment;
 }

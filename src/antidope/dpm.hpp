@@ -26,14 +26,26 @@ namespace dope::antidope {
 /// Per-node level assignment (indexed like the input node vector).
 using ThrottleAssignment = std::vector<power::DvfsLevel>;
 
+/// Telemetry from one Algorithm-1 search (observability: how hard the
+/// greedy worked and what it settled on).
+struct SolveStats {
+  /// Greedy step-downs taken (inner-loop iterations).
+  std::uint64_t iterations = 0;
+  /// Nodes whose final level is below the ceiling.
+  std::size_t throttled_nodes = 0;
+  /// Estimated total power of the returned assignment.
+  Watts final_power = 0.0;
+};
+
 /// Computes a heterogeneous throttling assignment whose estimated total
 /// power fits `allowance`. Nodes start from `ceiling` (their current
 /// target). Returns ladder-floor levels where even full throttling
-/// cannot fit. Estimates use each node's *current* active set.
+/// cannot fit. Estimates use each node's *current* active set. `stats`,
+/// when non-null, receives search telemetry.
 ThrottleAssignment solve_throttling(
     const std::vector<server::ServerNode*>& nodes,
     const power::DvfsLadder& ladder, Watts allowance,
-    power::DvfsLevel ceiling);
+    power::DvfsLevel ceiling, SolveStats* stats = nullptr);
 
 /// Estimated total power of an assignment.
 Watts assignment_power(const std::vector<server::ServerNode*>& nodes,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::attack {
 
@@ -48,6 +49,10 @@ DopeAttacker::DopeAttacker(sim::Engine& engine,
   DOPE_REQUIRE(config_.backoff_factor > 0.0 && config_.backoff_factor < 1.0,
                "backoff factor must be in (0, 1)");
   DOPE_REQUIRE(config_.epoch > 0, "epoch must be positive");
+  hub_ = engine_.obs();
+  if (hub_ != nullptr) {
+    obs_rate_ = &hub_->registry().gauge("attack.rate_rps");
+  }
   epoch_task_ = engine_.every(config_.epoch, [this] { on_epoch(); });
 }
 
@@ -107,6 +112,7 @@ void DopeAttacker::on_epoch() {
   }
 
   double rate = generator_.rate();
+  const AttackPhase phase_before = phase_;
   switch (phase_) {
     case AttackPhase::kProbing:
       baseline_accum_ms_ += epoch_latency_sum_ms_;
@@ -161,10 +167,30 @@ void DopeAttacker::on_epoch() {
   generator_.set_rate(rate);
   decisions_.push_back({engine_.now(), phase_, rate, block_fraction,
                         latency_ratio});
+  if (obs_rate_ != nullptr) obs_rate_->set(rate);
+  if (phase_ != phase_before) {
+    trace_phase(phase_before, rate, block_fraction, latency_ratio);
+  }
 
   epoch_completed_ = 0;
   epoch_lost_edge_ = 0;
   epoch_latency_sum_ms_ = 0.0;
+}
+
+void DopeAttacker::trace_phase(AttackPhase from, double rate,
+                               double block_fraction,
+                               double latency_ratio) {
+  if (hub_ == nullptr) return;
+  obs::TraceEvent e;
+  e.t = engine_.now();
+  e.type = obs::EventType::kAttackPhase;
+  e.source = "attacker";
+  e.num.emplace_back("rate_rps", rate);
+  e.num.emplace_back("block_fraction", block_fraction);
+  e.num.emplace_back("latency_ratio", latency_ratio);
+  e.str.emplace_back("from", phase_name(from));
+  e.str.emplace_back("to", phase_name(phase_));
+  hub_->event(std::move(e));
 }
 
 }  // namespace dope::attack

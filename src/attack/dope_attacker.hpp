@@ -25,6 +25,11 @@
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 
+namespace dope::obs {
+class Gauge;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::attack {
 
 /// Attacker tuning.
@@ -92,6 +97,8 @@ class DopeAttacker {
 
  private:
   void on_epoch();
+  void trace_phase(AttackPhase from, double rate, double block_fraction,
+                   double latency_ratio);
   bool mine(const workload::RequestRecord& record) const;
 
   sim::Engine& engine_;
@@ -113,6 +120,9 @@ class DopeAttacker {
   double epoch_latency_sum_ms_ = 0.0;
 
   std::vector<AttackDecision> decisions_;
+
+  obs::Hub* hub_ = nullptr;
+  obs::Gauge* obs_rate_ = nullptr;
 };
 
 }  // namespace dope::attack

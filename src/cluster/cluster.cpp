@@ -7,6 +7,24 @@
 
 namespace dope::cluster {
 
+namespace {
+
+/// Stable label for a terminal outcome (metrics label / trace payload).
+const char* outcome_label(workload::RequestOutcome outcome) {
+  switch (outcome) {
+    case workload::RequestOutcome::kCompleted: return "completed";
+    case workload::RequestOutcome::kDroppedByLimit: return "limit";
+    case workload::RequestOutcome::kBlockedByFirewall: return "firewall";
+    case workload::RequestOutcome::kRejectedQueueFull: return "queue_full";
+    case workload::RequestOutcome::kTimedOut: return "timeout";
+    case workload::RequestOutcome::kFailedOutage: return "outage";
+    case workload::RequestOutcome::kDroppedNetwork: return "network";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Cluster::Cluster(sim::Engine& engine, const workload::Catalog& catalog,
                  ClusterConfig config)
     : engine_(engine),
@@ -54,8 +72,62 @@ Cluster::Cluster(sim::Engine& engine, const workload::Catalog& catalog,
     breaker_.emplace(*config_.breaker);
   }
 
+  bind_obs();
+
   slot_task_ =
       engine_.every(config_.slot, [this] { management_slot(); });
+}
+
+void Cluster::bind_obs() {
+  hub_ = engine_.obs();
+  if (hub_ == nullptr) return;
+  auto& reg = hub_->registry();
+  for (int i = 0; i < 7; ++i) {
+    obs_outcome_[i] = &reg.counter(
+        "requests.outcome",
+        {{"outcome",
+          outcome_label(static_cast<workload::RequestOutcome>(i))}});
+  }
+  obs_forwarded_scheme_ =
+      &reg.counter("net.forwarded", {{"pool", "scheme"}});
+  obs_forwarded_default_ =
+      &reg.counter("net.forwarded", {{"pool", "default"}});
+  obs_violation_slots_ = &reg.counter("cluster.violation_slots");
+  obs_utility_violation_slots_ =
+      &reg.counter("cluster.utility_violation_slots");
+  obs_battery_discharge_slots_ = &reg.counter("battery.discharge_slots");
+  obs_outage_count_ = &reg.counter("cluster.outages");
+  obs_slot_demand_ = &reg.gauge("cluster.slot_demand_w");
+  obs_utility_ = &reg.gauge("cluster.utility_w");
+  if (battery_) obs_battery_soc_ = &reg.gauge("battery.soc");
+  if (breaker_) obs_breaker_heat_ = &reg.gauge("breaker.heat");
+  obs_overshoot_ = &reg.histo("cluster.overshoot_w");
+  balancer_->bind_obs(hub_, "default");
+}
+
+void Cluster::trace_forwarded(const workload::Request& request, int server,
+                              const char* pool) {
+  obs::TraceEvent e;
+  e.t = engine_.now();
+  e.type = obs::EventType::kRequestForwarded;
+  e.source = "edge";
+  e.num.emplace_back("server", server);
+  e.num.emplace_back("url_class", request.type);
+  e.num.emplace_back("source_id", request.source);
+  e.str.emplace_back("pool", pool);
+  hub_->event(std::move(e));
+}
+
+void Cluster::trace_dropped(const workload::Request& request,
+                            const char* reason) {
+  obs::TraceEvent e;
+  e.t = engine_.now();
+  e.type = obs::EventType::kRequestDropped;
+  e.source = "edge";
+  e.num.emplace_back("url_class", request.type);
+  e.num.emplace_back("source_id", request.source);
+  e.str.emplace_back("reason", reason);
+  hub_->event(std::move(e));
 }
 
 Cluster::~Cluster() { slot_task_.stop(); }
@@ -83,6 +155,10 @@ void Cluster::ingest(workload::Request&& request) {
   }
   net::Backend* target = scheme_ ? scheme_->route(request) : nullptr;
   if (target != nullptr) {
+    if (hub_ != nullptr) {
+      obs_forwarded_scheme_->inc();
+      trace_forwarded(request, target->backend_id(), "scheme");
+    }
     target->submit(std::move(request));
     return;
   }
@@ -91,6 +167,10 @@ void Cluster::ingest(workload::Request&& request) {
     // No backend accepted; surfaces as a queue-full rejection at the edge.
     drop(std::move(request), workload::RequestOutcome::kRejectedQueueFull);
     return;
+  }
+  if (hub_ != nullptr) {
+    obs_forwarded_default_->inc();
+    trace_forwarded(request, backend->backend_id(), "default");
   }
   backend->submit(std::move(request));
 }
@@ -139,12 +219,16 @@ void Cluster::run_for(Duration d) {
 }
 
 void Cluster::on_record(const workload::RequestRecord& record) {
+  if (hub_ != nullptr) {
+    obs_outcome_[static_cast<int>(record.outcome)]->inc();
+  }
   request_metrics_.record(record);
   for (const auto& l : listeners_) l(record);
 }
 
 void Cluster::drop(workload::Request&& request,
                    workload::RequestOutcome outcome) {
+  if (hub_ != nullptr) trace_dropped(request, outcome_label(outcome));
   workload::RequestRecord record;
   record.request = std::move(request);
   record.outcome = outcome;
@@ -171,6 +255,21 @@ void Cluster::management_slot() {
     slot_stats_.worst_overshoot =
         std::max(slot_stats_.worst_overshoot, overshoot);
   }
+  if (hub_ != nullptr) {
+    obs_slot_demand_->set(last_slot_demand_);
+    if (overshoot > 1e-9) {
+      obs_violation_slots_->inc();
+      obs_overshoot_->observe(overshoot);
+      obs::TraceEvent e;
+      e.t = now;
+      e.type = obs::EventType::kBudgetViolation;
+      e.source = "cluster";
+      e.num.emplace_back("demand_w", last_slot_demand_);
+      e.num.emplace_back("budget_w", budget_.supply);
+      e.num.emplace_back("overshoot_w", overshoot);
+      hub_->event(std::move(e));
+    }
+  }
 
   // Energy source attribution for the finished slot: whatever the battery
   // delivered (or drew for recharge) since the previous boundary shifts
@@ -192,6 +291,31 @@ void Cluster::management_slot() {
       (utility_j + recharge_delta) / to_seconds(slot);
   if (utility_power > budget_.supply + 1e-9) {
     ++slot_stats_.utility_violation_slots;
+    if (hub_ != nullptr) obs_utility_violation_slots_->inc();
+  }
+  if (hub_ != nullptr) {
+    obs_utility_->set(utility_power);
+    if (battery_delta > 0.0) {
+      obs_battery_discharge_slots_->inc();
+      obs::TraceEvent e;
+      e.t = now;
+      e.type = obs::EventType::kBatteryDischarge;
+      e.source = "battery";
+      e.num.emplace_back("joules", battery_delta);
+      e.num.emplace_back("watts", battery_delta / to_seconds(slot));
+      e.num.emplace_back("soc", battery_->soc());
+      hub_->event(std::move(e));
+    }
+    if (recharge_delta > 0.0) {
+      obs::TraceEvent e;
+      e.t = now;
+      e.type = obs::EventType::kBatteryCharge;
+      e.source = "battery";
+      e.num.emplace_back("joules", recharge_delta);
+      e.num.emplace_back("soc", battery_->soc());
+      hub_->event(std::move(e));
+    }
+    if (battery_) obs_battery_soc_->set(battery_->soc());
   }
 
   // Breaker protection on the utility feed. A trip blacks out the whole
@@ -202,13 +326,45 @@ void Cluster::management_slot() {
     in_outage_ = true;
     outage_started_ = now;
     ++slot_stats_.outages;
+    if (hub_ != nullptr) {
+      obs_outage_count_->inc();
+      obs::TraceEvent e;
+      e.t = now;
+      e.type = obs::EventType::kBreakerTrip;
+      e.source = "breaker";
+      e.num.emplace_back("utility_w", utility_power);
+      e.num.emplace_back("rated_w", breaker_->spec().rated);
+      e.num.emplace_back("trips", breaker_->trips());
+      hub_->event(std::move(e));
+    }
     for (auto& node : nodes_) node->power_off();
     engine_.schedule_after(config_.outage_recovery, [this] {
       breaker_->reset();
       in_outage_ = false;
       slot_stats_.downtime += engine_.now() - outage_started_;
+      if (hub_ != nullptr) {
+        obs::TraceEvent e;
+        e.t = engine_.now();
+        e.type = obs::EventType::kOutageEnd;
+        e.source = "breaker";
+        e.num.emplace_back(
+            "downtime_s", to_seconds(engine_.now() - outage_started_));
+        hub_->event(std::move(e));
+      }
       for (auto& node : nodes_) node->power_on(config_.reboot_time);
     });
+  }
+  if (hub_ != nullptr && breaker_) obs_breaker_heat_->set(breaker_->heat());
+
+  // Feed the watchdog one windowed sample of each cluster signal; rules
+  // installed on the hub (e.g. "budget violated K slots in a row") fire
+  // from these.
+  if (hub_ != nullptr) {
+    auto& dog = hub_->watchdog();
+    dog.observe(kSignalSlotDemand, now, last_slot_demand_);
+    dog.observe(kSignalUtility, now, utility_power);
+    if (battery_) dog.observe(kSignalBatterySoc, now, battery_->soc());
+    if (breaker_) dog.observe(kSignalBreakerHeat, now, breaker_->heat());
   }
 
   if (scheme_) scheme_->on_slot(now, slot);

@@ -24,6 +24,7 @@
 #include "net/firewall.hpp"
 #include "net/load_balancer.hpp"
 #include "net/switch.hpp"
+#include "obs/hub.hpp"
 #include "power/provisioning.hpp"
 #include "server/node.hpp"
 #include "sim/engine.hpp"
@@ -150,10 +151,21 @@ class Cluster {
   /// Convenience: advances the shared engine by `d`.
   void run_for(Duration d);
 
+  /// Signal names the cluster feeds to an attached watchdog, one sample
+  /// per management slot (see docs/OBSERVABILITY.md).
+  static constexpr const char* kSignalSlotDemand = "cluster.slot_demand_w";
+  static constexpr const char* kSignalUtility = "cluster.utility_w";
+  static constexpr const char* kSignalBatterySoc = "battery.soc";
+  static constexpr const char* kSignalBreakerHeat = "breaker.heat";
+
  private:
   void on_record(const workload::RequestRecord& record);
   void management_slot();
   void drop(workload::Request&& request, workload::RequestOutcome outcome);
+  void bind_obs();
+  void trace_forwarded(const workload::Request& request, int server,
+                       const char* pool);
+  void trace_dropped(const workload::Request& request, const char* reason);
 
   sim::Engine& engine_;
   const workload::Catalog& catalog_;
@@ -172,6 +184,21 @@ class Cluster {
 
   metrics::RequestMetrics request_metrics_;
   std::vector<workload::RecordSink> listeners_;
+
+  // Observability (all null when no hub is attached to the engine).
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* obs_outcome_[7] = {};
+  obs::Counter* obs_forwarded_scheme_ = nullptr;
+  obs::Counter* obs_forwarded_default_ = nullptr;
+  obs::Counter* obs_violation_slots_ = nullptr;
+  obs::Counter* obs_utility_violation_slots_ = nullptr;
+  obs::Counter* obs_battery_discharge_slots_ = nullptr;
+  obs::Counter* obs_outage_count_ = nullptr;
+  obs::Gauge* obs_slot_demand_ = nullptr;
+  obs::Gauge* obs_utility_ = nullptr;
+  obs::Gauge* obs_battery_soc_ = nullptr;
+  obs::Gauge* obs_breaker_heat_ = nullptr;
+  obs::Histo* obs_overshoot_ = nullptr;
 
   sim::PeriodicHandle slot_task_;
   metrics::EnergyAccount energy_account_;

@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
+#include <utility>
 
 namespace dope {
 
@@ -9,6 +11,8 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;                          // empty => stderr default
+std::function<Time()> g_time_source;     // empty => no time prefix
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,10 +31,51 @@ void Log::set_level(LogLevel level) { g_level.store(level); }
 
 LogLevel Log::level() { return g_level.load(); }
 
+void Log::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::set_time_source(std::function<Time()> source) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_time_source = std::move(source);
+}
+
 void Log::write(LogLevel level, const std::string& msg) {
   if (level < Log::level()) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  std::string line;
+  if (g_time_source) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.3fs] ",
+                  to_seconds(g_time_source()));
+    line = prefix;
+  }
+  line += msg;
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::cerr << "[" << level_name(level) << "] " << line << '\n';
+}
+
+LogCapture::LogCapture() {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    prev_ = g_sink;
+  }
+  Log::set_sink([this](LogLevel level, const std::string& line) {
+    lines_.push_back(Line{level, line});
+  });
+}
+
+LogCapture::~LogCapture() { Log::set_sink(std::move(prev_)); }
+
+bool LogCapture::contains(const std::string& needle) const {
+  for (const auto& line : lines_) {
+    if (line.text.find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 }  // namespace dope

@@ -1,17 +1,26 @@
 // Minimal leveled logger.
 //
 // The simulator is deterministic and single-threaded per run, so logging is
-// intentionally simple: a global level, stderr output, printf-free
-// stream-style formatting. Parallel sweep runners serialise via a mutex.
+// intentionally simple: a global level, a pluggable sink (default:
+// stderr), printf-free stream-style formatting. Parallel sweep runners
+// serialise via a mutex.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "common/units.hpp"
 
 namespace dope {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Receives each emitted line (already time-prefixed, level attached).
+/// Invoked under the logging mutex, so sinks need no extra locking.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
 
 /// Global logging controls.
 class Log {
@@ -19,10 +28,42 @@ class Log {
   static void set_level(LogLevel level);
   static LogLevel level();
 
+  /// Replaces the output sink. Lines stop going to stderr and go to
+  /// `sink` instead — tests capture log output this way rather than
+  /// scraping stderr. Pass nullptr to restore the stderr default.
+  static void set_sink(LogSink sink);
+
+  /// Installs a simulation-clock source; when set, every line is
+  /// prefixed with the current sim time ("[t=12.345s] ..."). Pass
+  /// nullptr to remove. Tools driving a single engine (CLIs, tests)
+  /// use this; parallel sweeps should leave it unset.
+  static void set_time_source(std::function<Time()> source);
+
   /// Emits one line at `level` (thread-safe).
   static void write(LogLevel level, const std::string& msg);
 
   static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+/// RAII helper: redirects the sink for a scope (tests), restoring the
+/// previous default on destruction.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  struct Line {
+    LogLevel level;
+    std::string text;
+  };
+  const std::vector<Line>& lines() const { return lines_; }
+  bool contains(const std::string& needle) const;
+
+ private:
+  std::vector<Line> lines_;
+  LogSink prev_;
 };
 
 namespace detail {

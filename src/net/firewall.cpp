@@ -2,6 +2,7 @@
 
 #include "common/expect.hpp"
 #include "common/log.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::net {
 
@@ -11,6 +12,13 @@ Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
   DOPE_REQUIRE(config_.check_interval > 0, "check interval must be positive");
   DOPE_REQUIRE(config_.required_strikes >= 1, "need at least one strike");
   DOPE_REQUIRE(config_.ban_duration > 0, "ban duration must be positive");
+  hub_ = engine_.obs();
+  if (hub_ != nullptr) {
+    auto& reg = hub_->registry();
+    obs_admitted_ = &reg.counter("net.fw_admitted");
+    obs_blocked_ = &reg.counter("net.fw_blocked");
+    obs_bans_ = &reg.counter("net.fw_bans");
+  }
   poller_ = engine_.every(config_.check_interval, [this] { poll(); });
 }
 
@@ -19,9 +27,11 @@ Firewall::~Firewall() { poller_.stop(); }
 bool Firewall::admit(const workload::Request& request) {
   if (is_banned(request.source)) {
     ++blocked_;
+    if (obs_blocked_ != nullptr) obs_blocked_->inc();
     return false;
   }
   ++window_counts_[request.source];
+  if (obs_admitted_ != nullptr) obs_admitted_->inc();
   return true;
 }
 
@@ -52,6 +62,16 @@ void Firewall::poll() {
         strikes = 0;
         DOPE_LOG_INFO << "firewall banned source " << source << " at rate "
                       << rate << " rps";
+        if (hub_ != nullptr) {
+          obs_bans_->inc();
+          obs::TraceEvent e;
+          e.t = engine_.now();
+          e.type = obs::EventType::kFirewallBan;
+          e.source = "firewall";
+          e.num.emplace_back("source_id", source);
+          e.num.emplace_back("rate_rps", rate);
+          hub_->event(std::move(e));
+        }
       }
     } else {
       // Streak broken: the source behaved this window.

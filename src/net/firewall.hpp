@@ -20,6 +20,11 @@
 #include "sim/engine.hpp"
 #include "workload/request.hpp"
 
+namespace dope::obs {
+class Counter;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::net {
 
 /// Firewall tuning parameters.
@@ -67,6 +72,10 @@ class Firewall {
   sim::Engine& engine_;
   FirewallConfig config_;
   sim::PeriodicHandle poller_;
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_blocked_ = nullptr;
+  obs::Counter* obs_bans_ = nullptr;
   /// Arrivals per source within the current poll window.
   std::unordered_map<workload::SourceId, std::uint32_t> window_counts_;
   /// Consecutive over-threshold polls per source.

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::net {
 
@@ -15,7 +16,23 @@ LoadBalancer::LoadBalancer(LbPolicy policy, std::vector<Backend*> pool,
   }
 }
 
+void LoadBalancer::bind_obs(obs::Hub* hub, const char* pool) {
+  if (hub == nullptr) return;
+  obs_selected_ = &hub->registry().counter("net.lb_selected",
+                                           {{"pool", pool}});
+  obs_no_backend_ = &hub->registry().counter("net.lb_no_backend",
+                                             {{"pool", pool}});
+}
+
 Backend* LoadBalancer::select(const workload::Request& request) {
+  Backend* chosen = do_select(request);
+  if (obs_selected_ != nullptr) {
+    (chosen != nullptr ? obs_selected_ : obs_no_backend_)->inc();
+  }
+  return chosen;
+}
+
+Backend* LoadBalancer::do_select(const workload::Request& request) {
   const std::size_t n = pool_.size();
   switch (policy_) {
     case LbPolicy::kRoundRobin: {

@@ -12,6 +12,11 @@
 #include "net/backend.hpp"
 #include "workload/request.hpp"
 
+namespace dope::obs {
+class Counter;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::net {
 
 /// Backend selection policy.
@@ -42,12 +47,21 @@ class LoadBalancer {
 
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Binds per-pool selection counters into `hub`'s registry (label
+  /// `{"pool": pool}`). Optional; `hub` may be null (no-op). `pool`
+  /// must outlive the balancer (string literals at all call sites).
+  void bind_obs(obs::Hub* hub, const char* pool);
+
  private:
+  Backend* do_select(const workload::Request& request);
+
   LbPolicy policy_;
   std::vector<Backend*> pool_;
   std::size_t rr_next_ = 0;
   Rng rng_;
   std::uint64_t dispatched_ = 0;
+  obs::Counter* obs_selected_ = nullptr;
+  obs::Counter* obs_no_backend_ = nullptr;
 };
 
 }  // namespace dope::net

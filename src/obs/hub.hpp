@@ -1,0 +1,49 @@
+// The observability hub: one object bundling the three pillars —
+// metrics registry, trace recorder, and alert watchdog — wired together
+// (watchdog alerts land in the trace).
+//
+// Ownership/threading model: create one `Hub` per simulation run and
+// attach it to that run's `sim::Engine` (`engine.set_obs(&hub)`) *before*
+// constructing components, which cache their instruments at construction.
+// A null hub (the default) is the null sink: every instrumented call
+// site guards on the pointer, so a run without a hub performs no
+// observability work and no allocation. A Hub must not be shared by
+// concurrently running scenarios — instruments are deliberately
+// lock-free plain stores.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+
+namespace dope::obs {
+
+struct HubConfig {
+  TraceConfig trace{};
+};
+
+class Hub {
+ public:
+  explicit Hub(HubConfig config = {})
+      : trace_(config.trace), watchdog_(&trace_) {}
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  Watchdog& watchdog() { return watchdog_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+
+  /// Shorthand for trace().record(...).
+  void event(TraceEvent e) { trace_.record(std::move(e)); }
+
+ private:
+  Registry registry_;
+  TraceRecorder trace_;
+  Watchdog watchdog_;
+};
+
+}  // namespace dope::obs

@@ -1,0 +1,48 @@
+// Tiny JSON output helpers shared by the obs exporters. Writing only —
+// the simulator never parses JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace dope::obs {
+
+/// Writes `s` as a JSON string literal (quotes included).
+inline void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Writes a double as a JSON number (JSON has no inf/nan; emit null).
+inline void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  // Round-trippable without drowning the file in digits.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out << buf;
+}
+
+}  // namespace dope::obs

@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/expect.hpp"
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+std::string encode_key(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+void Gauge::set(double v) {
+  if (!written_) {
+    min_ = max_ = v;
+    written_ = true;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  value_ = v;
+}
+
+std::size_t Histo::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(v, &exp);
+  // exp is the binary exponent + 1 (frexp mantissa in [0.5, 1)). Centre
+  // the usable range so sub-unit values (latencies in seconds, SoC
+  // fractions) still resolve: bucket kBuckets/2 holds values in [1, 2).
+  const long idx = static_cast<long>(kBuckets) / 2 + exp - 1;
+  return static_cast<std::size_t>(
+      std::clamp<long>(idx, 1, static_cast<long>(kBuckets) - 1));
+}
+
+void Histo::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_of(v)];
+}
+
+double Histo::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      if (i == 0) return std::min(0.0, max_);
+      // Geometric midpoint of the bucket's power-of-two bounds, clamped
+      // into the observed range.
+      const int exp = static_cast<int>(i) - static_cast<int>(kBuckets) / 2;
+      const double lo = std::ldexp(1.0, exp);
+      const double mid = lo * 1.5;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max();
+}
+
+Registry::Entry& Registry::lookup(std::string_view name,
+                                  const Labels& labels, Kind kind) {
+  std::string key = encode_key(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    DOPE_REQUIRE(entry.kind == kind,
+                 "instrument '" + key + "' already exists as another kind");
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->key = key;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHisto: entry->histo = std::make_unique<Histo>(); break;
+  }
+  index_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  return *lookup(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  return *lookup(name, labels, Kind::kGauge).gauge;
+}
+
+Histo& Registry::histo(std::string_view name, const Labels& labels) {
+  return *lookup(name, labels, Kind::kHisto).histo;
+}
+
+const Registry::Entry* Registry::find(std::string_view key,
+                                      Kind kind) const {
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) return nullptr;
+  const Entry& entry = *entries_[it->second];
+  return entry.kind == kind ? &entry : nullptr;
+}
+
+const Counter* Registry::find_counter(std::string_view key) const {
+  const Entry* e = find(key, Kind::kCounter);
+  return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view key) const {
+  const Entry* e = find(key, Kind::kGauge);
+  return e ? e->gauge.get() : nullptr;
+}
+
+const Histo* Registry::find_histo(std::string_view key) const {
+  const Entry* e = find(key, Kind::kHisto);
+  return e ? e->histo.get() : nullptr;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const auto write_section = [&](const char* title, Kind kind,
+                                 bool& first_section) {
+    if (!first_section) out << ",\n";
+    first_section = false;
+    out << "  ";
+    write_json_string(out, title);
+    out << ": {";
+    bool first = true;
+    for (const auto& entry : entries_) {
+      if (entry->kind != kind) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "\n    ";
+      write_json_string(out, entry->key);
+      out << ": ";
+      switch (kind) {
+        case Kind::kCounter:
+          write_json_number(out, entry->counter->value());
+          break;
+        case Kind::kGauge:
+          out << "{\"value\": ";
+          write_json_number(out, entry->gauge->value());
+          out << ", \"min\": ";
+          write_json_number(out, entry->gauge->min_seen());
+          out << ", \"max\": ";
+          write_json_number(out, entry->gauge->max_seen());
+          out << '}';
+          break;
+        case Kind::kHisto: {
+          const Histo& h = *entry->histo;
+          out << "{\"count\": " << h.count() << ", \"sum\": ";
+          write_json_number(out, h.sum());
+          out << ", \"min\": ";
+          write_json_number(out, h.min());
+          out << ", \"max\": ";
+          write_json_number(out, h.max());
+          out << ", \"mean\": ";
+          write_json_number(out, h.mean());
+          out << ", \"p50\": ";
+          write_json_number(out, h.percentile(50));
+          out << ", \"p99\": ";
+          write_json_number(out, h.percentile(99));
+          out << '}';
+          break;
+        }
+      }
+    }
+    if (!first) out << "\n  ";
+    out << '}';
+  };
+
+  out << "{\n";
+  bool first_section = true;
+  write_section("counters", Kind::kCounter, first_section);
+  write_section("gauges", Kind::kGauge, first_section);
+  write_section("histos", Kind::kHisto, first_section);
+  out << "\n}\n";
+}
+
+}  // namespace dope::obs

@@ -1,0 +1,141 @@
+// Metrics registry — named instruments for simulator telemetry.
+//
+// Three instrument kinds, modelled on the Prometheus vocabulary:
+//
+//   Counter  monotone accumulator ("requests forwarded");
+//   Gauge    last-written value   ("queue depth", "slot demand watts");
+//   Histo    value distribution   ("per-slot overshoot"), kept as
+//            log2-bucketed counts plus exact count/sum/min/max.
+//
+// Instruments are identified by a name plus optional labels, e.g.
+// `registry.counter("net.dropped", {{"reason", "firewall"}})`. The
+// registry owns every instrument; callers cache the returned reference at
+// construction time so the hot path is a single pointer-chased add with
+// no lookup, no lock, and no allocation. The simulator is
+// single-threaded per run, so updates are plain (non-atomic) stores —
+// one `Registry` must not be shared by concurrently running scenarios.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dope::obs {
+
+/// Instrument labels; order-insensitive (canonicalised by the registry).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical instrument key: `name` or `name{k="v",k2="v2"}` with labels
+/// sorted by key.
+std::string encode_key(std::string_view name, const Labels& labels);
+
+/// Monotone accumulator.
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-written value, with the extremes seen retained.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_; }
+  double min_seen() const { return min_; }
+  double max_seen() const { return max_; }
+  bool written() const { return written_; }
+
+ private:
+  double value_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool written_ = false;
+};
+
+/// Distribution sketch: exact count/sum/min/max plus log2 buckets.
+class Histo {
+ public:
+  /// Bucket i holds values whose binary exponent is i - kZeroBucket - 1,
+  /// i.e. bucket boundaries are powers of two; values <= 0 land in
+  /// bucket 0.
+  static constexpr std::size_t kBuckets = 96;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Approximate percentile (p in [0, 100]) from the bucket counts;
+  /// exact for the extremes, within a factor-of-two band otherwise.
+  double percentile(double p) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  static std::size_t bucket_of(double v);
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Owner of all instruments; hands out stable references.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates the instrument. The returned reference stays valid
+  /// for the registry's lifetime. Requesting an existing key as a
+  /// different kind throws.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  Histo& histo(std::string_view name, const Labels& labels = {});
+
+  /// Lookup without creation (nullptr when absent or of another kind).
+  const Counter* find_counter(std::string_view key) const;
+  const Gauge* find_gauge(std::string_view key) const;
+  const Histo* find_histo(std::string_view key) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Dumps every instrument as a single JSON object with "counters",
+  /// "gauges", and "histos" sections, in instrument creation order.
+  void write_json(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHisto };
+  struct Entry {
+    std::string key;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histo> histo;
+  };
+
+  Entry& lookup(std::string_view name, const Labels& labels, Kind kind);
+  const Entry* find(std::string_view key, Kind kind) const;
+
+  std::vector<std::unique_ptr<Entry>> entries_;  // creation order
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace dope::obs

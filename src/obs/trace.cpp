@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <map>
+#include <ostream>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kRequestForwarded: return "RequestForwarded";
+    case EventType::kRequestDropped: return "RequestDropped";
+    case EventType::kBudgetViolation: return "BudgetViolation";
+    case EventType::kLevelViolation: return "LevelViolation";
+    case EventType::kThrottleApplied: return "ThrottleApplied";
+    case EventType::kBatteryDischarge: return "BatteryDischarge";
+    case EventType::kBatteryCharge: return "BatteryCharge";
+    case EventType::kBreakerTrip: return "BreakerTrip";
+    case EventType::kOutageEnd: return "OutageEnd";
+    case EventType::kFirewallBan: return "FirewallBan";
+    case EventType::kAttackPhase: return "AttackPhase";
+    case EventType::kAlertRaised: return "AlertRaised";
+    case EventType::kAlertCleared: return "AlertCleared";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(TraceConfig config) : config_(config) {}
+
+void TraceRecorder::record(TraceEvent event) {
+  ++recorded_;
+  ++counts_[static_cast<std::size_t>(event.type)];
+  if (events_.size() < config_.max_events) {
+    events_.push_back(std::move(event));
+  }
+}
+
+std::size_t TraceRecorder::distinct_types() const {
+  std::size_t n = 0;
+  for (const auto c : counts_) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void write_payload_fields(std::ostream& out, const TraceEvent& e) {
+  for (const auto& [key, value] : e.num) {
+    out << ", ";
+    write_json_string(out, key);
+    out << ": ";
+    write_json_number(out, value);
+  }
+  for (const auto& [key, value] : e.str) {
+    out << ", ";
+    write_json_string(out, key);
+    out << ": ";
+    write_json_string(out, value);
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  for (const auto& e : events_) {
+    out << "{\"t_us\": " << e.t << ", \"t_s\": ";
+    write_json_number(out, to_seconds(e.t));
+    out << ", \"type\": ";
+    write_json_string(out, event_type_name(e.type));
+    out << ", \"source\": ";
+    write_json_string(out, e.source);
+    write_payload_fields(out, e);
+    out << "}\n";
+  }
+  if (dropped() > 0) {
+    out << "{\"type\": \"TraceTruncated\", \"dropped\": " << dropped()
+        << ", \"cap\": " << config_.max_events << "}\n";
+  }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  // One synthetic thread per emitting component so each gets its own row.
+  std::map<std::string_view, int> tids;
+  for (const auto& e : events_) {
+    tids.emplace(e.source, 0);
+  }
+  int next_tid = 1;
+  for (auto& [source, tid] : tids) tid = next_tid++;
+
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [source, tid] : tids) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    write_json_string(out, source);
+    out << "}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    // Instant event, thread scope; ts is already microseconds.
+    out << "{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": "
+        << tids[e.source] << ", \"ts\": " << e.t << ", \"name\": ";
+    write_json_string(out, event_type_name(e.type));
+    out << ", \"args\": {";
+    bool first_arg = true;
+    for (const auto& [key, value] : e.num) {
+      if (!first_arg) out << ", ";
+      first_arg = false;
+      write_json_string(out, key);
+      out << ": ";
+      write_json_number(out, value);
+    }
+    for (const auto& [key, value] : e.str) {
+      if (!first_arg) out << ", ";
+      first_arg = false;
+      write_json_string(out, key);
+      out << ": ";
+      write_json_string(out, value);
+    }
+    out << "}}";
+  }
+  if (dropped() > 0) {
+    if (!first) out << ",\n";
+    out << "{\"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": 0, "
+           "\"ts\": 0, \"name\": \"TraceTruncated\", \"args\": "
+           "{\"dropped\": "
+        << dropped() << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace dope::obs

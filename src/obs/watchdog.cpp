@@ -1,0 +1,80 @@
+#include "obs/watchdog.hpp"
+
+#include "common/expect.hpp"
+
+namespace dope::obs {
+
+void Watchdog::add_rule(AlertRule rule) {
+  DOPE_REQUIRE(!rule.name.empty(), "alert rule needs a name");
+  DOPE_REQUIRE(!rule.signal.empty(), "alert rule needs a signal");
+  DOPE_REQUIRE(rule.consecutive >= 1, "need at least one window to raise");
+  DOPE_REQUIRE(rule.clear_after >= 1, "need at least one window to clear");
+  rules_.push_back(rule);
+  states_.push_back(RuleState{std::move(rule), 0, 0, -1});
+}
+
+void Watchdog::observe(std::string_view signal, Time t, double value) {
+  for (auto& state : states_) {
+    if (state.rule.signal == signal) evaluate(state, t, value);
+  }
+}
+
+void Watchdog::evaluate(RuleState& state, Time t, double value) {
+  const bool breached = state.rule.cmp == AlertCmp::kAbove
+                            ? value > state.rule.threshold
+                            : value < state.rule.threshold;
+  if (breached) {
+    ++state.breach_streak;
+    state.clean_streak = 0;
+    if (state.open < 0 && state.breach_streak >= state.rule.consecutive) {
+      state.open = static_cast<long>(alerts_.size());
+      alerts_.push_back(
+          Alert{state.rule.name, state.rule.signal, t, -1, value});
+      if (trace_ != nullptr) {
+        TraceEvent e;
+        e.t = t;
+        e.type = EventType::kAlertRaised;
+        e.source = "watchdog";
+        e.num.emplace_back("value", value);
+        e.num.emplace_back("threshold", state.rule.threshold);
+        e.num.emplace_back("windows", state.breach_streak);
+        e.str.emplace_back("rule", state.rule.name);
+        e.str.emplace_back("signal", state.rule.signal);
+        trace_->record(std::move(e));
+      }
+    }
+  } else {
+    ++state.clean_streak;
+    state.breach_streak = 0;
+    if (state.open >= 0 && state.clean_streak >= state.rule.clear_after) {
+      alerts_[static_cast<std::size_t>(state.open)].cleared_at = t;
+      state.open = -1;
+      if (trace_ != nullptr) {
+        TraceEvent e;
+        e.t = t;
+        e.type = EventType::kAlertCleared;
+        e.source = "watchdog";
+        e.num.emplace_back("value", value);
+        e.str.emplace_back("rule", state.rule.name);
+        trace_->record(std::move(e));
+      }
+    }
+  }
+}
+
+std::size_t Watchdog::active_count() const {
+  std::size_t n = 0;
+  for (const auto& state : states_) {
+    if (state.open >= 0) ++n;
+  }
+  return n;
+}
+
+bool Watchdog::is_firing(std::string_view rule) const {
+  for (const auto& state : states_) {
+    if (state.rule.name == rule && state.open >= 0) return true;
+  }
+  return false;
+}
+
+}  // namespace dope::obs

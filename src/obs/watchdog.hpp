@@ -1,0 +1,97 @@
+// Alert watchdog — netdata-style sliding-window rules over windowed
+// signals.
+//
+// Instrumented components feed the watchdog one sample per management
+// window ("slot demand was 612 W", "battery SoC is 0.31") via
+// `observe()`; each rule listening to that signal keeps a breach streak
+// and *raises* an alert after K consecutive breaching windows — the
+// netdata packet-storm pattern: a single spike is noise, a sustained
+// condition is an incident. An active alert *clears* after
+// `clear_after` consecutive clean windows, then re-arms.
+//
+// The watchdog is passive: it never touches the simulation engine, so
+// alerting cannot perturb determinism. Raised/cleared transitions are
+// mirrored into an attached TraceRecorder as kAlertRaised /
+// kAlertCleared events.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/trace.hpp"
+
+namespace dope::obs {
+
+/// Breach direction.
+enum class AlertCmp { kAbove, kBelow };
+
+/// One sliding-window rule.
+struct AlertRule {
+  /// Rule identity, e.g. "budget-violation-streak".
+  std::string name;
+  /// Signal key it evaluates, e.g. "cluster.slot_demand_w".
+  std::string signal;
+  AlertCmp cmp = AlertCmp::kAbove;
+  double threshold = 0.0;
+  /// Consecutive breaching windows required to raise.
+  unsigned consecutive = 1;
+  /// Consecutive clean windows required to clear again.
+  unsigned clear_after = 1;
+};
+
+/// One raise (and optional clear) of a rule.
+struct Alert {
+  std::string rule;
+  std::string signal;
+  Time raised_at = 0;
+  /// -1 while still active.
+  Time cleared_at = -1;
+  /// Signal value when the alert was raised.
+  double value = 0.0;
+  bool active() const { return cleared_at < 0; }
+};
+
+/// Evaluates rules against windowed signal samples.
+class Watchdog {
+ public:
+  /// `trace` may be null (alerts are still recorded in `alerts()`).
+  explicit Watchdog(TraceRecorder* trace = nullptr) : trace_(trace) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void add_rule(AlertRule rule);
+  const std::vector<AlertRule>& rules() const { return rules_; }
+  std::size_t rule_count() const { return states_.size(); }
+
+  /// Feeds one window sample of `signal`; every rule bound to that
+  /// signal evaluates it immediately.
+  void observe(std::string_view signal, Time t, double value);
+
+  /// Every alert ever raised, in raise order.
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  std::size_t active_count() const;
+  /// True while the named rule has an unresolved alert.
+  bool is_firing(std::string_view rule) const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    unsigned breach_streak = 0;
+    unsigned clean_streak = 0;
+    /// Index into alerts_ of the open alert, or -1.
+    long open = -1;
+  };
+
+  void evaluate(RuleState& state, Time t, double value);
+
+  TraceRecorder* trace_;
+  std::vector<RuleState> states_;
+  std::vector<AlertRule> rules_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace dope::obs

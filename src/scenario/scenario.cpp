@@ -43,6 +43,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   DOPE_REQUIRE(config.duration > 0, "scenario duration must be positive");
 
   sim::Engine engine;
+  engine.set_obs(config.obs);  // before any component construction
   const auto catalog = workload::Catalog::standard();
 
   cluster::ClusterConfig cc;
@@ -51,9 +52,34 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   cc.budget_override = config.budget_override;
   cc.battery_runtime = config.battery_runtime;
   cc.firewall = config.firewall;
+  cc.breaker = config.breaker;
   cc.slot = config.slot;
   cluster::Cluster cluster(engine, catalog, cc);
   cluster.install_scheme(make_scheme(config.scheme, config.antidope));
+
+  if (config.obs != nullptr && config.default_alert_rules) {
+    auto& dog = config.obs->watchdog();
+    dog.add_rule({.name = "budget-violated",
+                  .signal = cluster::Cluster::kSignalSlotDemand,
+                  .cmp = obs::AlertCmp::kAbove,
+                  .threshold = cluster.budget(),
+                  .consecutive = 5,
+                  .clear_after = 5});
+    dog.add_rule({.name = "utility-over-budget",
+                  .signal = cluster::Cluster::kSignalUtility,
+                  .cmp = obs::AlertCmp::kAbove,
+                  .threshold = cluster.budget(),
+                  .consecutive = 3,
+                  .clear_after = 3});
+    if (cluster.battery() != nullptr) {
+      dog.add_rule({.name = "battery-low",
+                    .signal = cluster::Cluster::kSignalBatterySoc,
+                    .cmp = obs::AlertCmp::kBelow,
+                    .threshold = 0.25,
+                    .consecutive = 1,
+                    .clear_after = 3});
+    }
+  }
 
   // Normal background traffic.
   std::unique_ptr<workload::TrafficGenerator> normal;

@@ -49,6 +49,8 @@ struct ScenarioConfig {
   Watts budget_override = 0.0;
   Duration battery_runtime = 2 * kMinute;
   std::optional<net::FirewallConfig> firewall;
+  /// Branch-circuit breaker on the utility feed; disabled when nullopt.
+  std::optional<power::BreakerSpec> breaker;
   Duration slot = 1 * kSecond;
 
   // --- scheme ---
@@ -76,6 +78,18 @@ struct ScenarioConfig {
   Duration duration = 10 * kMinute;  // the paper's observation window
   Duration power_sample_interval = 500 * kMillisecond;
   std::uint64_t seed = 1;
+
+  // --- observability ---
+  /// Optional metrics/trace/alert hub attached to the run's engine. The
+  /// caller owns it and it must outlive the call. One hub per scenario:
+  /// `run_scenarios` executes entries concurrently, so never share a hub
+  /// across configs in one batch. Instrumentation only observes — results
+  /// are byte-identical with and without a hub.
+  obs::Hub* obs = nullptr;
+  /// Install the standard power-emergency watchdog rules (budget breach,
+  /// utility feed over budget, battery below reserve) into `obs`'s
+  /// watchdog before the run. Ignored when `obs` is null.
+  bool default_alert_rules = false;
 };
 
 /// Everything the paper's figures report about one run.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::schemes {
 
@@ -32,10 +33,17 @@ void HierarchicalCappingScheme::attach(cluster::Cluster& cluster) {
     rack_target_.push_back(cluster.ladder().max_level());
     rack_clean_slots_.push_back(0);
   }
+  hub_ = cluster.engine().obs();
+  if (hub_ != nullptr) {
+    auto& reg = hub_->registry();
+    obs_facility_violations_ =
+        &reg.counter("power.level_violation", {{"level", "facility"}});
+    obs_rack_violations_ =
+        &reg.counter("power.level_violation", {{"level", "pdu"}});
+  }
 }
 
 void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
-  (void)now;
   (void)slot;
   const auto& ladder = cluster_->ladder();
   auto nodes = cluster_->servers();
@@ -46,6 +54,17 @@ void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
 
   const bool facility_hot = last_load_.facility.violated();
   if (last_load_.rack_only_violation()) ++rack_interventions_;
+  if (facility_hot && hub_ != nullptr) {
+    obs_facility_violations_->inc();
+    obs::TraceEvent e;
+    e.t = now;
+    e.type = obs::EventType::kLevelViolation;
+    e.source = "hierarchy";
+    e.num.emplace_back("load_w", last_load_.facility.load);
+    e.num.emplace_back("rating_w", last_load_.facility.rating);
+    e.str.emplace_back("level", "facility");
+    hub_->event(std::move(e));
+  }
 
   for (std::size_t p = 0; p < rack_nodes_.size(); ++p) {
     const auto& level_load = last_load_.pdus[p];
@@ -60,6 +79,18 @@ void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
     }
     if (level_load.load > allowance) {
       rack_clean_slots_[p] = 0;
+      if (hub_ != nullptr) {
+        obs_rack_violations_->inc();
+        obs::TraceEvent e;
+        e.t = now;
+        e.type = obs::EventType::kLevelViolation;
+        e.source = "hierarchy";
+        e.num.emplace_back("pdu", static_cast<double>(p));
+        e.num.emplace_back("load_w", level_load.load);
+        e.num.emplace_back("allowance_w", allowance);
+        e.str.emplace_back("level", "pdu");
+        hub_->event(std::move(e));
+      }
       const auto level = find_uniform_level(rack_nodes_[p], ladder,
                                             allowance, rack_target_[p]);
       if (level != rack_target_[p] || level == ladder.min_level()) {

@@ -16,6 +16,11 @@
 #include "power/hierarchy.hpp"
 #include "schemes/util.hpp"
 
+namespace dope::obs {
+class Counter;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::schemes {
 
 /// Per-level capping over a PowerTopology.
@@ -51,6 +56,9 @@ class HierarchicalCappingScheme final : public cluster::PowerScheme {
   std::vector<unsigned> rack_clean_slots_;
   power::HierarchyLoad last_load_;
   std::uint64_t rack_interventions_ = 0;
+  obs::Hub* hub_ = nullptr;
+  obs::Counter* obs_facility_violations_ = nullptr;
+  obs::Counter* obs_rack_violations_ = nullptr;
 };
 
 }  // namespace dope::schemes

@@ -3,8 +3,20 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::sim {
+
+void Engine::set_obs(obs::Hub* hub) {
+  obs_ = hub;
+  if (hub != nullptr) {
+    executed_counter_ = &hub->registry().counter("sim.events_executed");
+    queue_gauge_ = &hub->registry().gauge("sim.queue_depth");
+  } else {
+    executed_counter_ = nullptr;
+    queue_gauge_ = nullptr;
+  }
+}
 
 EventId Engine::schedule_at(Time t, std::function<void()> fn) {
   DOPE_REQUIRE(t >= now_, "cannot schedule events in the past");
@@ -55,6 +67,10 @@ bool Engine::step() {
     now_ = entry.t;
     ++executed_;
     fn();
+    if (executed_counter_ != nullptr) {
+      executed_counter_->inc();
+      queue_gauge_->set(static_cast<double>(handlers_.size()));
+    }
     return true;
   }
   return false;

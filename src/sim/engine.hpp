@@ -17,6 +17,12 @@
 
 #include "common/units.hpp"
 
+namespace dope::obs {
+class Counter;
+class Gauge;
+class Hub;
+}  // namespace dope::obs
+
 namespace dope::sim {
 
 /// Identifier for a scheduled event; usable with `Engine::cancel`.
@@ -86,6 +92,14 @@ class Engine {
   /// Total events executed so far (for engine introspection/tests).
   std::uint64_t executed() const { return executed_; }
 
+  /// Attaches the run's observability hub. The engine is the ambient
+  /// carrier: every component holding an `Engine&` reaches metrics and
+  /// tracing through `obs()`. Attach *before* constructing components —
+  /// they cache their instruments at construction. Null detaches
+  /// (tracing becomes a no-op; determinism is unaffected either way).
+  void set_obs(obs::Hub* hub);
+  obs::Hub* obs() const { return obs_; }
+
  private:
   struct QueueEntry {
     Time t;
@@ -96,6 +110,10 @@ class Engine {
       return seq > other.seq;
     }
   };
+
+  obs::Hub* obs_ = nullptr;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

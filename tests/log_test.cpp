@@ -46,11 +46,59 @@ TEST(Log, MacroShortCircuitsWhenDisabled) {
 TEST(Log, WriteBelowLevelIsDropped) {
   LogLevelGuard guard;
   Log::set_level(LogLevel::kError);
-  // Nothing observable to assert on stderr here beyond "does not crash";
-  // the gating itself is covered above.
+  LogCapture capture;
   Log::write(LogLevel::kInfo, "dropped");
   Log::write(LogLevel::kError, "emitted");
-  SUCCEED();
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].level, LogLevel::kError);
+  EXPECT_TRUE(capture.contains("emitted"));
+  EXPECT_FALSE(capture.contains("dropped"));
+}
+
+TEST(Log, CaptureSinkSeesMacroOutput) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kDebug);
+  LogCapture capture;
+  DOPE_LOG_WARN << "breaker " << 42 << " hot";
+  DOPE_LOG_DEBUG << "fine detail";
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.lines()[0].level, LogLevel::kWarn);
+  EXPECT_EQ(capture.lines()[0].text, "breaker 42 hot");
+  EXPECT_TRUE(capture.contains("fine detail"));
+}
+
+TEST(Log, CaptureRestoresPreviousSinkOnDestruction) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kInfo);
+  std::vector<std::string> outer;
+  Log::set_sink([&outer](LogLevel, const std::string& line) {
+    outer.push_back(line);
+  });
+  {
+    LogCapture capture;
+    Log::write(LogLevel::kInfo, "inner");
+    EXPECT_TRUE(capture.contains("inner"));
+  }
+  Log::write(LogLevel::kInfo, "outer");
+  Log::set_sink(nullptr);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer[0], "outer");
+}
+
+TEST(Log, TimeSourcePrefixesSimTime) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kInfo);
+  Time now = 12 * kSecond + 345 * kMillisecond;
+  Log::set_time_source([&now] { return now; });
+  LogCapture capture;
+  Log::write(LogLevel::kInfo, "with clock");
+  Log::set_time_source(nullptr);
+  Log::write(LogLevel::kInfo, "without clock");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_TRUE(capture.lines()[0].text.find("[t=12.345s]") !=
+              std::string::npos)
+      << capture.lines()[0].text;
+  EXPECT_EQ(capture.lines()[1].text, "without clock");
 }
 
 TEST(Units, DurationArithmeticIsExact) {

@@ -1,0 +1,332 @@
+// Tests for the observability subsystem: metrics registry, structured
+// trace recorder + exports, alert watchdog, and the end-to-end guarantee
+// that attaching a hub never perturbs simulation results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/hub.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dope::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, EncodeKeyCanonicalisesLabelOrder) {
+  EXPECT_EQ(encode_key("net.dropped", {}), "net.dropped");
+  const std::string ab =
+      encode_key("net.dropped", {{"a", "1"}, {"b", "2"}});
+  const std::string ba =
+      encode_key("net.dropped", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab, "net.dropped{a=\"1\",b=\"2\"}");
+}
+
+TEST(Metrics, RegistryReturnsStableDeduplicatedInstruments) {
+  Registry reg;
+  Counter& a = reg.counter("requests", {{"pool", "suspect"}});
+  Counter& b = reg.counter("requests", {{"pool", "suspect"}});
+  Counter& c = reg.counter("requests", {{"pool", "innocent"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc();
+  a.inc(2.5);
+  EXPECT_DOUBLE_EQ(b.value(), 3.5);
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, RegistryRejectsKindMismatch) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histo("x"), std::logic_error);
+}
+
+TEST(Metrics, FindLooksUpByEncodedKeyWithoutCreating) {
+  Registry reg;
+  reg.counter("hits", {{"pool", "suspect"}}).inc(7);
+  const Counter* found = reg.find_counter("hits{pool=\"suspect\"}");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value(), 7.0);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_gauge("hits{pool=\"suspect\"}"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, GaugeTracksExtremes) {
+  Registry reg;
+  Gauge& g = reg.gauge("soc");
+  EXPECT_FALSE(g.written());
+  g.set(0.5);
+  g.set(0.2);
+  g.set(0.8);
+  EXPECT_TRUE(g.written());
+  EXPECT_DOUBLE_EQ(g.value(), 0.8);
+  EXPECT_DOUBLE_EQ(g.min_seen(), 0.2);
+  EXPECT_DOUBLE_EQ(g.max_seen(), 0.8);
+}
+
+TEST(Metrics, HistoSummaryAndPercentiles) {
+  Registry reg;
+  Histo& h = reg.histo("overshoot_w");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Log2 buckets: percentiles are approximate but must stay inside the
+  // observed range, be monotone, and land in the right factor-2 band.
+  const double p50 = h.percentile(50);
+  const double p99 = h.percentile(99);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+}
+
+TEST(Metrics, HistoHandlesNonPositiveValues) {
+  Histo h;
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(Metrics, WriteJsonEmitsAllSections) {
+  Registry reg;
+  reg.counter("hits", {{"pool", "suspect"}}).inc(3);
+  reg.gauge("soc").set(0.75);
+  reg.histo("lat_ms").observe(12.0);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histos\""), std::string::npos);
+  EXPECT_NE(json.find("hits{pool=\\\"suspect\\\"}"), std::string::npos);
+  EXPECT_NE(json.find("0.75"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace
+
+TraceEvent make_event(Time t, EventType type, const char* source) {
+  TraceEvent e;
+  e.t = t;
+  e.type = type;
+  e.source = source;
+  return e;
+}
+
+TEST(Trace, CountsPerTypeAndDistinctTypes) {
+  TraceRecorder rec;
+  rec.record(make_event(1, EventType::kRequestForwarded, "edge"));
+  rec.record(make_event(2, EventType::kRequestForwarded, "edge"));
+  rec.record(make_event(3, EventType::kBudgetViolation, "cluster"));
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.count(EventType::kRequestForwarded), 2u);
+  EXPECT_EQ(rec.count(EventType::kBudgetViolation), 1u);
+  EXPECT_EQ(rec.count(EventType::kBreakerTrip), 0u);
+  EXPECT_EQ(rec.distinct_types(), 2u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Trace, CapDropsEventsLoudlyNotSilently) {
+  TraceRecorder rec(TraceConfig{.max_events = 2});
+  for (int i = 0; i < 5; ++i) {
+    rec.record(make_event(i, EventType::kRequestForwarded, "edge"));
+  }
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.events().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  // Dropped events still count toward per-type stats.
+  EXPECT_EQ(rec.count(EventType::kRequestForwarded), 5u);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  EXPECT_NE(out.str().find("TraceTruncated"), std::string::npos);
+  EXPECT_NE(out.str().find("\"dropped\": 3"), std::string::npos);
+}
+
+TEST(Trace, JsonlRoundTripsPayloadAndEscapes) {
+  TraceRecorder rec;
+  TraceEvent e = make_event(1'500'000, EventType::kThrottleApplied, "dpm");
+  e.num.emplace_back("deficit_w", 42.5);
+  e.str.emplace_back("mode", "uniform \"quoted\"");
+  rec.record(std::move(e));
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"t_us\": 1500000"), std::string::npos);
+  EXPECT_NE(line.find("\"t_s\": 1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"type\": \"ThrottleApplied\""), std::string::npos);
+  EXPECT_NE(line.find("\"source\": \"dpm\""), std::string::npos);
+  EXPECT_NE(line.find("\"deficit_w\": 42.5"), std::string::npos);
+  EXPECT_NE(line.find("uniform \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Trace, ChromeExportLabelsOneRowPerSource) {
+  TraceRecorder rec;
+  rec.record(make_event(10, EventType::kRequestForwarded, "edge"));
+  rec.record(make_event(20, EventType::kBatteryDischarge, "battery"));
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge\""), std::string::npos);
+  EXPECT_NE(json.find("\"battery\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 20"), std::string::npos);
+}
+
+TEST(Trace, EveryEventTypeHasAName) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    EXPECT_STRNE(event_type_name(static_cast<EventType>(i)), "?");
+  }
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(Watchdog, RaisesOnlyAfterConsecutiveBreaches) {
+  Watchdog dog;
+  dog.add_rule({.name = "budget",
+                .signal = "demand_w",
+                .cmp = AlertCmp::kAbove,
+                .threshold = 100.0,
+                .consecutive = 3,
+                .clear_after = 2});
+  dog.observe("demand_w", 1, 150.0);
+  dog.observe("demand_w", 2, 150.0);
+  EXPECT_FALSE(dog.is_firing("budget"));
+  // A clean window resets the streak.
+  dog.observe("demand_w", 3, 50.0);
+  dog.observe("demand_w", 4, 150.0);
+  dog.observe("demand_w", 5, 150.0);
+  EXPECT_FALSE(dog.is_firing("budget"));
+  dog.observe("demand_w", 6, 150.0);
+  EXPECT_TRUE(dog.is_firing("budget"));
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].raised_at, 6);
+  EXPECT_DOUBLE_EQ(dog.alerts()[0].value, 150.0);
+  EXPECT_EQ(dog.active_count(), 1u);
+}
+
+TEST(Watchdog, ClearsAfterCleanStreakAndRearms) {
+  Watchdog dog;
+  dog.add_rule({.name = "soc-low",
+                .signal = "soc",
+                .cmp = AlertCmp::kBelow,
+                .threshold = 0.25,
+                .consecutive = 1,
+                .clear_after = 2});
+  dog.observe("soc", 1, 0.1);
+  EXPECT_TRUE(dog.is_firing("soc-low"));
+  dog.observe("soc", 2, 0.5);
+  EXPECT_TRUE(dog.is_firing("soc-low"));  // one clean window is not enough
+  dog.observe("soc", 3, 0.5);
+  EXPECT_FALSE(dog.is_firing("soc-low"));
+  EXPECT_EQ(dog.alerts()[0].cleared_at, 3);
+  // Re-armed: a fresh breach opens a second alert.
+  dog.observe("soc", 4, 0.1);
+  EXPECT_TRUE(dog.is_firing("soc-low"));
+  EXPECT_EQ(dog.alerts().size(), 2u);
+  EXPECT_EQ(dog.active_count(), 1u);
+}
+
+TEST(Watchdog, SignalsAreIndependent) {
+  Watchdog dog;
+  dog.add_rule({.name = "a", .signal = "x", .threshold = 1.0});
+  dog.add_rule({.name = "b", .signal = "y", .threshold = 1.0});
+  dog.observe("x", 1, 5.0);
+  EXPECT_TRUE(dog.is_firing("a"));
+  EXPECT_FALSE(dog.is_firing("b"));
+  EXPECT_EQ(dog.rule_count(), 2u);
+}
+
+TEST(Watchdog, MirrorsTransitionsIntoTrace) {
+  TraceRecorder rec;
+  Watchdog dog(&rec);
+  dog.add_rule({.name = "hot", .signal = "w", .threshold = 10.0});
+  dog.observe("w", 1, 20.0);
+  dog.observe("w", 2, 5.0);
+  EXPECT_EQ(rec.count(EventType::kAlertRaised), 1u);
+  EXPECT_EQ(rec.count(EventType::kAlertCleared), 1u);
+  std::ostringstream out;
+  rec.write_jsonl(out);
+  EXPECT_NE(out.str().find("\"rule\": \"hot\""), std::string::npos);
+}
+
+// --------------------------------------------------- end-to-end via a Hub
+
+scenario::ScenarioConfig small_attack_scenario() {
+  scenario::ScenarioConfig config;
+  config.scheme = scenario::SchemeKind::kAntiDope;
+  config.budget = power::BudgetLevel::kLow;
+  config.num_servers = 4;
+  config.normal_rps = 100.0;
+  config.attack_rps = 200.0;
+  config.duration = 60 * kSecond;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Hub, AttachingObservabilityDoesNotPerturbResults) {
+  const auto plain = scenario::run_scenario(small_attack_scenario());
+
+  Hub hub;
+  auto traced_config = small_attack_scenario();
+  traced_config.obs = &hub;
+  traced_config.default_alert_rules = true;
+  const auto traced = scenario::run_scenario(traced_config);
+
+  // Byte-identical simulation: every reported number matches exactly.
+  EXPECT_EQ(plain.mean_ms, traced.mean_ms);
+  EXPECT_EQ(plain.p99_ms, traced.p99_ms);
+  EXPECT_EQ(plain.availability, traced.availability);
+  EXPECT_EQ(plain.mean_power, traced.mean_power);
+  EXPECT_EQ(plain.peak_power, traced.peak_power);
+  EXPECT_EQ(plain.slot_stats.violation_slots,
+            traced.slot_stats.violation_slots);
+  EXPECT_EQ(plain.energy.battery, traced.energy.battery);
+  ASSERT_EQ(plain.power_timeline.size(), traced.power_timeline.size());
+  for (std::size_t i = 0; i < plain.power_timeline.size(); ++i) {
+    EXPECT_EQ(plain.power_timeline[i].value,
+              traced.power_timeline[i].value);
+  }
+
+  // And the hub actually observed the run.
+  EXPECT_GT(hub.trace().recorded(), 0u);
+  EXPECT_GT(hub.registry().size(), 0u);
+  const Counter* executed =
+      hub.registry().find_counter("sim.events_executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_GT(executed->value(), 0.0);
+}
+
+TEST(Hub, CountersAgreeWithClusterSlotStats) {
+  Hub hub;
+  auto config = small_attack_scenario();
+  config.obs = &hub;
+  const auto result = scenario::run_scenario(config);
+
+  const Counter* violations =
+      hub.registry().find_counter("cluster.violation_slots");
+  ASSERT_NE(violations, nullptr);
+  EXPECT_DOUBLE_EQ(
+      violations->value(),
+      static_cast<double>(result.slot_stats.violation_slots));
+  EXPECT_EQ(hub.trace().count(EventType::kBudgetViolation),
+            result.slot_stats.violation_slots);
+}
+
+}  // namespace
+}  // namespace dope::obs

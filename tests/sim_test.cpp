@@ -178,6 +178,56 @@ TEST(Engine, DeterministicReplayProducesIdenticalTrace) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Engine, ExecutedCountsFiringsNotCancellations) {
+  Engine engine;
+  const EventId a = engine.schedule_at(1, [] {});
+  engine.schedule_at(2, [] {});
+  engine.schedule_at(3, [] {});
+  engine.cancel(a);
+  engine.run_until(10);
+  // The cancelled event never runs, so it must not inflate executed().
+  EXPECT_EQ(engine.executed(), 2u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, PendingTracksPeriodicReschedule) {
+  Engine engine;
+  auto handle = engine.every(10, [] {});
+  // Exactly one in-flight occurrence exists at any time.
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(35);
+  EXPECT_EQ(engine.pending(), 1u);
+  handle.stop();
+  engine.run_until(100);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.executed(), 4u);  // t=10,20,30 + the stopped final pop
+}
+
+TEST(Engine, CancelAlreadyFiredReturnsFalse) {
+  Engine engine;
+  const EventId a = engine.schedule_at(1, [] {});
+  engine.run_until(5);
+  EXPECT_FALSE(engine.cancel(a));
+  const EventId b = engine.schedule_at(10, [] {});
+  EXPECT_TRUE(engine.cancel(b));
+  EXPECT_FALSE(engine.cancel(b));  // double cancel
+}
+
+TEST(Engine, StoppedPeriodicStillDrainsItsLastEvent) {
+  // Stopping is lazy: the already-queued occurrence pops (and counts as
+  // executed) but does not fire the callback or reschedule.
+  Engine engine;
+  int count = 0;
+  auto handle = engine.every(10, [&] { ++count; });
+  engine.run_until(10);
+  EXPECT_EQ(count, 1);
+  handle.stop();
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_all();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
 TEST(Engine, ManyEventsStressOrdering) {
   Engine engine;
   Time last = -1;
