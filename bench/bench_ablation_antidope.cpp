@@ -79,16 +79,27 @@ int main() {
   bench::figure_header("Ablation", "Anti-DOPE design choices");
 
   // ---- (a) suspect pool fraction ----
+  // Each config knob becomes a named variant on a sweep grid, so the
+  // section's runs share the multicore pool instead of a serial loop.
   std::cout << "\n(a) suspect pool fraction (Low-PB, 400 rps attack)\n";
   TextTable a({"fraction", "pool size", "mean (ms)", "p90 (ms)",
                "availability"});
+  const std::vector<double> fractions = {0.125, 0.25, 0.375, 0.5};
+  sweep::GridSpec grid_a;
+  grid_a.base = base();
+  for (const double fraction : fractions) {
+    grid_a.variants.push_back(
+        {"pool-" + std::to_string(fraction),
+         [fraction](scenario::ScenarioConfig& c) {
+           c.antidope.suspect_pool_fraction = fraction;
+         }});
+  }
+  const auto runs_a = bench::run_grid(grid_a);
   std::vector<double> avail_by_fraction;
-  for (double fraction : {0.125, 0.25, 0.375, 0.5}) {
-    auto config = base();
-    config.antidope.suspect_pool_fraction = fraction;
-    const auto r = scenario::run_scenario(config);
-    a.row(fraction, static_cast<int>(8 * fraction + 0.5), r.mean_ms,
-          r.p90_ms, r.availability);
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const auto& r = runs_a[i];
+    a.row(fractions[i], static_cast<int>(8 * fractions[i] + 0.5),
+          r.mean_ms, r.p90_ms, r.availability);
     avail_by_fraction.push_back(r.availability);
   }
   a.print(std::cout);
@@ -102,13 +113,23 @@ int main() {
   TextTable b({"threshold (W)", "suspect types", "mean (ms)", "p90 (ms)",
                "availability"});
   const auto catalog = workload::Catalog::standard();
+  const std::vector<double> thresholds = {5.0, 10.0, 16.0, 20.0};
+  sweep::GridSpec grid_b;
+  grid_b.base = base();
+  for (const double threshold : thresholds) {
+    grid_b.variants.push_back(
+        {"threshold-" + std::to_string(threshold),
+         [threshold](scenario::ScenarioConfig& c) {
+           c.antidope.suspect_power_threshold = threshold;
+         }});
+  }
+  const auto runs_b = bench::run_grid(grid_b);
   double p90_mid = 0.0, p90_loose = 0.0, avail_low = 1.0;
-  for (double threshold : {5.0, 10.0, 16.0, 20.0}) {
-    auto config = base();
-    config.antidope.suspect_power_threshold = threshold;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double threshold = thresholds[i];
     const auto list =
         antidope::SuspectList::from_catalog(catalog, threshold);
-    const auto r = scenario::run_scenario(config);
+    const auto& r = runs_b[i];
     b.row(threshold, static_cast<int>(list.suspect_count()), r.mean_ms,
           r.p90_ms, r.availability);
     if (threshold == 5.0) avail_low = r.availability;
@@ -129,12 +150,21 @@ int main() {
   std::cout << "\n(c) management slot length\n";
   TextTable c({"slot (ms)", "mean (ms)", "p90 (ms)",
                "demand violations", "battery used (J)"});
+  const std::vector<Duration> slots = {250 * kMillisecond, kSecond,
+                                       4 * kSecond};
+  sweep::GridSpec grid_c;
+  grid_c.base = base();
+  grid_c.base.budget_override = 8 * 100.0 * 0.55;  // force active control
+  for (const Duration slot : slots) {
+    grid_c.variants.push_back(
+        {"slot-" + std::to_string(to_millis(slot)) + "ms",
+         [slot](scenario::ScenarioConfig& cfg) { cfg.slot = slot; }});
+  }
+  const auto runs_c = bench::run_grid(grid_c);
   std::vector<std::uint64_t> violations;
-  for (Duration slot : {250 * kMillisecond, kSecond, 4 * kSecond}) {
-    auto config = base();
-    config.slot = slot;
-    config.budget_override = 8 * 100.0 * 0.55;  // force active control
-    const auto r = scenario::run_scenario(config);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const Duration slot = slots[i];
+    const auto& r = runs_c[i];
     c.row(to_millis(slot), r.mean_ms, r.p90_ms,
           static_cast<long long>(r.slot_stats.violation_slots),
           r.battery_discharged);
@@ -180,11 +210,17 @@ int main() {
   // ---- (e) uniform vs per-node DPM throttling ----
   std::cout << "\n(e) Algorithm 1 throttling search: uniform level vs "
                "per-node TL(p,q)\n";
-  auto tight = base();
-  tight.budget_override = 8 * 100.0 * 0.55;  // force active throttling
-  const auto uniform_dpm = scenario::run_scenario(tight);
-  tight.antidope.per_node_throttling = true;
-  const auto per_node_dpm = scenario::run_scenario(tight);
+  sweep::GridSpec grid_e;
+  grid_e.base = base();
+  grid_e.base.budget_override = 8 * 100.0 * 0.55;  // force active throttling
+  grid_e.variants = {
+      {"uniform", {}},
+      {"per-node", [](scenario::ScenarioConfig& cfg) {
+         cfg.antidope.per_node_throttling = true;
+       }}};
+  const auto runs_e = bench::run_grid(grid_e);
+  const auto& uniform_dpm = runs_e[0];
+  const auto& per_node_dpm = runs_e[1];
   TextTable e({"DPM search", "mean (ms)", "p90 (ms)", "availability",
                "violation slots"});
   e.row("uniform level", uniform_dpm.mean_ms, uniform_dpm.p90_ms,

@@ -24,17 +24,7 @@ struct Outcome {
   std::uint64_t attack_sent = 0;
 };
 
-Outcome run(scenario::SchemeKind scheme, bool pulse) {
-  auto config = bench::eval_scenario(scheme, power::BudgetLevel::kLow);
-  config.duration = 10 * kMinute;
-  if (pulse) {
-    // 30 s on / 30 s off.
-    for (Time t = 0; t < config.duration; t += kMinute) {
-      config.attack_rate_plan.push_back({t, 400.0});
-      config.attack_rate_plan.push_back({t + 30 * kSecond, 0.0});
-    }
-  }
-  const auto r = scenario::run_scenario(config);
+Outcome outcome_of(const scenario::ScenarioResult& r) {
   Outcome out;
   out.mean_ms = r.mean_ms;
   out.p90_ms = r.p90_ms;
@@ -48,10 +38,29 @@ int main() {
   bench::figure_header("Ablation",
                        "Pulsating vs. steady DOPE (attack efficiency)");
 
-  const auto capping_steady = run(scenario::SchemeKind::kCapping, false);
-  const auto capping_pulse = run(scenario::SchemeKind::kCapping, true);
-  const auto antidope_steady = run(scenario::SchemeKind::kAntiDope, false);
-  const auto antidope_pulse = run(scenario::SchemeKind::kAntiDope, true);
+  // scheme × attack-schedule grid through dope::sweep.
+  sweep::GridSpec grid;
+  grid.base = bench::eval_scenario(scenario::SchemeKind::kCapping,
+                                   power::BudgetLevel::kLow);
+  grid.base.duration = 10 * kMinute;
+  grid.schemes = {scenario::SchemeKind::kCapping,
+                  scenario::SchemeKind::kAntiDope};
+  auto steady = sweep::AttackProfile::dope(400.0);
+  steady.name = "steady-400";
+  auto pulse = sweep::AttackProfile::dope(400.0);
+  pulse.name = "pulse-30s-30s";
+  // 30 s on / 30 s off.
+  for (Time t = 0; t < grid.base.duration; t += kMinute) {
+    pulse.rate_plan.push_back({t, 400.0});
+    pulse.rate_plan.push_back({t + 30 * kSecond, 0.0});
+  }
+  grid.attacks = {steady, pulse};
+  const auto runs = bench::run_grid(grid);
+
+  const auto capping_steady = outcome_of(runs[0]);
+  const auto capping_pulse = outcome_of(runs[1]);
+  const auto antidope_steady = outcome_of(runs[2]);
+  const auto antidope_pulse = outcome_of(runs[3]);
 
   TextTable table({"defense", "attack", "normal mean (ms)",
                    "normal p90 (ms)", "attack requests",

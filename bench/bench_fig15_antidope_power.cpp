@@ -13,17 +13,20 @@ using namespace dope;
 
 namespace {
 
-scenario::ScenarioConfig antidope_run(double attack_rps) {
-  auto config = bench::eval_scenario(scenario::SchemeKind::kAntiDope,
-                                     power::BudgetLevel::kMedium,
-                                     attack_rps);
+sweep::GridSpec antidope_grid() {
+  sweep::GridSpec grid;
+  grid.base = bench::eval_scenario(scenario::SchemeKind::kAntiDope,
+                                   power::BudgetLevel::kMedium);
   // A tight explicit budget: the confined attack still causes a deficit
   // that RPM must actively throttle away (the paper's Fig. 15a shows the
   // controller visibly pulling power down).
-  config.budget_override = 8 * 100.0 * 0.55;
-  config.attack_start = 120 * kSecond;
-  config.duration = 10 * kMinute;
-  return config;
+  grid.base.budget_override = 8 * 100.0 * 0.55;
+  grid.base.duration = 10 * kMinute;
+  // Attack axis: the DOPE flood arriving at t=120 s, and no attack.
+  auto dope = sweep::AttackProfile::dope(400.0);
+  dope.start = 120 * kSecond;
+  grid.attacks = {dope, sweep::AttackProfile::none()};
+  return grid;
 }
 
 }  // namespace
@@ -33,8 +36,9 @@ int main() {
       "Figure 15",
       "Anti-DOPE: power control with slight normal-user degradation");
 
-  const auto attacked = scenario::run_scenario(antidope_run(400.0));
-  const auto baseline = scenario::run_scenario(antidope_run(0.0));
+  const auto runs = bench::run_grid(antidope_grid());
+  const auto& attacked = runs[0];
+  const auto& baseline = runs[1];
   bench::result_metrics("attacked", attacked);
   bench::result_metrics("baseline", baseline);
 

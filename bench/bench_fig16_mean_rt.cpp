@@ -31,17 +31,11 @@ int main() {
   std::cout << "\nmean response time of normal users (ms), DOPE at 400 rps\n";
   TextTable table({"budget", "Capping", "Shaving", "Token", "Anti-DOPE",
                    "Token drop %"});
-  // results[budget][scheme]
-  std::vector<std::vector<scenario::ScenarioResult>> results;
-  for (const auto budget : budgets) {
-    std::vector<scenario::ScenarioResult> row;
-    for (const auto scheme : scenario::kEvaluatedSchemes) {
-      row.push_back(
-          scenario::run_scenario(bench::eval_scenario(scheme, budget)));
-    }
-    results.push_back(std::move(row));
-    const auto& r = results.back();
-    table.row(power::budget_name(budget), r[0].mean_ms, r[1].mean_ms,
+  // results[budget][scheme], evaluated multicore through dope::sweep.
+  const auto results = bench::eval_grid(budgets);
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const auto& r = results[b];
+    table.row(power::budget_name(budgets[b]), r[0].mean_ms, r[1].mean_ms,
               r[2].mean_ms, r[3].mean_ms, r[2].drop_fraction * 100.0);
   }
   table.print(std::cout);

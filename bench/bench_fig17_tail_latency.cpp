@@ -23,18 +23,15 @@ int main() {
                "400 rps, 10-minute window\n";
   TextTable table({"budget", "Capping p90", "Shaving p90", "Token p90",
                    "Anti-DOPE p90", "Anti-DOPE p95"});
-  std::vector<std::vector<scenario::ScenarioResult>> results;
-  for (const auto budget : budgets) {
-    std::vector<scenario::ScenarioResult> row;
-    for (const auto scheme : scenario::kEvaluatedSchemes) {
-      auto config = bench::eval_scenario(scheme, budget);
-      // Long window: outlives the 2-minute battery, exposing Shaving.
-      config.duration = 15 * kMinute;
-      row.push_back(scenario::run_scenario(config));
-    }
-    results.push_back(std::move(row));
-    const auto& r = results.back();
-    table.row(power::budget_name(budget), r[0].p90_ms, r[1].p90_ms,
+  // results[budget][scheme] via dope::sweep, with a long window: it
+  // outlives the 2-minute battery, exposing Shaving.
+  const auto results =
+      bench::eval_grid(budgets, 400.0, [](scenario::ScenarioConfig& c) {
+        c.duration = 15 * kMinute;
+      });
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const auto& r = results[b];
+    table.row(power::budget_name(budgets[b]), r[0].p90_ms, r[1].p90_ms,
               r[2].p90_ms, r[3].p90_ms, r[3].p95_ms);
   }
   table.print(std::cout);

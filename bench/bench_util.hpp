@@ -22,6 +22,7 @@
 #include "common/units.hpp"
 #include "obs/json.hpp"
 #include "scenario/scenario.hpp"
+#include "sweep/sweep.hpp"
 #include "workload/catalog.hpp"
 
 namespace dope::bench {
@@ -158,6 +159,51 @@ inline void figure_header(const std::string& id, const std::string& title) {
 /// Records one named scalar into the bench's JSON report.
 inline void metric(const std::string& key, double value) {
   JsonReport::instance().add_metric(key, value);
+}
+
+/// Worker threads for bench sweep grids: $DOPE_BENCH_THREADS when set,
+/// else 0 (hardware concurrency). The thread count never changes the
+/// results — grids merge deterministically in grid order.
+inline std::size_t bench_threads() {
+  if (const char* env = std::getenv("DOPE_BENCH_THREADS")) {
+    return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
+
+/// Runs a sweep grid multicore; a failed run aborts the bench with the
+/// run's label and error (benches have no use for partial figures).
+inline std::vector<scenario::ScenarioResult> run_grid(
+    const sweep::GridSpec& grid) {
+  return sweep::run_grid(grid, bench_threads());
+}
+
+/// The paper's standard budget × scheme evaluation grid (budget-major,
+/// matching the tables): returns results[budget_i][scheme_i] for the
+/// four Table 2 schemes. `tweak` adjusts the base `eval_scenario`
+/// config (duration, slot, ...) before the axes are applied.
+inline std::vector<std::vector<scenario::ScenarioResult>> eval_grid(
+    const std::vector<power::BudgetLevel>& budgets,
+    double attack_rps = 400.0,
+    const std::function<void(scenario::ScenarioConfig&)>& tweak = {}) {
+  sweep::GridSpec grid;
+  grid.base = eval_scenario(scenario::SchemeKind::kCapping,
+                            power::BudgetLevel::kNormal, attack_rps);
+  if (tweak) tweak(grid.base);
+  grid.budgets = budgets;
+  grid.schemes.assign(std::begin(scenario::kEvaluatedSchemes),
+                      std::end(scenario::kEvaluatedSchemes));
+  // Qualified: ADL would also find sweep::run_grid for a GridSpec.
+  const auto flat = bench::run_grid(grid);
+  std::vector<std::vector<scenario::ScenarioResult>> rows;
+  rows.reserve(budgets.size());
+  const std::size_t ns = grid.schemes.size();
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    rows.emplace_back(
+        flat.begin() + static_cast<std::ptrdiff_t>(b * ns),
+        flat.begin() + static_cast<std::ptrdiff_t>((b + 1) * ns));
+  }
+  return rows;
 }
 
 /// Records a scenario result's headline numbers under `prefix.`.

@@ -19,6 +19,8 @@
 #include "common/table.hpp"
 #include "obs/hub.hpp"
 #include "scenario/scenario.hpp"
+#include "sweep/report.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -67,6 +69,17 @@ observability (see docs/OBSERVABILITY.md)
                        (load in chrome://tracing or ui.perfetto.dev)
   --alerts             run the power-emergency watchdog and print any
                        alerts it raised
+
+sweep mode (see docs/SWEEP.md; any --sweep-* flag selects it — the
+flags above define the base scenario, each axis multiplies the grid)
+  --sweep-schemes LIST comma-separated scheme names
+  --sweep-budgets LIST comma-separated budget levels
+  --sweep-attacks LIST none | dope:RPS | pulse:RPS:PERIOD_S
+  --sweep-seeds LIST   comma-separated RNG seeds
+  --threads N          sweep worker threads; 0 = hardware concurrency
+                       (default; results are identical either way)
+  --sweep-json FILE    write the merged sweep report
+  --sweep-csv FILE     write one CSV row per run
   --help               this text
 )";
 }
@@ -102,6 +115,11 @@ int main(int argc, char** argv) {
   std::string csv_path, power_csv_path, soc_csv_path;
   std::string metrics_path, trace_path;
   bool want_alerts = false;
+
+  std::string sweep_schemes, sweep_budgets, sweep_attacks, sweep_seeds;
+  std::string sweep_json_path, sweep_csv_path;
+  std::size_t threads = 0;
+  bool sweep_mode = false;
 
   const std::map<std::string, scenario::SchemeKind> schemes = {
       {"none", scenario::SchemeKind::kNone},
@@ -197,9 +215,83 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (flag == "--alerts") {
       want_alerts = true;
+    } else if (flag == "--sweep-schemes") {
+      sweep_schemes = next();
+      sweep_mode = true;
+    } else if (flag == "--sweep-budgets") {
+      sweep_budgets = next();
+      sweep_mode = true;
+    } else if (flag == "--sweep-attacks") {
+      sweep_attacks = next();
+      sweep_mode = true;
+    } else if (flag == "--sweep-seeds") {
+      sweep_seeds = next();
+      sweep_mode = true;
+    } else if (flag == "--sweep-json") {
+      sweep_json_path = next();
+      sweep_mode = true;
+    } else if (flag == "--sweep-csv") {
+      sweep_csv_path = next();
+      sweep_mode = true;
+    } else if (flag == "--threads") {
+      threads = static_cast<std::size_t>(number_arg(flag, next()));
     } else {
       fail("unknown flag: " + flag);
     }
+  }
+
+  if (sweep_mode) {
+    sweep::GridSpec grid;
+    grid.base = config;
+    try {
+      if (!sweep_schemes.empty()) {
+        grid.schemes = sweep::parse_scheme_list(sweep_schemes);
+      }
+      if (!sweep_budgets.empty()) {
+        grid.budgets = sweep::parse_budget_list(sweep_budgets);
+      }
+      if (!sweep_attacks.empty()) {
+        grid.attacks =
+            sweep::parse_attack_list(sweep_attacks, grid.base.duration);
+      }
+      if (!sweep_seeds.empty()) {
+        grid.seeds = sweep::parse_seed_list(sweep_seeds);
+      }
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+
+    const auto sweep_result =
+        sweep::SweepRunner({.threads = threads}).run(grid);
+    std::cout << "== dopesim sweep: " << sweep_result.runs.size()
+              << " runs (" << sweep_result.failures << " failed) ==\n\n";
+    TextTable table({"run", "mean (ms)", "p90 (ms)", "availability",
+                     "peak (W)", "status"});
+    for (const auto& run : sweep_result.runs) {
+      if (run.ok) {
+        table.row(run.point.label(), run.result.mean_ms,
+                  run.result.p90_ms, run.result.availability,
+                  run.result.peak_power, "ok");
+      } else {
+        table.row(run.point.label(), "-", "-", "-", "-",
+                  "FAILED: " + run.error);
+      }
+    }
+    table.print(std::cout);
+
+    if (!sweep_json_path.empty()) {
+      std::ofstream out(sweep_json_path);
+      if (!out) fail("cannot write " + sweep_json_path);
+      sweep::write_json(out, grid, sweep_result);
+      std::cout << "\nwrote " << sweep_json_path << "\n";
+    }
+    if (!sweep_csv_path.empty()) {
+      std::ofstream out(sweep_csv_path);
+      if (!out) fail("cannot write " + sweep_csv_path);
+      sweep::write_csv(out, sweep_result);
+      std::cout << "wrote " << sweep_csv_path << "\n";
+    }
+    return sweep_result.failures == 0 ? 0 : 1;
   }
 
   std::unique_ptr<obs::Hub> hub;

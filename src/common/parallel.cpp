@@ -15,13 +15,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
   task_ready_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -71,12 +75,26 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, n);
+  // The exception kept is the one from the lowest failing *index*, not
+  // whichever thread lost the race to a mutex first — a failing batch
+  // then names the same culprit for every thread count (including 1).
+  std::exception_ptr first_error;
+  std::size_t first_error_index = n;
   if (threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -89,7 +107,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
           fn(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
         }
       }
     });

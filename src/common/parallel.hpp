@@ -32,8 +32,15 @@ class ThreadPool {
   /// Enqueues a task; throws std::runtime_error after shutdown.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. Tasks may
+  /// themselves submit follow-up work; wait_idle returns only once the
+  /// whole transitive closure has drained.
   void wait_idle();
+
+  /// Drains already-queued tasks, joins the workers, and makes further
+  /// `submit` calls throw. Idempotent; the destructor calls it. Must not
+  /// be called from inside a pool task.
+  void shutdown();
 
  private:
   void worker_loop();
@@ -48,8 +55,10 @@ class ThreadPool {
 };
 
 /// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware
-/// concurrency). Blocks until all iterations complete. Exceptions from
-/// `fn` propagate (the first one thrown is rethrown after the join).
+/// concurrency). Every iteration is attempted even when some throw;
+/// after the join, the exception from the *lowest-index* failing
+/// iteration is rethrown, so a failing sweep always reports the same
+/// culprit run regardless of scheduling order or thread count.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

@@ -192,11 +192,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 }
 
 std::vector<ScenarioResult> run_scenarios(
-    const std::vector<ScenarioConfig>& configs) {
+    const std::vector<ScenarioConfig>& configs, std::size_t threads) {
   std::vector<ScenarioResult> results(configs.size());
-  parallel_for(configs.size(), [&](std::size_t i) {
-    results[i] = run_scenario(configs[i]);
-  });
+  parallel_for(
+      configs.size(),
+      [&](std::size_t i) { results[i] = run_scenario(configs[i]); },
+      threads);
   return results;
 }
 

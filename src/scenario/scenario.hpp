@@ -137,8 +137,11 @@ struct ScenarioResult {
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Runs one scenario per entry, in parallel when hardware allows.
+/// `threads == 0` selects the hardware concurrency. Results are always
+/// in `configs` order. (For grids over named axes with per-run failure
+/// capture, prefer `sweep::SweepRunner`.)
 std::vector<ScenarioResult> run_scenarios(
-    const std::vector<ScenarioConfig>& configs);
+    const std::vector<ScenarioConfig>& configs, std::size_t threads = 0);
 
 /// Writes a CSV summary (one row per result) for external plotting:
 /// scheme, budget, latency stats, availability, power, energy columns.

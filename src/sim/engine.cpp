@@ -40,13 +40,19 @@ PeriodicHandle Engine::every(Duration period, std::function<void()> fn,
   DOPE_REQUIRE(fn != nullptr, "periodic handler must be callable");
   auto alive = std::make_shared<bool>(true);
   // The tick closure owns the user callback and reschedules itself while
-  // the handle is alive.
+  // the handle is alive. It must hold itself only weakly — the scheduled
+  // queue entries carry the strong references — or the self-capture forms
+  // an unbreakable shared_ptr cycle that outlives the engine.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, alive, tick, fn = std::move(fn)]() {
+  *tick = [this, period, alive,
+           weak = std::weak_ptr<std::function<void()>>(tick),
+           fn = std::move(fn)]() {
     if (!*alive) return;
     fn();
     if (!*alive) return;
-    schedule_after(period, [tick] { (*tick)(); });
+    if (auto self = weak.lock()) {
+      schedule_after(period, [self] { (*self)(); });
+    }
   };
   const Duration first = (phase < 0) ? period : phase;
   schedule_after(first, [tick] { (*tick)(); });

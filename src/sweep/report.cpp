@@ -1,0 +1,121 @@
+#include "sweep/report.hpp"
+
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "obs/json.hpp"
+
+namespace dope::sweep {
+
+namespace {
+
+void write_string_array(std::ostream& out,
+                        const std::vector<std::string>& values) {
+  out << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ", ";
+    obs::write_json_string(out, values[i]);
+  }
+  out << "]";
+}
+
+void write_run(std::ostream& out, const RunRecord& run) {
+  out << "    {\"index\": " << run.point.index << ", \"budget\": ";
+  obs::write_json_string(out, power::budget_name(run.point.budget));
+  out << ", \"scheme\": ";
+  obs::write_json_string(out, scenario::scheme_name(run.point.scheme));
+  out << ", \"attack\": ";
+  obs::write_json_string(out, run.point.attack);
+  out << ", \"variant\": ";
+  obs::write_json_string(out, run.point.variant);
+  out << ", \"seed\": " << run.point.seed;
+  if (!run.ok) {
+    out << ",\n     \"ok\": false, \"error\": ";
+    obs::write_json_string(out, run.error);
+    out << "}";
+    return;
+  }
+  const auto& r = run.result;
+  const auto field = [&out](const char* key, double value) {
+    out << ", \"" << key << "\": ";
+    obs::write_json_number(out, value);
+  };
+  out << ",\n     \"ok\": true";
+  field("budget_w", r.budget);
+  field("mean_ms", r.mean_ms);
+  field("p50_ms", r.p50_ms);
+  field("p90_ms", r.p90_ms);
+  field("p95_ms", r.p95_ms);
+  field("p99_ms", r.p99_ms);
+  field("availability", r.availability);
+  field("drop_fraction", r.drop_fraction);
+  field("mean_power_w", r.mean_power);
+  field("peak_power_w", r.peak_power);
+  field("utility_j", r.energy.utility_total());
+  field("battery_j", r.energy.battery);
+  out << ", \"violation_slots\": " << r.slot_stats.violation_slots
+      << ", \"outages\": " << r.slot_stats.outages << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const GridSpec& grid,
+                const SweepResult& sweep) {
+  std::vector<std::string> budgets, schemes, attacks, variants;
+  for (const auto b : grid.budgets) budgets.push_back(power::budget_name(b));
+  for (const auto s : grid.schemes) {
+    schemes.push_back(scenario::scheme_name(s));
+  }
+  for (const auto& a : grid.attacks) attacks.push_back(a.name);
+  for (const auto& v : grid.variants) variants.push_back(v.name);
+
+  out << "{\n  \"grid\": {\n    \"budgets\": ";
+  write_string_array(out, budgets);
+  out << ",\n    \"schemes\": ";
+  write_string_array(out, schemes);
+  out << ",\n    \"attacks\": ";
+  write_string_array(out, attacks);
+  out << ",\n    \"variants\": ";
+  write_string_array(out, variants);
+  out << ",\n    \"seeds\": [";
+  for (std::size_t i = 0; i < grid.seeds.size(); ++i) {
+    out << (i ? ", " : "") << grid.seeds[i];
+  }
+  out << "]\n  },\n  \"failures\": " << sweep.failures
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    if (i) out << ",\n";
+    write_run(out, sweep.runs[i]);
+  }
+  out << "\n  ]\n}\n";
+}
+
+void write_csv(std::ostream& out, const SweepResult& sweep) {
+  CsvWriter writer(out);
+  writer.write_row({"index", "budget", "scheme", "attack", "variant",
+                    "seed", "ok", "error", "budget_w", "mean_ms", "p50_ms",
+                    "p90_ms", "p95_ms", "p99_ms", "availability",
+                    "drop_fraction", "mean_power_w", "peak_power_w",
+                    "utility_j", "battery_j", "violation_slots",
+                    "outages"});
+  for (const auto& run : sweep.runs) {
+    const auto& p = run.point;
+    if (!run.ok) {
+      writer.row(p.index, power::budget_name(p.budget),
+                 scenario::scheme_name(p.scheme), p.attack, p.variant,
+                 p.seed, 0, run.error, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0);
+      continue;
+    }
+    const auto& r = run.result;
+    writer.row(p.index, power::budget_name(p.budget),
+               scenario::scheme_name(p.scheme), p.attack, p.variant,
+               p.seed, 1, std::string(), r.budget, r.mean_ms, r.p50_ms,
+               r.p90_ms, r.p95_ms, r.p99_ms, r.availability,
+               r.drop_fraction, r.mean_power, r.peak_power,
+               r.energy.utility_total(), r.energy.battery,
+               r.slot_stats.violation_slots, r.slot_stats.outages);
+  }
+}
+
+}  // namespace dope::sweep

@@ -1,0 +1,28 @@
+// Deterministic sweep reports.
+//
+// Both exports walk `SweepResult::runs` in grid order and contain no
+// wall-clock or host-dependent data, so the bytes written are identical
+// for any worker-thread count — `tests/sweep_test.cpp` pins that down.
+//
+// The JSON mirrors the bench binaries' `BENCH_<figure>.json` spirit: a
+// self-describing header (the grid axes), one record per run with the
+// headline metrics the paper's tables report, and an explicit failure
+// record (`"ok": false` + `"error"`) for runs whose scenario threw.
+#pragma once
+
+#include <iosfwd>
+
+#include "sweep/sweep.hpp"
+
+namespace dope::sweep {
+
+/// Writes the merged sweep as one JSON object:
+/// {"grid": {axes}, "failures": N, "runs": [{...}, ...]}.
+void write_json(std::ostream& out, const GridSpec& grid,
+                const SweepResult& sweep);
+
+/// Writes one CSV row per run: grid coordinates, ok/error, then the
+/// headline metric columns of `scenario::write_results_csv`.
+void write_csv(std::ostream& out, const SweepResult& sweep);
+
+}  // namespace dope::sweep

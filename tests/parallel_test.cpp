@@ -1,0 +1,147 @@
+// Tests for the ThreadPool / parallel_for contracts that every sweep
+// relies on: hardware-concurrency fallback, submit-after-shutdown,
+// wait_idle with nested submits, and deterministic (lowest-index)
+// exception propagation from parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace dope {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_EQ(pool.thread_count(), hw);
+}
+
+TEST(ThreadPool, ExplicitThreadCountHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 1);  // shutdown drains queued work first
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // must not deadlock or double-join
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleCoversNestedSubmits) {
+  ThreadPool pool(2);
+  std::atomic<bool> nested_done{false};
+  pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      nested_done.store(true);
+    });
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(nested_done.load());
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWhenEmpty) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // no submitted work: must not block
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> marks(257);
+  parallel_for(marks.size(),
+               [&](std::size_t i) { marks[i].fetch_add(1); }, 4);
+  for (const auto& m : marks) EXPECT_EQ(m.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  // Index 60 throws instantly; index 5 throws after a delay. A
+  // race-order implementation would almost always report 60 — the
+  // contract is the lowest failing index, deterministically.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 5) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              throw std::runtime_error("boom 5");
+            }
+            if (i == 60) throw std::runtime_error("boom 60");
+          },
+          8);
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 5");
+    }
+  }
+}
+
+TEST(ParallelFor, SingleThreadAlsoReportsLowestIndexAndRunsAll) {
+  std::vector<int> marks(16, 0);
+  try {
+    parallel_for(
+        marks.size(),
+        [&](std::size_t i) {
+          marks[i] = 1;
+          if (i == 3 || i == 11) {
+            throw std::runtime_error("boom " + std::to_string(i));
+          }
+        },
+        1);
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // Every iteration still ran; one failure does not starve the rest.
+  for (const int m : marks) EXPECT_EQ(m, 1);
+}
+
+TEST(ParallelFor, NonExceptionIterationsComplete) {
+  std::vector<std::atomic<int>> marks(64);
+  try {
+    parallel_for(
+        marks.size(),
+        [&](std::size_t i) {
+          marks[i].fetch_add(1);
+          if (i % 7 == 2) throw std::runtime_error("x");
+        },
+        8);
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  for (const auto& m : marks) EXPECT_EQ(m.load(), 1);
+}
+
+}  // namespace
+}  // namespace dope

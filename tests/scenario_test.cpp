@@ -6,6 +6,7 @@
 
 #include "common/csv.hpp"
 #include "scenario/scenario.hpp"
+#include "sweep/sweep.hpp"
 
 namespace dope::scenario {
 namespace {
@@ -136,6 +137,43 @@ TEST(Scale, LargeClusterKeepsInvariants) {
   EXPECT_GT(r.availability, 0.9);
   EXPECT_LE(r.p90_ms, 100.0);
   EXPECT_GT(r.normal_counts.completed, 100'000u);
+}
+
+TEST(RunScenarios, HonoursExplicitThreadCount) {
+  ScenarioConfig a;
+  a.normal_rps = 20.0;
+  a.duration = 10 * kSecond;
+  ScenarioConfig b = a;
+  b.scheme = SchemeKind::kCapping;
+  const auto serial = run_scenarios({a, b}, 1);
+  const auto parallel = run_scenarios({a, b}, 8);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(parallel.size(), 2u);
+  EXPECT_DOUBLE_EQ(serial[0].mean_ms, parallel[0].mean_ms);
+  EXPECT_DOUBLE_EQ(serial[1].mean_ms, parallel[1].mean_ms);
+}
+
+TEST(CliSweep, ThreadsFlagSmoke) {
+  // The grid `dopesim_cli --sweep-schemes capping,antidope
+  // --sweep-budgets normal,low --threads 2` builds, shrunk to a 10 s
+  // window: the --threads value feeds SweepRunner and must not change
+  // the merged results.
+  sweep::GridSpec grid;
+  grid.base.num_servers = 4;
+  grid.base.normal_rps = 50.0;
+  grid.base.duration = 10 * kSecond;
+  grid.base.seed = 42;
+  grid.schemes = sweep::parse_scheme_list("capping,antidope");
+  grid.budgets = sweep::parse_budget_list("normal,low");
+  const auto threaded = sweep::run_grid(grid, 2);
+  const auto serial = sweep::run_grid(grid, 1);
+  ASSERT_EQ(threaded.size(), 4u);
+  EXPECT_EQ(threaded[0].scheme, "Capping");
+  EXPECT_EQ(threaded[1].scheme, "Anti-DOPE");
+  for (std::size_t i = 0; i < threaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(threaded[i].mean_ms, serial[i].mean_ms);
+    EXPECT_DOUBLE_EQ(threaded[i].peak_power, serial[i].peak_power);
+  }
 }
 
 TEST(RunScenario, ValidatesDuration) {
