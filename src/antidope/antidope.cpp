@@ -5,6 +5,7 @@
 
 #include "antidope/dpm.hpp"
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
 #include "schemes/util.hpp"
@@ -127,6 +128,13 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
           solve_throttling(suspect_nodes_, ladder, suspect_allowance,
                            suspect_target_, &stats);
       apply_assignment(suspect_nodes_, assignment);
+      if constexpr (audit::kEnabled) {
+        const bool all_at_floor = std::all_of(
+            assignment.begin(), assignment.end(),
+            [&](power::DvfsLevel l) { return l == ladder.min_level(); });
+        audit::check_budget_feasible(hub_, now, stats.final_power,
+                                     suspect_allowance, all_at_floor);
+      }
       suspect_target_ = *std::min_element(assignment.begin(),
                                           assignment.end());
       if (battery != nullptr) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 
 namespace dope::antidope {
@@ -55,6 +56,19 @@ ThrottleAssignment solve_throttling(
     for (const auto level : assignment) {
       if (level < ceiling) ++stats->throttled_nodes;
     }
+  }
+  if constexpr (audit::kEnabled) {
+    // Eq. 1 feasibility: the returned assignment fits the allowance
+    // unless the budget is infeasible even at the ladder floor.
+    bool all_at_floor = true;
+    for (const auto level : assignment) {
+      if (level != ladder.min_level()) {
+        all_at_floor = false;
+        break;
+      }
+    }
+    audit::check_budget_feasible(nullptr, -1, total, allowance,
+                                 all_at_floor);
   }
   return assignment;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 
 namespace dope::battery {
@@ -37,7 +38,7 @@ Watts Battery::discharge(Watts power, Duration slot, bool emergency) {
   DOPE_REQUIRE(power >= 0, "discharge power must be non-negative");
   DOPE_REQUIRE(slot > 0, "slot must be positive");
   const Joules available = emergency ? stored_ : shavable();
-  if (power == 0.0 || available <= 0.0) return 0.0;
+  if (power <= 0.0 || available <= 0.0) return 0.0;
   Watts deliverable = power;
   if (spec_.max_discharge > 0) {
     deliverable = std::min(deliverable, spec_.max_discharge);
@@ -49,13 +50,18 @@ Watts Battery::discharge(Watts power, Duration slot, bool emergency) {
   stored_ = std::max(0.0, stored_ - withdrawn);
   total_discharged_ += withdrawn;
   if (withdrawn > 0) ++discharge_events_;
+  if constexpr (audit::kEnabled) {
+    audit::check_battery_rate(nullptr, -1, deliverable,
+                              spec_.max_discharge, "discharge");
+    audit::check_battery_soc(nullptr, -1, stored_, spec_.capacity);
+  }
   return deliverable;
 }
 
 Watts Battery::charge(Watts power, Duration slot) {
   DOPE_REQUIRE(power >= 0, "charge power must be non-negative");
   DOPE_REQUIRE(slot > 0, "slot must be positive");
-  if (power == 0.0 || full()) return 0.0;
+  if (power <= 0.0 || full()) return 0.0;
   Watts drawn = power;
   if (spec_.max_charge > 0) drawn = std::min(drawn, spec_.max_charge);
   // Do not overshoot capacity: limit by the room left, accounting for the
@@ -67,6 +73,11 @@ Watts Battery::charge(Watts power, Duration slot) {
   const Joules stored_gain = energy_of(drawn, slot) * spec_.charge_efficiency;
   stored_ = std::min(spec_.capacity, stored_ + stored_gain);
   total_charge_drawn_ += energy_of(drawn, slot);
+  if constexpr (audit::kEnabled) {
+    audit::check_battery_rate(nullptr, -1, drawn, spec_.max_charge,
+                              "charge");
+    audit::check_battery_soc(nullptr, -1, stored_, spec_.capacity);
+  }
   return drawn;
 }
 

@@ -46,6 +46,7 @@ double AutoScaler::utilization() const {
     busy += node->active_count();
     capacity += node->cores();
   }
+  // dope-lint: allow(float-eq) — `capacity` is an unsigned core count.
   return capacity == 0
              ? 0.0
              : static_cast<double>(busy) / static_cast<double>(capacity);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 
 namespace dope::cluster {
@@ -219,6 +220,10 @@ void Cluster::run_for(Duration d) {
 }
 
 void Cluster::on_record(const workload::RequestRecord& record) {
+  if constexpr (audit::kEnabled) {
+    audit::check_non_negative(hub_, record.finish, "request.latency_us",
+                              static_cast<double>(record.latency));
+  }
   if (hub_ != nullptr) {
     obs_outcome_[static_cast<int>(record.outcome)]->inc();
   }
@@ -286,6 +291,18 @@ void Cluster::management_slot() {
     prev_battery_charge_drawn_ = battery_->total_charge_drawn();
   }
   const Joules utility_j = std::max(0.0, slot_energy - battery_delta);
+  if constexpr (audit::kEnabled) {
+    // Per-slot power conservation: what the servers drew is covered by
+    // the utility feed plus the battery, and nothing went negative.
+    audit::check_power_conservation(hub_, now, slot_energy, utility_j,
+                                    battery_delta);
+    audit::check_non_negative(hub_, now, "battery.recharge_j",
+                              recharge_delta);
+    if (battery_) {
+      audit::check_battery_soc(hub_, now, battery_->stored(),
+                               battery_->spec().capacity);
+    }
+  }
   energy_account_.add_joules(utility_j, battery_delta, recharge_delta);
   const Watts utility_power =
       (utility_j + recharge_delta) / to_seconds(slot);

@@ -17,7 +17,6 @@
 
 #include "battery/battery.hpp"
 #include "cluster/scheme.hpp"
-#include "power/breaker.hpp"
 #include "common/units.hpp"
 #include "metrics/energy.hpp"
 #include "metrics/request_metrics.hpp"
@@ -25,6 +24,7 @@
 #include "net/load_balancer.hpp"
 #include "net/switch.hpp"
 #include "obs/hub.hpp"
+#include "power/breaker.hpp"
 #include "power/provisioning.hpp"
 #include "server/node.hpp"
 #include "sim/engine.hpp"

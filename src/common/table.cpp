@@ -22,6 +22,8 @@ void TextTable::add_row(std::vector<std::string> row) {
 
 std::string TextTable::format_cell(double v) {
   char buf[64];
+  // dope-lint: allow(float-eq) — exact-zero test picks the format of a
+  // pretty-printed cell; 0.0 must render as "0", not "0e+00".
   if (v != 0.0 && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-3)) {
     std::snprintf(buf, sizeof(buf), "%.3e", v);
   } else {

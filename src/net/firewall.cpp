@@ -1,5 +1,9 @@
 #include "net/firewall.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/expect.hpp"
 #include "common/log.hpp"
 #include "obs/hub.hpp"
@@ -43,6 +47,8 @@ bool Firewall::is_banned(workload::SourceId source) const {
 std::size_t Firewall::banned_count() const {
   std::size_t n = 0;
   const Time now = engine_.now();
+  // dope-lint: allow(unordered-iter) — pure commutative count; no
+  // output, trace, or state mutation depends on visit order.
   for (const auto& [src, until] : bans_) {
     if (until > now) ++n;
   }
@@ -51,7 +57,13 @@ std::size_t Firewall::banned_count() const {
 
 void Firewall::poll() {
   const double window_s = to_seconds(config_.check_interval);
-  for (const auto& [source, count] : window_counts_) {
+  // Materialise the window sorted by source id: ban decisions emit log
+  // lines and trace events, and hash order would make those exports
+  // (and the strikes/bans insertion order) depend on the allocator.
+  std::vector<std::pair<workload::SourceId, std::uint32_t>> window(
+      window_counts_.begin(), window_counts_.end());
+  std::sort(window.begin(), window.end());
+  for (const auto& [source, count] : window) {
     const double rate = static_cast<double>(count) / window_s;
     if (rate > config_.threshold_rps) {
       unsigned& strikes = strikes_[source];

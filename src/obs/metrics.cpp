@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <vector>
 
 #include "common/expect.hpp"
 #include "obs/json.hpp"
@@ -142,6 +143,14 @@ const Histo* Registry::find_histo(std::string_view key) const {
 }
 
 void Registry::write_json(std::ostream& out) const {
+  // Export in sorted-key order, not creation order: the bytes written
+  // must not depend on which component happened to register first.
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+
   const auto write_section = [&](const char* title, Kind kind,
                                  bool& first_section) {
     if (!first_section) out << ",\n";
@@ -150,7 +159,7 @@ void Registry::write_json(std::ostream& out) const {
     write_json_string(out, title);
     out << ": {";
     bool first = true;
-    for (const auto& entry : entries_) {
+    for (const auto* entry : sorted) {
       if (entry->kind != kind) continue;
       if (!first) out << ',';
       first = false;

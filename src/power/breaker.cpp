@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 
 namespace dope::power {
@@ -36,6 +37,9 @@ bool CircuitBreaker::observe(Watts load, Duration dt) {
     }
   } else {
     heat_ = std::max(0.0, heat_ - spec_.cooling_rate * seconds);
+  }
+  if constexpr (audit::kEnabled) {
+    audit::check_non_negative(nullptr, -1, "breaker.heat", heat_);
   }
   return false;
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
 
@@ -70,6 +71,9 @@ bool Engine::step() {
     std::function<void()> fn = std::move(it->second);
     handlers_.erase(it);
     DOPE_ASSERT(entry.t >= now_);
+    if constexpr (audit::kEnabled) {
+      audit::check_monotonic_time(obs_, now_, entry.t);
+    }
     now_ = entry.t;
     ++executed_;
     fn();

@@ -5,8 +5,8 @@
 // results deterministically in grid order — the same bytes come out of
 // --json for any --threads value.
 //
-//   $ ./dopesweep --schemes capping,antidope --budgets normal,low \
-//         --attacks none,dope:400 --seeds 42,43 --threads 8 \
+//   $ ./dopesweep --schemes capping,antidope --budgets normal,low
+//         --attacks none,dope:400 --seeds 42,43 --threads 8
 //         --json sweep.json --csv sweep.csv
 #include <cstdlib>
 #include <fstream>

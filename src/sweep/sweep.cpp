@@ -135,6 +135,8 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
   for (std::size_t i = 0; i < points.size(); ++i) {
     pool.submit([&, i] {
       RunRecord& record = merged.runs[i];  // slot i: merge is by index
+      // dope-lint: allow(wall-clock) — host-side progress telemetry
+      // (sweep.run_wall_ms); never reaches the merged report bytes.
       const auto start = std::chrono::steady_clock::now();
       try {
         const auto config = materialize(grid, record.point);
@@ -147,6 +149,7 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
       }
       const double elapsed_ms =
           std::chrono::duration<double, std::milli>(
+              // dope-lint: allow(wall-clock) — same telemetry read.
               std::chrono::steady_clock::now() - start)
               .count();
       if (options_.obs != nullptr) {

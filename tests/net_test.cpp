@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "net/backend.hpp"
@@ -10,6 +11,7 @@
 #include "net/load_balancer.hpp"
 #include "net/switch.hpp"
 #include "net/token_bucket.hpp"
+#include "obs/hub.hpp"
 #include "sim/engine.hpp"
 
 namespace dope::net {
@@ -321,6 +323,35 @@ TEST(Firewall, MultiStrikeRequiresPersistence) {
   engine.run_until(engine.now() + 4 * kSecond);
   gen.stop();
   EXPECT_TRUE(firewall.is_banned(1));
+}
+
+TEST(Firewall, BanOrderIsSortedBySourceId) {
+  // The poll window is an unordered_map; ban decisions emit log lines
+  // and kFirewallBan trace events, so poll() must visit a sorted
+  // materialization — hash order would leak allocator-dependent bytes
+  // into exports. Flood from ids inserted in a scrambled order and
+  // lock in ascending trace order.
+  sim::Engine engine;
+  obs::Hub hub;
+  engine.set_obs(&hub);
+  FirewallConfig config;
+  config.threshold_rps = 10.0;
+  config.check_interval = kSecond;
+  Firewall firewall(engine, config);
+  for (const SourceId source : {41u, 7u, 23u, 3u, 99u, 58u}) {
+    for (int i = 0; i < 50; ++i) firewall.admit(request_from(source));
+  }
+  engine.run_until(2 * kSecond);
+  std::vector<double> banned;
+  for (const auto& e : hub.trace().events()) {
+    if (e.type == obs::EventType::kFirewallBan) {
+      for (const auto& [key, value] : e.num) {
+        if (std::string_view(key) == "source_id") banned.push_back(value);
+      }
+    }
+  }
+  const std::vector<double> expected = {3, 7, 23, 41, 58, 99};
+  EXPECT_EQ(banned, expected);
 }
 
 TEST(Firewall, ValidatesConfig) {

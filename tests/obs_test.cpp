@@ -117,6 +117,31 @@ TEST(Metrics, WriteJsonEmitsAllSections) {
   EXPECT_NE(json.find("0.75"), std::string::npos);
 }
 
+TEST(Metrics, WriteJsonEmitsKeysSorted) {
+  // The registry's instrument index is an unordered_map; write_json must
+  // emit each section sorted by key so the export bytes never depend on
+  // hash/allocator order. Create instruments in a scrambled order and
+  // lock in sorted emission.
+  Registry reg;
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc();
+  reg.counter("mid", {{"pool", "suspect"}}).inc();
+  reg.gauge("soc").set(0.5);
+  reg.gauge("budget_w").set(640.0);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  const auto alpha = json.find("\"alpha\"");
+  const auto mid = json.find("\"mid{pool=");
+  const auto zeta = json.find("\"zeta\"");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+  EXPECT_LT(json.find("\"budget_w\""), json.find("\"soc\""));
+}
+
 // ------------------------------------------------------------------ trace
 
 TraceEvent make_event(Time t, EventType type, const char* source) {

@@ -20,7 +20,9 @@ TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.thread_count(), 1u);
   const unsigned hw = std::thread::hardware_concurrency();
-  if (hw > 0) EXPECT_EQ(pool.thread_count(), hw);
+  if (hw > 0) {
+    EXPECT_EQ(pool.thread_count(), hw);
+  }
 }
 
 TEST(ThreadPool, ExplicitThreadCountHonoured) {
