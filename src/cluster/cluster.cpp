@@ -228,7 +228,7 @@ void Cluster::on_record(const workload::RequestRecord& record) {
     obs_outcome_[static_cast<int>(record.outcome)]->inc();
   }
   request_metrics_.record(record);
-  for (const auto& l : listeners_) l(record);
+  for (auto& l : listeners_) l(record);
 }
 
 void Cluster::drop(workload::Request&& request,

@@ -1,0 +1,186 @@
+// Heap-free callable wrappers for the simulator's hot paths.
+//
+// `InlineFunction<Sig, Capacity>` is a move-only, owning alternative to
+// `std::function` whose target always lives in a fixed small buffer
+// inside the object: construction never allocates, and a callable that
+// does not fit is a compile error (static_assert) instead of a silent
+// heap fallback. Every per-event callback in the discrete-event engine —
+// millions per simulated minute — flows through one of these, which is
+// why the no-allocation property is a hard contract (docs/ENGINE.md)
+// enforced both here and by the `hot-path-std-function` lint rule.
+//
+// `FunctionRef<Sig>` is the matching non-owning view for visitor and
+// sink *parameters* that are only invoked during the call (e.g.
+// `ServerNode::visit_active`): two words, trivially copyable, binds to
+// any callable including mutable lambdas and temporaries. Never store
+// one beyond the call that received it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dope::common {
+
+/// Default inline-buffer size. Large enough for a `this` pointer plus a
+/// few captured words or references — every simulator callback today
+/// captures at most three pointers — while keeping event-pool slots
+/// compact: at steady state the pool is the engine's working set, so
+/// every buffer byte multiplies by the number of in-flight events.
+inline constexpr std::size_t kInlineFunctionCapacity = 32;
+
+/// Maximum supported target alignment. Pointer-aligned covers every
+/// capture the simulator uses (pointers, integers, doubles) without
+/// padding pool slots to max_align_t.
+inline constexpr std::size_t kInlineFunctionAlign = alignof(void*);
+
+template <typename Signature,
+          std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any callable that fits the buffer. Intentionally implicit so
+  /// call sites keep passing plain lambdas to engine/sink APIs.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Target = std::remove_cvref_t<F>;
+    static_assert(sizeof(Target) <= Capacity,
+                  "callable exceeds the InlineFunction buffer — capture "
+                  "less (e.g. a reference to shared state) or raise the "
+                  "Capacity parameter at the declaration site");
+    static_assert(alignof(Target) <= kInlineFunctionAlign,
+                  "over-aligned callables are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Target>,
+                  "callables must be nothrow-move-constructible so the "
+                  "event pool can relocate slots without risk");
+    ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
+    invoke_ = [](void* target, Args... args) -> R {
+      return (*static_cast<Target*>(target))(
+          std::forward<Args>(args)...);
+    };
+    if constexpr (std::is_trivially_copyable_v<Target> &&
+                  std::is_trivially_destructible_v<Target>) {
+      // Most simulator callbacks capture only pointers/ints; tag them so
+      // moves become a fixed-size copy and destroys a no-op, with no
+      // indirect call on the per-event path.
+      relocate_or_destroy_ = kTrivialTarget;
+    } else {
+      relocate_or_destroy_ = [](void* dst, void* src) noexcept {
+        if (src != nullptr) {
+          ::new (dst) Target(std::move(*static_cast<Target*>(src)));
+          static_cast<Target*>(src)->~Target();
+        } else {
+          static_cast<Target*>(dst)->~Target();
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the target, returning to the empty state.
+  void reset() noexcept {
+    if (relocate_or_destroy_ != nullptr) {
+      if (relocate_or_destroy_ != kTrivialTarget) {
+        relocate_or_destroy_(storage_, nullptr);
+      }
+      relocate_or_destroy_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return !static_cast<bool>(f);
+  }
+
+  /// Invokes the target; undefined when empty (checked in debug builds
+  /// by the null-function dereference itself).
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  /// Sentinel manager for trivially copyable + destructible targets:
+  /// never called — steal() copies the buffer inline and reset() skips
+  /// the destroy, avoiding an indirect call per event.
+  static void trivial_target_manager(void*, void*) noexcept {}
+  static constexpr void (*kTrivialTarget)(void*, void*) noexcept =
+      &trivial_target_manager;
+
+  void steal(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_or_destroy_ = other.relocate_or_destroy_;
+    if (relocate_or_destroy_ == kTrivialTarget) {
+      std::memcpy(storage_, other.storage_, Capacity);
+    } else if (relocate_or_destroy_ != nullptr) {
+      relocate_or_destroy_(storage_, other.storage_);
+    }
+    other.invoke_ = nullptr;
+    other.relocate_or_destroy_ = nullptr;
+  }
+
+  alignas(kInlineFunctionAlign) unsigned char storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  /// One manager covers both lifetime operations: (dst, src) moves the
+  /// target from src to dst and destroys src; (dst, nullptr) destroys
+  /// dst. `kTrivialTarget` marks targets needing neither.
+  void (*relocate_or_destroy_)(void*, void*) noexcept = nullptr;
+};
+
+template <typename Signature>
+class FunctionRef;
+
+/// Non-owning view of a callable, for visitor/sink parameters invoked
+/// only for the duration of the call. Two words; pass by value.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : target_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* target, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<
+                      std::remove_reference_t<F>>>(target))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(target_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* target_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace dope::common

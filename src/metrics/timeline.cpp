@@ -7,7 +7,7 @@
 namespace dope::metrics {
 
 TimelineRecorder::TimelineRecorder(sim::Engine& engine, Duration interval,
-                                   std::function<double()> probe)
+                                   common::InlineFunction<double()> probe)
     : engine_(engine), probe_(std::move(probe)) {
   DOPE_REQUIRE(interval > 0, "sampling interval must be positive");
   DOPE_REQUIRE(probe_ != nullptr, "probe must be callable");

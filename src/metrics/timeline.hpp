@@ -1,9 +1,9 @@
 // Periodic sampling of scalar signals (power, battery SoC, queue depth).
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "sim/engine.hpp"
@@ -21,8 +21,10 @@ struct Sample {
 /// battery SoC curves (Fig. 18).
 class TimelineRecorder {
  public:
+  /// `probe` is called once per sampling tick; inline-stored (no heap),
+  /// same contract as the engine's EventFn callbacks.
   TimelineRecorder(sim::Engine& engine, Duration interval,
-                   std::function<double()> probe);
+                   common::InlineFunction<double()> probe);
   ~TimelineRecorder();
 
   TimelineRecorder(const TimelineRecorder&) = delete;
@@ -40,7 +42,7 @@ class TimelineRecorder {
 
  private:
   sim::Engine& engine_;
-  std::function<double()> probe_;
+  common::InlineFunction<double()> probe_;
   sim::PeriodicHandle handle_;
   std::vector<Sample> samples_;
   OnlineStats stats_;

@@ -1,6 +1,7 @@
 #include "server/node.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -19,12 +20,31 @@ ServerNode::ServerNode(sim::Engine& engine, int id,
       config_(config),
       sink_(std::move(sink)),
       slots_(model_.spec().cores),
+      free_mask_((slots_.size() + 63) / 64, 0),
       level_(model_.ladder().max_level()),
       target_level_(level_),
       last_energy_update_(engine.now()) {
   DOPE_REQUIRE(sink_ != nullptr, "server needs a record sink");
   DOPE_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    free_mask_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
   refresh_power();
+}
+
+std::size_t ServerNode::claim_free_slot() {
+  // Callers only reach here with active_count_ < cores, so some word
+  // always has a set bit and the scan needs no not-found path.
+  std::size_t word = 0;
+  while (free_mask_[word] == 0) ++word;
+  const auto bit =
+      static_cast<std::size_t>(std::countr_zero(free_mask_[word]));
+  free_mask_[word] &= ~(std::uint64_t{1} << bit);
+  return word * 64 + bit;
+}
+
+void ServerNode::release_slot(std::size_t slot_index) {
+  free_mask_[slot_index / 64] |= std::uint64_t{1} << (slot_index % 64);
 }
 
 double ServerNode::slowdown_at(const workload::RequestTypeProfile& profile,
@@ -36,15 +56,10 @@ double ServerNode::slowdown_at(const workload::RequestTypeProfile& profile,
 
 void ServerNode::submit(workload::Request&& request) {
   DOPE_REQUIRE(accepting_, "submit on a non-accepting server");
-  // Find a free slot; otherwise queue (or reject when full).
+  // Claim a free slot; otherwise queue (or reject when full).
   if (active_count_ < slots_.size()) {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].busy) {
-        begin_service(i, std::move(request));
-        return;
-      }
-    }
-    DOPE_ASSERT(false);  // active_count_ disagrees with slot flags
+    begin_service(claim_free_slot(), std::move(request));
+    return;
   }
   if (queue_.size() >= config_.queue_capacity) {
     ++counters_.rejected_queue_full;
@@ -79,6 +94,7 @@ void ServerNode::finish_service(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
   DOPE_ASSERT(slot.busy);
   slot.busy = false;
+  release_slot(slot_index);
   --active_count_;
   const Duration latency = engine_.now() - slot.request.arrival;
   ++counters_.completed;
@@ -98,12 +114,7 @@ void ServerNode::drain_queue() {
            engine_.now() - next.arrival);
       continue;
     }
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].busy) {
-        begin_service(i, std::move(next));
-        break;
-      }
-    }
+    begin_service(claim_free_slot(), std::move(next));
   }
 }
 
@@ -162,8 +173,7 @@ void ServerNode::apply_level(power::DvfsLevel level) {
 }
 
 void ServerNode::visit_active(
-    const std::function<void(workload::RequestTypeId)>& visitor) const {
-  DOPE_REQUIRE(visitor != nullptr, "visitor must be callable");
+    common::FunctionRef<void(workload::RequestTypeId)> visitor) const {
   for (const Slot& slot : slots_) {
     if (slot.busy) visitor(slot.request.type);
   }
@@ -204,10 +214,12 @@ void ServerNode::power_off() {
     waking_ = false;
   }
   // Everything in flight is lost.
-  for (Slot& slot : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
     if (!slot.busy) continue;
     engine_.cancel(slot.completion);
     slot.busy = false;
+    release_slot(i);
     --active_count_;
     emit(slot.request, workload::RequestOutcome::kFailedOutage,
          engine_.now() - slot.request.arrival);

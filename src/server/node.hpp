@@ -19,6 +19,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/units.hpp"
 #include "net/backend.hpp"
 #include "power/power_model.hpp"
@@ -92,9 +93,10 @@ class ServerNode final : public net::Backend {
 
   /// Visits the URL class of every request currently in service — the
   /// telemetry a node-local agent legitimately has (it knows what it is
-  /// executing). Used by online power classification.
+  /// executing). Used by online power classification. Visits slots in
+  /// index order (deterministic).
   void visit_active(
-      const std::function<void(workload::RequestTypeId)>& visitor) const;
+      common::FunctionRef<void(workload::RequestTypeId)> visitor) const;
 
   // --- state ---
   std::size_t queue_length() const { return queue_.size(); }
@@ -136,6 +138,11 @@ class ServerNode final : public net::Backend {
   void begin_service(std::size_t slot_index, workload::Request&& request);
   void finish_service(std::size_t slot_index);
   void drain_queue();
+  /// Claims the lowest free slot index in O(cores/64) via the free-slot
+  /// bitmask. Lowest-first (not LIFO) keeps slot occupancy — and with it
+  /// retiming/visit order — byte-identical to the historical scan.
+  std::size_t claim_free_slot();
+  void release_slot(std::size_t slot_index);
   void apply_level(power::DvfsLevel level);
   double slowdown_at(const workload::RequestTypeProfile& profile,
                      power::DvfsLevel level) const;
@@ -152,6 +159,8 @@ class ServerNode final : public net::Backend {
   workload::RecordSink sink_;
 
   std::vector<Slot> slots_;
+  /// Bit i set => slots_[i] is free (one word per 64 cores).
+  std::vector<std::uint64_t> free_mask_;
   unsigned active_count_ = 0;
   std::deque<workload::Request> queue_;
   bool accepting_ = true;

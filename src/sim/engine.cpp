@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/audit.hpp"
@@ -7,6 +8,14 @@
 #include "obs/hub.hpp"
 
 namespace dope::sim {
+
+bool PeriodicHandle::active() const {
+  return engine_ != nullptr && engine_->periodic_active(id_);
+}
+
+void PeriodicHandle::stop() {
+  if (engine_ != nullptr) engine_->stop_periodic(id_);
+}
 
 void Engine::set_obs(obs::Hub* hub) {
   obs_ = hub;
@@ -19,82 +28,225 @@ void Engine::set_obs(obs::Hub* hub) {
   }
 }
 
-EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+std::uint32_t Engine::alloc_event_slot() {
+  if (free_events_ != kNil) {
+    const std::uint32_t index = free_events_;
+    free_events_ = pool_[index].next_free;
+    pool_[index].next_free = kNil;
+    return index;
+  }
+  DOPE_ASSERT(pool_.size() < kPeriodicBit);
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Engine::free_event_slot(std::uint32_t index) {
+  EventSlot& slot = pool_[index];
+  slot.fn.reset();
+  // Bump the generation so every outstanding id for this slot goes
+  // stale; skip 0 on wrap so valid EventIds are never 0.
+  if (++slot.generation == 0) slot.generation = 1;
+  slot.next_free = free_events_;
+  free_events_ = index;
+  --live_;
+}
+
+std::uint32_t Engine::alloc_periodic_slot() {
+  if (free_periodics_ != kNil) {
+    const std::uint32_t index = free_periodics_;
+    free_periodics_ = periodics_[index].next_free;
+    periodics_[index].next_free = kNil;
+    return index;
+  }
+  DOPE_ASSERT(periodics_.size() < kPeriodicBit);
+  periodics_.emplace_back();
+  return static_cast<std::uint32_t>(periodics_.size() - 1);
+}
+
+void Engine::free_periodic_slot(std::uint32_t index) {
+  PeriodicSlot& slot = periodics_[index];
+  slot.fn.reset();
+  slot.active = false;
+  if (++slot.generation == 0) slot.generation = 1;
+  slot.next_free = free_periodics_;
+  free_periodics_ = index;
+  --live_;
+}
+
+// Both sifts move the displaced entry through a "hole" instead of
+// swapping at every level (half the writes). The internal array layout
+// can differ from a swap-based sift, but pops always yield the strict
+// (time, seq) minimum — a total order, since seq is unique — so the
+// replay contract is unaffected by the sift strategy.
+
+void Engine::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Engine::heap_pop_min() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t limit = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t child = first + 1; child < limit; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Engine::skim_stale() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if ((top.index & kPeriodicBit) != 0) {
+      const std::uint32_t index = top.index & ~kPeriodicBit;
+      if (periodics_[index].generation == top.generation) return;
+    } else if (pool_[top.index].generation == top.generation) {
+      return;
+    }
+    heap_pop_min();
+  }
+}
+
+EventId Engine::schedule_impl(Time t, EventFn&& fn) {
   DOPE_REQUIRE(t >= now_, "cannot schedule events in the past");
   DOPE_REQUIRE(fn != nullptr, "event handler must be callable");
-  const EventId id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  const std::uint32_t index = alloc_event_slot();
+  EventSlot& slot = pool_[index];
+  slot.fn = std::move(fn);
+  heap_push(HeapEntry{t, next_seq_++, index, slot.generation});
+  ++live_;
+  return make_id(slot.generation, index);
 }
 
-EventId Engine::schedule_after(Duration delay, std::function<void()> fn) {
+EventId Engine::schedule_at(Time t, EventFn fn) {
+  return schedule_impl(t, std::move(fn));
+}
+
+EventId Engine::schedule_after(Duration delay, EventFn fn) {
   DOPE_REQUIRE(delay >= 0, "delay must be non-negative");
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_impl(now_ + delay, std::move(fn));
 }
 
-bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  const auto index = static_cast<std::uint32_t>(id & 0xffff'ffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if ((index & kPeriodicBit) != 0 || index >= pool_.size()) return false;
+  if (pool_[index].generation != generation) return false;
+  free_event_slot(index);  // the heap entry goes stale and is skimmed
+  return true;
+}
 
-PeriodicHandle Engine::every(Duration period, std::function<void()> fn,
-                             Duration phase) {
+PeriodicHandle Engine::every(Duration period, EventFn fn, Duration phase) {
   DOPE_REQUIRE(period > 0, "period must be positive");
   DOPE_REQUIRE(fn != nullptr, "periodic handler must be callable");
-  auto alive = std::make_shared<bool>(true);
-  // The tick closure owns the user callback and reschedules itself while
-  // the handle is alive. It must hold itself only weakly — the scheduled
-  // queue entries carry the strong references — or the self-capture forms
-  // an unbreakable shared_ptr cycle that outlives the engine.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, alive,
-           weak = std::weak_ptr<std::function<void()>>(tick),
-           fn = std::move(fn)]() {
-    if (!*alive) return;
-    fn();
-    if (!*alive) return;
-    if (auto self = weak.lock()) {
-      schedule_after(period, [self] { (*self)(); });
-    }
-  };
+  const std::uint32_t index = alloc_periodic_slot();
+  PeriodicSlot& slot = periodics_[index];
+  slot.fn = std::move(fn);
+  slot.period = period;
+  slot.active = true;
   const Duration first = (phase < 0) ? period : phase;
-  schedule_after(first, [tick] { (*tick)(); });
-  return PeriodicHandle(alive);
+  heap_push(HeapEntry{now_ + first, next_seq_++, index | kPeriodicBit,
+                      slot.generation});
+  ++live_;
+  return PeriodicHandle(this, make_id(slot.generation, index));
+}
+
+bool Engine::periodic_active(std::uint64_t id) const {
+  const auto index = static_cast<std::uint32_t>(id & 0xffff'ffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= periodics_.size()) return false;
+  const PeriodicSlot& slot = periodics_[index];
+  return slot.generation == generation && slot.active;
+}
+
+void Engine::stop_periodic(std::uint64_t id) {
+  const auto index = static_cast<std::uint32_t>(id & 0xffff'ffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= periodics_.size()) return;
+  PeriodicSlot& slot = periodics_[index];
+  if (slot.generation != generation) return;
+  // Lazy stop: the queued occurrence still drains through step() as a
+  // counted no-op, then the slot is recycled.
+  slot.active = false;
+}
+
+void Engine::note_executed() {
+  if (executed_counter_ != nullptr) {
+    executed_counter_->inc();
+    queue_gauge_->set(static_cast<double>(live_));
+  }
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(entry.id);
-    if (it == handlers_.end()) continue;  // lazily dropped cancellation
-    // Move the handler out before invoking so the handler may schedule or
-    // cancel freely without invalidating our iterator.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    DOPE_ASSERT(entry.t >= now_);
-    if constexpr (audit::kEnabled) {
-      audit::check_monotonic_time(obs_, now_, entry.t);
+  skim_stale();
+  if (heap_.empty()) return false;
+  const HeapEntry entry = heap_.front();
+  heap_pop_min();
+  DOPE_ASSERT(entry.t >= now_);
+  if constexpr (audit::kEnabled) {
+    audit::check_monotonic_time(obs_, now_, entry.t);
+  }
+  now_ = entry.t;
+  ++executed_;
+
+  if ((entry.index & kPeriodicBit) != 0) {
+    const std::uint32_t index = entry.index & ~kPeriodicBit;
+    if (!periodics_[index].active) {
+      // Stopped between scheduling and firing: drain as a counted no-op.
+      free_periodic_slot(index);
+      note_executed();
+      return true;
     }
-    now_ = entry.t;
-    ++executed_;
-    fn();
-    if (executed_counter_ != nullptr) {
-      executed_counter_->inc();
-      queue_gauge_->set(static_cast<double>(handlers_.size()));
+    // Invoke without moving the callback out — re-arming in place is
+    // what makes periodics allocation-free. The callback may schedule,
+    // cancel, or stop its own handle; it must not be assumed to keep
+    // `periodics_` references valid (it can grow the pool), so re-index
+    // after the call.
+    periodics_[index].fn();
+    PeriodicSlot& slot = periodics_[index];
+    if (slot.active) {
+      heap_push(HeapEntry{now_ + slot.period, next_seq_++,
+                          index | kPeriodicBit, entry.generation});
+    } else {
+      free_periodic_slot(index);
     }
+    note_executed();
     return true;
   }
-  return false;
+
+  // One-shot: move the callback out and recycle the slot *before*
+  // invoking, so the handler may schedule or cancel freely (cancelling
+  // the running event's own id returns false, as it already fired).
+  EventFn fn = std::move(pool_[entry.index].fn);
+  free_event_slot(entry.index);
+  fn();
+  note_executed();
+  return true;
 }
 
 void Engine::run_until(Time t) {
   DOPE_REQUIRE(t >= now_, "cannot run backwards in time");
   for (;;) {
-    // Find the next live event without executing it.
-    while (!queue_.empty() &&
-           handlers_.find(queue_.top().id) == handlers_.end()) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().t > t) break;
+    skim_stale();
+    if (heap_.empty() || heap_.front().t > t) break;
     step();
   }
   now_ = t;

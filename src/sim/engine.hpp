@@ -2,19 +2,28 @@
 //
 // A single-threaded, deterministic event loop: events fire in (time,
 // insertion-order) order, so two runs with identical inputs produce
-// identical traces. Cancellation is O(1) amortised (lazy deletion on pop).
+// identical traces (the determinism contract — see docs/ENGINE.md).
 //
-// All simulator components (servers, generators, power managers, batteries)
-// schedule callbacks on one shared `Engine`.
+// The core is allocation-free in steady state:
+//   * callbacks are `EventFn` — move-only inline functions whose target
+//     lives in a fixed buffer inside the pool slot, never on the heap;
+//   * scheduled events live in a slab pool of recycled slots; an
+//     `EventId` encodes {slot index, generation}, making `cancel` an
+//     O(1) array access that is ABA-safe against slot reuse;
+//   * the ready queue is a 4-ary min-heap of plain {time, seq, slot}
+//     entries keyed on the same (time, insertion-seq) order as ever;
+//   * periodic tasks are first-class: one pool slot per task that the
+//     loop re-arms in place, with no per-tick allocation or closure
+//     chaining.
+//
+// All simulator components (servers, generators, power managers,
+// batteries) schedule callbacks on one shared `Engine`.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/units.hpp"
 
 namespace dope::obs {
@@ -26,27 +35,36 @@ class Hub;
 namespace dope::sim {
 
 /// Identifier for a scheduled event; usable with `Engine::cancel`.
+/// Encodes {generation (high 32 bits), pool slot index (low 32 bits)};
+/// 0 is never a valid id (generations start at 1).
 using EventId = std::uint64_t;
 
-/// Handle to a repeating task; destroys/cancels via `Engine::stop`.
+/// The engine's callback type: fixed small-buffer storage, move-only,
+/// never heap-allocates. Callables above the capacity fail to compile.
+using EventFn = common::InlineFunction<void()>;
+
+class Engine;
+
+/// Handle to a repeating task; stops it via `Engine::stop`. Copyable —
+/// all copies refer to the same task. Must not outlive the engine.
 class PeriodicHandle {
  public:
   PeriodicHandle() = default;
 
   /// True while the periodic task is still rescheduling itself.
-  bool active() const { return alive_ && *alive_; }
+  bool active() const;
 
-  /// Stops future firings (the current in-flight callback still finishes).
-  void stop() {
-    if (alive_) *alive_ = false;
-  }
+  /// Stops future firings (the current in-flight callback still
+  /// finishes). The already-queued occurrence drains as a counted no-op.
+  void stop();
 
  private:
   friend class Engine;
-  explicit PeriodicHandle(std::shared_ptr<bool> alive)
-      : alive_(std::move(alive)) {}
+  PeriodicHandle(Engine* engine, std::uint64_t id)
+      : engine_(engine), id_(id) {}
 
-  std::shared_ptr<bool> alive_;
+  Engine* engine_ = nullptr;
+  std::uint64_t id_ = 0;
 };
 
 /// Deterministic discrete-event loop.
@@ -60,20 +78,20 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, EventFn fn);
 
   /// Schedules `fn` after `delay` microseconds (must be >= 0).
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  EventId schedule_after(Duration delay, EventFn fn);
 
-  /// Cancels a pending event. Returns false if it already fired or was
-  /// previously cancelled.
+  /// Cancels a pending event in O(1). Returns false if it already fired
+  /// or was previously cancelled — stale ids are generation-checked, so
+  /// cancelling after the slot was recycled can never kill the new event.
   bool cancel(EventId id);
 
   /// Schedules `fn` to run every `period`, first firing at now() + `phase`
   /// (default: one full period from now). The task stops when the returned
   /// handle is stopped or the engine is destroyed.
-  PeriodicHandle every(Duration period, std::function<void()> fn,
-                       Duration phase = -1);
+  PeriodicHandle every(Duration period, EventFn fn, Duration phase = -1);
 
   /// Runs the next pending event; returns false if the queue is empty.
   bool step();
@@ -86,11 +104,17 @@ class Engine {
   /// this never returns; prefer `run_until` for simulations.
   void run_all();
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return handlers_.size(); }
+  /// Number of pending (non-cancelled) events: live one-shots plus the
+  /// queued occurrence of every periodic task (the pool's live count).
+  std::size_t pending() const { return live_; }
 
   /// Total events executed so far (for engine introspection/tests).
   std::uint64_t executed() const { return executed_; }
+
+  /// Pool capacities (slots ever allocated) — introspection for tests
+  /// and capacity planning; live slots recycle without allocation.
+  std::size_t event_pool_size() const { return pool_.size(); }
+  std::size_t periodic_pool_size() const { return periodics_.size(); }
 
   /// Attaches the run's observability hub. The engine is the ambient
   /// carrier: every component holding an `Engine&` reaches metrics and
@@ -101,15 +125,57 @@ class Engine {
   obs::Hub* obs() const { return obs_; }
 
  private:
-  struct QueueEntry {
+  friend class PeriodicHandle;
+
+  static constexpr std::uint32_t kNil = 0xffff'ffffu;
+  /// Heap entries with this bit set in `index` reference the periodic
+  /// pool; public EventIds never carry it.
+  static constexpr std::uint32_t kPeriodicBit = 0x8000'0000u;
+
+  struct EventSlot {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNil;
+  };
+
+  struct PeriodicSlot {
+    EventFn fn;
+    Duration period = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNil;
+    bool active = false;
+  };
+
+  struct HeapEntry {
     Time t;
     std::uint64_t seq;
-    EventId id;
-    bool operator>(const QueueEntry& other) const {
-      if (t != other.t) return t > other.t;
-      return seq > other.seq;
-    }
+    std::uint32_t index;  // pool slot; kPeriodicBit selects the pool
+    std::uint32_t generation;
   };
+
+  static EventId make_id(std::uint32_t generation, std::uint32_t index) {
+    return (static_cast<EventId>(generation) << 32) | index;
+  }
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t alloc_event_slot();
+  void free_event_slot(std::uint32_t index);
+  std::uint32_t alloc_periodic_slot();
+  void free_periodic_slot(std::uint32_t index);
+  EventId schedule_impl(Time t, EventFn&& fn);
+  void heap_push(HeapEntry entry);
+  void heap_pop_min();
+  /// Drops cancelled one-shot entries off the heap top. Stopped-periodic
+  /// occurrences are NOT skimmed: they drain through step() as counted
+  /// no-ops (preserving executed()/pending() semantics).
+  void skim_stale();
+  bool periodic_active(std::uint64_t id) const;
+  void stop_periodic(std::uint64_t id);
+  void note_executed();
 
   obs::Hub* obs_ = nullptr;
   obs::Counter* executed_counter_ = nullptr;
@@ -117,12 +183,14 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::size_t live_ = 0;
+
+  std::vector<EventSlot> pool_;
+  std::uint32_t free_events_ = kNil;
+  std::vector<PeriodicSlot> periodics_;
+  std::uint32_t free_periodics_ = kNil;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace dope::sim

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "common/inline_function.hpp"
 #include "common/units.hpp"
 
 namespace dope::workload {
@@ -60,9 +60,12 @@ struct RequestRecord {
 };
 
 /// Consumes terminal request records (metrics, attacker feedback probes).
-using RecordSink = std::function<void(const RequestRecord&)>;
+/// Inline-stored and move-only: sinks sit on the per-request hot path, so
+/// they must never heap-allocate (see docs/ENGINE.md).
+using RecordSink = common::InlineFunction<void(const RequestRecord&)>;
 
-/// Receives generated requests (the data-center edge).
-using RequestSink = std::function<void(Request&&)>;
+/// Receives generated requests (the data-center edge). Same inline
+/// storage contract as `RecordSink`.
+using RequestSink = common::InlineFunction<void(Request&&)>;
 
 }  // namespace dope::workload

@@ -1,0 +1,226 @@
+// Unit tests for the heap-free callable wrappers (common/inline_function.hpp)
+// and the engine's zero-steady-state-allocation contract.
+//
+// This binary replaces the global allocator with a counting one so the
+// "no heap traffic" claims are asserted, not assumed. The counter only
+// observes `new`/`delete`, which is exactly the traffic the event-core
+// contract (docs/ENGINE.md) bans on the schedule->fire path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/inline_function.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dope {
+namespace {
+
+using common::FunctionRef;
+using common::InlineFunction;
+
+/// Allocations performed by `fn`, as seen by the replaced global new.
+template <typename Fn>
+std::uint64_t allocations_during(Fn&& fn) {
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+// --- compile-time contract ---
+
+static_assert(sizeof(sim::EventFn) <=
+                  common::kInlineFunctionCapacity + 2 * sizeof(void*),
+              "EventFn must stay buffer + two function pointers");
+static_assert(!std::is_copy_constructible_v<InlineFunction<void()>>);
+static_assert(!std::is_copy_assignable_v<InlineFunction<void()>>);
+static_assert(std::is_nothrow_move_constructible_v<InlineFunction<void()>>);
+static_assert(std::is_trivially_copyable_v<FunctionRef<void()>>);
+static_assert(sizeof(FunctionRef<void()>) == 2 * sizeof(void*));
+// A capture over the capacity must be rejected at compile time, which we
+// can only assert negatively: the converting constructor is selected by
+// invocability alone, so it stays "constructible" in SFINAE terms and
+// fails inside with a static_assert. Constructibility of a fitting
+// callable is the positive half:
+static_assert(std::is_constructible_v<InlineFunction<void()>,
+                                      decltype([] {})>);
+
+TEST(InlineFunction, EmptyStates) {
+  InlineFunction<void()> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(fn == nullptr);
+  InlineFunction<void()> null_fn = nullptr;
+  EXPECT_FALSE(null_fn);
+}
+
+TEST(InlineFunction, InvokesTargetWithArgumentsAndResult) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(add);
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, ConstructionAndCallNeverAllocate) {
+  int counter = 0;
+  const auto allocs = allocations_during([&] {
+    InlineFunction<void()> fn = [&counter] { ++counter; };
+    fn();
+    InlineFunction<void()> moved = std::move(fn);
+    moved();
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(InlineFunction, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  InlineFunction<void()> a = [&calls] { ++calls; };
+  InlineFunction<void()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — asserting the contract
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineFunction<void()> c;
+  c = std::move(b);
+  ASSERT_TRUE(c);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, MoveOnlyTargetsAreSupported) {
+  // A move-only capture (e.g. another InlineFunction) must wrap cleanly —
+  // std::function would reject this outright. The capture is 64 bytes
+  // (48-byte buffer + two pointers), so the outer wrapper needs an
+  // explicit Capacity; the default would be a compile error.
+  int calls = 0;
+  InlineFunction<void()> inner = [&calls] { ++calls; };
+  InlineFunction<void(), 64> outer = [inner = std::move(inner)]() mutable {
+    inner();
+  };
+  outer();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunction, ResetDestroysTarget) {
+  int destroyed = 0;
+  struct Probe {
+    int* destroyed;
+    Probe(int* d) : destroyed(d) {}
+    Probe(Probe&& other) noexcept : destroyed(other.destroyed) {
+      other.destroyed = nullptr;
+    }
+    ~Probe() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+    void operator()() const {}
+  };
+  InlineFunction<void()> fn = Probe{&destroyed};
+  EXPECT_EQ(destroyed, 0);
+  fn.reset();
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_FALSE(fn);
+  fn.reset();  // idempotent
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(FunctionRef, BindsLambdasAndMutableState) {
+  int sum = 0;
+  auto accumulate = [&sum](int v) { sum += v; };
+  FunctionRef<void(int)> ref = accumulate;
+  ref(2);
+  ref(3);
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(FunctionRef, IsCallableThroughConstCopies) {
+  int calls = 0;
+  auto fn = [&calls] { ++calls; };
+  const FunctionRef<void()> ref = fn;
+  ref();
+  EXPECT_EQ(calls, 1);
+}
+
+// --- the engine-level contract the wrappers exist for ---
+
+TEST(EngineAllocation, SteadyStateScheduleFireIsAllocationFree) {
+  sim::Engine engine;
+  // Warm-up: grow the event pool and heap to their high-water marks.
+  for (int i = 0; i < 512; ++i) {
+    engine.schedule_after(1 + i, [] {});
+  }
+  engine.run_all();
+
+  struct Chain {
+    sim::Engine* engine;
+    int* remaining;
+    void operator()() const {
+      if (*remaining == 0) return;
+      --*remaining;
+      engine->schedule_after(10, Chain{engine, remaining});
+    }
+  };
+  int remaining = 100'000;
+  const auto allocs = allocations_during([&] {
+    engine.schedule_after(1, Chain{&engine, &remaining});
+    engine.run_all();
+  });
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(EngineAllocation, PeriodicTicksAreAllocationFree) {
+  sim::Engine engine;
+  std::uint64_t ticks = 0;
+  auto task = engine.every(100, [&ticks] { ++ticks; });
+  engine.run_until(1'000);  // warm-up
+  const auto allocs =
+      allocations_during([&] { engine.run_until(1'000'000); });
+  task.stop();
+  EXPECT_GT(ticks, 9'000u);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(EngineAllocation, CancelIsAllocationFree) {
+  sim::Engine engine;
+  for (int i = 0; i < 64; ++i) engine.schedule_after(1 + i, [] {});
+  engine.run_all();  // warm-up
+  const auto allocs = allocations_during([&] {
+    for (int round = 0; round < 1'000; ++round) {
+      const auto id = engine.schedule_after(50, [] {});
+      engine.cancel(id);
+      engine.step();  // drains nothing but exercises skim paths
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+}  // namespace
+}  // namespace dope

@@ -181,6 +181,42 @@ class IncludeHygieneRule(unittest.TestCase):
         self.assertEqual(rules_of(findings), set())
 
 
+class HotPathStdFunctionRule(unittest.TestCase):
+    def test_flags_std_function_in_hot_path_dirs(self):
+        for rel in ("src/sim/sample.cpp", "src/server/sample.hpp",
+                    "src/workload/sample.cpp", "src/net/sample.hpp"):
+            snippet = "#pragma once\n" if rel.endswith(".hpp") else ""
+            snippet += "void f(std::function<void()> cb) { cb(); }\n"
+            findings = lint_snippet(snippet, rel)
+            self.assertIn("hot-path-std-function", rules_of(findings), rel)
+
+    def test_flags_functional_include(self):
+        findings = lint_snippet(
+            "#pragma once\n#include <functional>\n", "src/sim/sample.hpp")
+        self.assertIn("hot-path-std-function", rules_of(findings))
+
+    def test_cold_path_dirs_are_exempt(self):
+        for rel in ("src/sweep/sample.cpp", "src/common/sample.cpp",
+                    "tests/sample_test.cpp"):
+            findings = lint_snippet(
+                "void f(std::function<void()> cb) { cb(); }\n", rel)
+            self.assertNotIn("hot-path-std-function", rules_of(findings),
+                             rel)
+
+    def test_inline_function_is_clean(self):
+        findings = lint_snippet(
+            "void f(common::InlineFunction<void()> cb) { cb(); }\n",
+            "src/sim/sample.cpp")
+        self.assertNotIn("hot-path-std-function", rules_of(findings))
+
+    def test_suppression_is_honoured(self):
+        findings = lint_snippet(
+            "// dope-lint: allow(hot-path-std-function) — cold config\n"
+            "void f(std::function<void()> cb) { cb(); }\n",
+            "src/net/sample.cpp")
+        self.assertNotIn("hot-path-std-function", rules_of(findings))
+
+
 class Suppressions(unittest.TestCase):
     BAD = "void f() { auto t = std::chrono::steady_clock::now(); }"
 

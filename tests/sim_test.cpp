@@ -245,5 +245,124 @@ TEST(Engine, ManyEventsStressOrdering) {
   EXPECT_EQ(engine.executed(), 10'000u);
 }
 
+// --- event pool: slot reuse, generation safety, growth ---
+
+TEST(EnginePool, CancelledSlotIsRecycledWithoutGrowth) {
+  Engine engine;
+  const EventId a = engine.schedule_at(10, [] {});
+  const std::size_t pool_after_first = engine.event_pool_size();
+  EXPECT_TRUE(engine.cancel(a));
+  // The freed slot must satisfy the next schedule; no new slot appears.
+  engine.schedule_at(20, [] {});
+  EXPECT_EQ(engine.event_pool_size(), pool_after_first);
+}
+
+TEST(EnginePool, StaleIdAfterReuseNeverCancelsNewEvent) {
+  Engine engine;
+  const EventId stale = engine.schedule_at(10, [] {});
+  ASSERT_TRUE(engine.cancel(stale));
+  // This event recycles the slot `stale` pointed at, under a fresh
+  // generation.
+  bool fired = false;
+  engine.schedule_at(10, [&] { fired = true; });
+  EXPECT_FALSE(engine.cancel(stale));  // ABA guard: generation mismatch
+  engine.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EnginePool, NullEventIdNeverCancels) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(5, [&] { fired = true; });
+  // Id 0 is the "no event" sentinel (default-initialised members);
+  // generations start at 1, so it can never name a live slot.
+  EXPECT_FALSE(engine.cancel(EventId{0}));
+  engine.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EnginePool, CancelTwiceReturnsFalseSecondTime) {
+  Engine engine;
+  const EventId id = engine.schedule_at(10, [] {});
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(EnginePool, PoolGrowsThenSteadyStateReusesSlots) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(engine.schedule_at(i, [] {}));
+  }
+  const std::size_t high_water = engine.event_pool_size();
+  EXPECT_GE(high_water, 256u);
+  engine.run_all();
+  // Schedule/fire churn after the burst must run inside the existing
+  // pool: capacity is a high-water mark, not a treadmill.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 256; ++i) {
+      engine.schedule_after(1 + i, [] {});
+    }
+    engine.run_all();
+  }
+  EXPECT_EQ(engine.event_pool_size(), high_water);
+}
+
+TEST(EnginePool, TiedTimesStayInsertionOrderedAcrossGrowthAndReuse) {
+  // Interleaves schedules, cancels, and firings so heap entries span
+  // recycled and freshly grown slots, then asserts (time, seq) order
+  // still holds exactly for the survivors.
+  Engine engine;
+  std::vector<int> order;
+  std::vector<EventId> cancel_me;
+  for (int i = 0; i < 100; ++i) {
+    const Time t = 50 + (i % 5);  // heavy ties across 5 timestamps
+    if (i % 3 == 0) {
+      cancel_me.push_back(engine.schedule_at(t, [] {}));
+    } else {
+      engine.schedule_at(t, [&order, i] { order.push_back(i); });
+    }
+  }
+  for (const EventId id : cancel_me) EXPECT_TRUE(engine.cancel(id));
+  engine.run_all();
+  // Survivors must fire grouped by time, insertion-ordered within a tie:
+  // with times cycling i % 5, that is ascending i % 5 then ascending i.
+  std::vector<int> expected;
+  for (int rem = 0; rem < 5; ++rem) {
+    for (int i = 0; i < 100; ++i) {
+      if (i % 3 != 0 && i % 5 == rem) expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EnginePool, PeriodicSlotRecyclesAfterStop) {
+  Engine engine;
+  auto first = engine.every(10, [] {});
+  engine.run_until(35);
+  first.stop();
+  engine.run_until(50);  // drains the tombstone occurrence
+  const std::size_t pool = engine.periodic_pool_size();
+  auto second = engine.every(7, [] {});
+  EXPECT_EQ(engine.periodic_pool_size(), pool);  // reused first's slot
+  second.stop();
+}
+
+TEST(EnginePool, StoppedHandleReportsInactiveImmediately) {
+  Engine engine;
+  auto task = engine.every(10, [] {});
+  EXPECT_TRUE(task.active());
+  task.stop();
+  EXPECT_FALSE(task.active());  // before the tombstone drains
+  task.stop();                  // idempotent
+  EXPECT_FALSE(task.active());
+}
+
+TEST(EnginePool, DefaultPeriodicHandleIsInactive) {
+  PeriodicHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.stop();  // must be a safe no-op
+}
+
 }  // namespace
 }  // namespace dope::sim

@@ -28,6 +28,15 @@ properties of *this* simulator's contract, not of C++:
                   header first, quoted include blocks sorted (mirrors
                   clang-format's SortIncludes), no parent-relative
                   ("../") include paths.
+  hot-path-std-function
+                  std::function (or an #include <functional>) in the
+                  per-event hot path (src/sim, src/server, src/workload,
+                  src/net). std::function heap-allocates for captures
+                  beyond its small buffer and indirects every call; the
+                  event core contract (docs/ENGINE.md) is zero
+                  steady-state allocation, so hot-path callbacks must
+                  use common::InlineFunction / common::FunctionRef.
+                  Suppress only for cold-path configuration plumbing.
 
 Suppressions:
   // dope-lint: allow(rule[, rule...]) — reason      (this or next line)
@@ -52,7 +61,12 @@ RULES = {
     "unordered-iter": "iteration over unordered container",
     "float-eq": "exact floating-point comparison on power/energy",
     "include-hygiene": "include hygiene violation",
+    "hot-path-std-function": "std::function in the per-event hot path",
 }
+
+# Directories whose code runs once per simulated event/request; callbacks
+# there must be inline-stored (common::InlineFunction / FunctionRef).
+HOT_PATH_DIRS = ("src/sim", "src/server", "src/workload", "src/net")
 
 SUPPRESS_RE = re.compile(r"dope-lint:\s*allow\(([^)]*)\)")
 SUPPRESS_FILE_RE = re.compile(r"dope-lint:\s*allow-file\(([^)]*)\)")
@@ -92,6 +106,10 @@ FLOAT_EQ_RE = re.compile(
 )
 FLOAT_SIDE_RE = re.compile(
     r"(?ix)^(?:%s)$|\b%s\b" % (FLOAT_LITERAL, FLOAT_KEYWORD)
+)
+
+STD_FUNCTION_RE = re.compile(
+    r"\bstd\s*::\s*function\b|^\s*#\s*include\s*<functional>"
 )
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -233,6 +251,19 @@ def check_float_eq(f: FileCheck, findings: list[Finding]) -> None:
                 break  # one finding per line is enough
 
 
+def check_hot_path_std_function(f: FileCheck,
+                                findings: list[Finding]) -> None:
+    norm = f.path.replace(os.sep, "/")
+    if not any(norm.startswith(d + "/") for d in HOT_PATH_DIRS):
+        return
+    check_pattern_rule(
+        f, "hot-path-std-function", STD_FUNCTION_RE,
+        "std::function in the per-event hot path — it heap-allocates for "
+        "captures beyond its small buffer; use common::InlineFunction "
+        "(owning) or common::FunctionRef (borrowing) instead "
+        "(see docs/ENGINE.md)", findings)
+
+
 def check_include_hygiene(f: FileCheck, findings: list[Finding]) -> None:
     def report(line: int, msg: str) -> None:
         if not f.allowed("include-hygiene", line):
@@ -320,6 +351,7 @@ def lint_tree(root: str, paths: list[str]) -> list[Finding]:
             "per-run dope::Rng seeded from the scenario", findings)
         check_unordered_iter(f, unordered_names, findings)
         check_float_eq(f, findings)
+        check_hot_path_std_function(f, findings)
         check_include_hygiene(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
