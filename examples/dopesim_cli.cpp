@@ -16,11 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "antidope/suspect_list.hpp"
 #include "common/table.hpp"
+#include "obs/forensics.hpp"
 #include "obs/hub.hpp"
 #include "scenario/scenario.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
+#include "workload/catalog.hpp"
 
 namespace {
 
@@ -69,6 +72,13 @@ observability (see docs/OBSERVABILITY.md)
                        (load in chrome://tracing or ui.perfetto.dev)
   --alerts             run the power-emergency watchdog and print any
                        alerts it raised
+  --spans              record request-lifecycle spans; --trace-out then
+                       also carries them (JSONL SpanBegin/SpanEnd records
+                       or Chrome per-slot duration tracks)
+  --forensics-out FILE write the per-source forensics rollup as JSON and
+                       print the top suspects (implies --spans)
+  --trace-cap N        keep at most N trace events (0 = hub default;
+                       exports end with a TraceTruncated record when hit)
 
 sweep mode (see docs/SWEEP.md; any --sweep-* flag selects it — the
 flags above define the base scenario, each axis multiplies the grid)
@@ -113,8 +123,10 @@ int main(int argc, char** argv) {
   config.seed = 42;
 
   std::string csv_path, power_csv_path, soc_csv_path;
-  std::string metrics_path, trace_path;
+  std::string metrics_path, trace_path, forensics_path;
   bool want_alerts = false;
+  bool want_spans = false;
+  std::size_t trace_cap = 0;
 
   std::string sweep_schemes, sweep_budgets, sweep_attacks, sweep_seeds;
   std::string sweep_json_path, sweep_csv_path;
@@ -215,6 +227,13 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (flag == "--alerts") {
       want_alerts = true;
+    } else if (flag == "--spans") {
+      want_spans = true;
+    } else if (flag == "--forensics-out") {
+      forensics_path = next();
+      want_spans = true;
+    } else if (flag == "--trace-cap") {
+      trace_cap = static_cast<std::size_t>(number_arg(flag, next()));
     } else if (flag == "--sweep-schemes") {
       sweep_schemes = next();
       sweep_mode = true;
@@ -295,10 +314,14 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<obs::Hub> hub;
-  if (!metrics_path.empty() || !trace_path.empty() || want_alerts) {
-    hub = std::make_unique<obs::Hub>();
+  if (!metrics_path.empty() || !trace_path.empty() || want_alerts ||
+      want_spans) {
+    obs::HubConfig hub_config;
+    hub_config.enable_spans = want_spans;
+    hub = std::make_unique<obs::Hub>(hub_config);
     config.obs = hub.get();
     config.default_alert_rules = want_alerts;
+    config.trace_cap = trace_cap;
   }
 
   const auto r = scenario::run_scenario(config);
@@ -360,14 +383,58 @@ int main(int argc, char** argv) {
     const bool jsonl = trace_path.size() >= 6 &&
                        trace_path.rfind(".jsonl") == trace_path.size() - 6;
     if (jsonl) {
-      hub->trace().write_jsonl(out);
+      hub->write_trace_jsonl(out);
     } else {
-      hub->trace().write_chrome_trace(out);
+      hub->write_chrome_trace(out);
     }
     std::cout << "wrote " << trace_path << " ("
               << hub->trace().recorded() << " events, "
-              << hub->trace().distinct_types() << " types, "
-              << (jsonl ? "jsonl" : "chrome") << ")\n";
+              << hub->trace().distinct_types() << " types";
+    if (hub->spans() != nullptr) {
+      std::cout << ", " << hub->spans()->recorded() << " spans";
+    }
+    std::cout << ", " << (jsonl ? "jsonl" : "chrome") << ")\n";
+  }
+  if (!forensics_path.empty()) {
+    const auto forensics = obs::Forensics::build(
+        *hub->spans(), hub->trace(), config.duration);
+    std::ofstream out(forensics_path);
+    if (!out) fail("cannot write " + forensics_path);
+    forensics.write_json(out);
+    std::cout << "wrote " << forensics_path << " ("
+              << forensics.sources().size() << " sources, "
+              << forensics.violation_events() << " violation events)\n";
+
+    const auto catalog = workload::Catalog::standard();
+    // Anti-DOPE's own classification, for cross-checking the ranking.
+    std::unique_ptr<antidope::SuspectList> suspects;
+    if (config.scheme == scenario::SchemeKind::kAntiDope) {
+      suspects = std::make_unique<antidope::SuspectList>(
+          antidope::SuspectList::from_catalog(
+              catalog, config.antidope.suspect_power_threshold));
+    }
+    std::cout << "\n== forensics: top suspects by attributed energy ==\n";
+    TextTable suspect_table({"rank", "source", "requests", "joules",
+                             "occupancy (ms)", "violation overlaps",
+                             "dominant class", "suspect?"});
+    std::size_t rank = 1;
+    for (const auto& s : forensics.top_by_joules(10)) {
+      const std::string class_name =
+          s.dominant_class < catalog.size()
+              ? catalog.type(s.dominant_class).name
+              : "?";
+      const std::string flagged =
+          suspects == nullptr
+              ? "-"
+              : (suspects->suspicious(s.dominant_class) ? "yes" : "no");
+      suspect_table.row(static_cast<long long>(rank++),
+                        static_cast<long long>(s.source_id),
+                        static_cast<long long>(s.requests), s.joules,
+                        s.occupancy_ms,
+                        static_cast<long long>(s.violation_overlaps),
+                        class_name, flagged);
+    }
+    suspect_table.print(std::cout);
   }
   if (want_alerts) {
     const auto& alerts = hub->watchdog().alerts();

@@ -66,6 +66,7 @@ void AntiDopeScheme::attach(cluster::Cluster& cluster) {
     auto& reg = hub_->registry();
     obs_tl_iterations_ = &reg.counter("dpm.tl_iterations");
     obs_throttle_slots_ = &reg.counter("dpm.throttle_slots");
+    router_->bind_spans(&cluster.engine(), hub_->spans());
   }
 }
 

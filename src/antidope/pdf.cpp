@@ -12,6 +12,11 @@ PdfRouter::PdfRouter(SuspectList suspects,
       suspect_lb_(policy, std::move(suspect_pool)),
       innocent_lb_(policy, std::move(innocent_pool)) {}
 
+void PdfRouter::bind_spans(sim::Engine* engine, obs::SpanTracer* spans) {
+  suspect_lb_.bind_spans(engine, spans, "suspect");
+  innocent_lb_.bind_spans(engine, spans, "innocent");
+}
+
 void PdfRouter::update_suspects(SuspectList suspects) {
   suspects_ = std::move(suspects);
 }

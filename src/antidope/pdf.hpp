@@ -17,6 +17,14 @@
 #include "net/load_balancer.hpp"
 #include "workload/request.hpp"
 
+namespace dope::obs {
+class SpanTracer;
+}  // namespace dope::obs
+
+namespace dope::sim {
+class Engine;
+}  // namespace dope::sim
+
 namespace dope::antidope {
 
 /// URL-classified two-pool router.
@@ -42,6 +50,11 @@ class PdfRouter {
 
   std::uint64_t suspect_routed() const { return suspect_routed_; }
   std::uint64_t innocent_routed() const { return innocent_routed_; }
+
+  /// Binds span emission on both pool balancers (labels "suspect" /
+  /// "innocent"). Span-only: no metrics, so exports without spans are
+  /// byte-identical with or without this call.
+  void bind_spans(sim::Engine* engine, obs::SpanTracer* spans);
 
  private:
   SuspectList suspects_;

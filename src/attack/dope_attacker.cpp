@@ -167,7 +167,13 @@ void DopeAttacker::on_epoch() {
   generator_.set_rate(rate);
   decisions_.push_back({engine_.now(), phase_, rate, block_fraction,
                         latency_ratio});
-  if (obs_rate_ != nullptr) obs_rate_->set(rate);
+  if (obs_rate_ != nullptr) {
+    obs_rate_->set(rate);
+    // Same signal the scenario runner feeds from its per-slot probe, so
+    // an "attack-rate" watchdog rule fires for scripted and adaptive
+    // attacks alike.
+    hub_->watchdog().observe("attack.rate_rps", engine_.now(), rate);
+  }
   if (phase_ != phase_before) {
     trace_phase(phase_before, rate, block_fraction, latency_ratio);
   }

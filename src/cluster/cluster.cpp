@@ -104,6 +104,8 @@ void Cluster::bind_obs() {
   if (breaker_) obs_breaker_heat_ = &reg.gauge("breaker.heat");
   obs_overshoot_ = &reg.histo("cluster.overshoot_w");
   balancer_->bind_obs(hub_, "default");
+  spans_ = hub_->spans();
+  balancer_->bind_spans(&engine_, spans_, "default");
 }
 
 void Cluster::trace_forwarded(const workload::Request& request, int server,
@@ -140,6 +142,19 @@ void Cluster::install_scheme(std::unique_ptr<PowerScheme> scheme) {
 }
 
 void Cluster::ingest(workload::Request&& request) {
+  if (spans_ != nullptr) {
+    // Root span: opens at edge arrival, closes in on_record with the
+    // terminal outcome. Child spans (firewall, LB, queue, service) all
+    // point back at this id.
+    obs::Span span;
+    span.id = obs::span_id_for(request.id, obs::SpanKind::kRequest);
+    span.kind = obs::SpanKind::kRequest;
+    span.begin = engine_.now();
+    span.source_id = request.source;
+    span.url_class = request.type;
+    span.label = request.ground_truth_attack ? "attack" : "normal";
+    spans_->begin(std::move(span));
+  }
   // The wire comes first: a saturated switch drops packets before any
   // defense or server sees them (network-layer DoS).
   if (switch_ && !switch_->forward(engine_.now())) {
@@ -226,6 +241,11 @@ void Cluster::on_record(const workload::RequestRecord& record) {
   }
   if (hub_ != nullptr) {
     obs_outcome_[static_cast<int>(record.outcome)]->inc();
+  }
+  if (spans_ != nullptr) {
+    spans_->end(
+        obs::span_id_for(record.request.id, obs::SpanKind::kRequest),
+        record.finish, outcome_label(record.outcome));
   }
   request_metrics_.record(record);
   for (auto& l : listeners_) l(record);

@@ -187,6 +187,7 @@ class Cluster {
 
   // Observability (all null when no hub is attached to the engine).
   obs::Hub* hub_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
   obs::Counter* obs_outcome_[7] = {};
   obs::Counter* obs_forwarded_scheme_ = nullptr;
   obs::Counter* obs_forwarded_default_ = nullptr;

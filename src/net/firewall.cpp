@@ -22,6 +22,7 @@ Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
     obs_admitted_ = &reg.counter("net.fw_admitted");
     obs_blocked_ = &reg.counter("net.fw_blocked");
     obs_bans_ = &reg.counter("net.fw_bans");
+    spans_ = hub_->spans();
   }
   poller_ = engine_.every(config_.check_interval, [this] { poll(); });
 }
@@ -29,7 +30,18 @@ Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
 Firewall::~Firewall() { poller_.stop(); }
 
 bool Firewall::admit(const workload::Request& request) {
-  if (is_banned(request.source)) {
+  const bool banned = is_banned(request.source);
+  if (spans_ != nullptr) {
+    obs::Span span;
+    span.id = obs::span_id_for(request.id, obs::SpanKind::kFirewall);
+    span.parent = obs::span_id_for(request.id, obs::SpanKind::kRequest);
+    span.kind = obs::SpanKind::kFirewall;
+    span.source_id = request.source;
+    span.url_class = request.type;
+    span.outcome = banned ? "blocked" : "pass";
+    spans_->instant(std::move(span), engine_.now());
+  }
+  if (banned) {
     ++blocked_;
     if (obs_blocked_ != nullptr) obs_blocked_->inc();
     return false;

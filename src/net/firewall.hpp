@@ -23,6 +23,7 @@
 namespace dope::obs {
 class Counter;
 class Hub;
+class SpanTracer;
 }  // namespace dope::obs
 
 namespace dope::net {
@@ -73,6 +74,7 @@ class Firewall {
   FirewallConfig config_;
   sim::PeriodicHandle poller_;
   obs::Hub* hub_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
   obs::Counter* obs_admitted_ = nullptr;
   obs::Counter* obs_blocked_ = nullptr;
   obs::Counter* obs_bans_ = nullptr;

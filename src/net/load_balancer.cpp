@@ -4,6 +4,7 @@
 
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
+#include "sim/engine.hpp"
 
 namespace dope::net {
 
@@ -24,10 +25,30 @@ void LoadBalancer::bind_obs(obs::Hub* hub, const char* pool) {
                                              {{"pool", pool}});
 }
 
+void LoadBalancer::bind_spans(sim::Engine* engine, obs::SpanTracer* spans,
+                              const char* pool) {
+  if (engine == nullptr || spans == nullptr) return;
+  span_engine_ = engine;
+  spans_ = spans;
+  span_pool_ = pool;
+}
+
 Backend* LoadBalancer::select(const workload::Request& request) {
   Backend* chosen = do_select(request);
   if (obs_selected_ != nullptr) {
     (chosen != nullptr ? obs_selected_ : obs_no_backend_)->inc();
+  }
+  if (spans_ != nullptr) {
+    obs::Span span;
+    span.id = obs::span_id_for(request.id, obs::SpanKind::kLbPick);
+    span.parent = obs::span_id_for(request.id, obs::SpanKind::kRequest);
+    span.kind = obs::SpanKind::kLbPick;
+    span.source_id = request.source;
+    span.url_class = request.type;
+    if (chosen != nullptr) span.server = chosen->backend_id();
+    span.label = span_pool_;
+    span.outcome = chosen != nullptr ? "selected" : "no_backend";
+    spans_->instant(std::move(span), span_engine_->now());
   }
   return chosen;
 }

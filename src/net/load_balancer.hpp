@@ -15,7 +15,12 @@
 namespace dope::obs {
 class Counter;
 class Hub;
+class SpanTracer;
 }  // namespace dope::obs
+
+namespace dope::sim {
+class Engine;
+}  // namespace dope::sim
 
 namespace dope::net {
 
@@ -52,6 +57,12 @@ class LoadBalancer {
   /// must outlive the balancer (string literals at all call sites).
   void bind_obs(obs::Hub* hub, const char* pool);
 
+  /// Binds span emission: every `select` records an instant kLbPick span
+  /// labelled with this pool. Optional; `spans` may be null (no-op).
+  /// Span-only — adds no metrics, so the span-off export is unchanged.
+  void bind_spans(sim::Engine* engine, obs::SpanTracer* spans,
+                  const char* pool);
+
  private:
   Backend* do_select(const workload::Request& request);
 
@@ -62,6 +73,9 @@ class LoadBalancer {
   std::uint64_t dispatched_ = 0;
   obs::Counter* obs_selected_ = nullptr;
   obs::Counter* obs_no_backend_ = nullptr;
+  sim::Engine* span_engine_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
+  const char* span_pool_ = "";
 };
 
 }  // namespace dope::net

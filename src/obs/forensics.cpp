@@ -1,0 +1,136 @@
+#include "obs/forensics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+namespace {
+
+/// Build-time accumulator; std::map keeps every iteration deterministic.
+struct SourceAccum {
+  SourceStats stats;
+  std::map<std::uint32_t, double> class_joules;
+  std::map<std::uint32_t, std::uint64_t> class_requests;
+};
+
+}  // namespace
+
+Forensics Forensics::build(const SpanTracer& spans,
+                           const TraceRecorder& trace, Time horizon) {
+  Forensics out;
+
+  // Violation instants, in trace (= time) order, for binary search.
+  std::vector<Time> violations;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.type == EventType::kBudgetViolation) violations.push_back(e.t);
+  }
+  out.violation_events_ = violations.size();
+
+  if (horizon < 0) {
+    for (const Span& span : spans.spans()) {
+      horizon = std::max(horizon, span.begin);
+      horizon = std::max(horizon, span.end);
+    }
+  }
+
+  std::map<std::uint32_t, SourceAccum> accum;
+  for (const Span& span : spans.spans()) {
+    SourceAccum& a = accum[span.source_id];
+    a.stats.source_id = span.source_id;
+    switch (span.kind) {
+      case SpanKind::kRequest: {
+        ++a.stats.requests;
+        ++a.class_requests[span.url_class];
+        if (std::string_view(span.outcome) == "completed") {
+          ++a.stats.completed;
+        }
+        break;
+      }
+      case SpanKind::kService: {
+        const Time end = span.open() ? horizon : span.end;
+        const Duration held = std::max<Duration>(end - span.begin, 0);
+        a.stats.joules += span.power_w * to_seconds(held);
+        a.stats.occupancy_ms += to_seconds(held) * 1e3;
+        a.class_joules[span.url_class] += span.power_w * to_seconds(held);
+        const auto lo = std::lower_bound(violations.begin(),
+                                         violations.end(), span.begin);
+        const auto hi =
+            std::upper_bound(violations.begin(), violations.end(), end);
+        a.stats.violation_overlaps +=
+            static_cast<std::uint64_t>(hi - lo);
+        break;
+      }
+      case SpanKind::kFirewall:
+      case SpanKind::kLbPick:
+      case SpanKind::kQueue:
+        break;
+    }
+  }
+
+  out.sources_.reserve(accum.size());
+  for (auto& [source_id, a] : accum) {
+    // Dominant class: by joules when the source reached a slot at all,
+    // by request count otherwise. std::map order makes ties break to the
+    // lower class id.
+    double best_j = 0.0;
+    for (const auto& [cls, j] : a.class_joules) {
+      if (j > best_j) {
+        best_j = j;
+        a.stats.dominant_class = cls;
+      }
+    }
+    if (best_j <= 0.0) {
+      std::uint64_t best_n = 0;
+      for (const auto& [cls, n] : a.class_requests) {
+        if (n > best_n) {
+          best_n = n;
+          a.stats.dominant_class = cls;
+        }
+      }
+    }
+    out.total_joules_ += a.stats.joules;
+    out.sources_.push_back(a.stats);
+  }
+  return out;
+}
+
+std::vector<SourceStats> Forensics::top_by_joules(std::size_t k) const {
+  std::vector<SourceStats> ranked = sources_;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SourceStats& a, const SourceStats& b) {
+              if (a.joules > b.joules) return true;
+              if (a.joules < b.joules) return false;
+              return a.source_id < b.source_id;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+void Forensics::write_json(std::ostream& out) const {
+  out << "{\n  \"total_joules\": ";
+  write_json_number(out, total_joules_);
+  out << ",\n  \"violation_events\": " << violation_events_
+      << ",\n  \"sources\": " << sources_.size() << ",\n  \"ranking\": [";
+  const auto ranked = top_by_joules(sources_.size());
+  bool first = true;
+  for (const SourceStats& s : ranked) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"source_id\": " << s.source_id
+        << ", \"requests\": " << s.requests
+        << ", \"completed\": " << s.completed << ", \"joules\": ";
+    write_json_number(out, s.joules);
+    out << ", \"occupancy_ms\": ";
+    write_json_number(out, s.occupancy_ms);
+    out << ", \"violation_overlaps\": " << s.violation_overlaps
+        << ", \"dominant_class\": " << s.dominant_class << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace dope::obs

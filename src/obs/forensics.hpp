@@ -1,0 +1,73 @@
+// Per-source attack forensics.
+//
+// Rolls the span log up into per-source aggregates — the attribution the
+// paper's Figures 9–12 reason about: how many requests each source sent,
+// how many joules its requests drew on server slots, how long it occupied
+// them, and how often its slot occupancy coincided with a recorded
+// `BudgetViolation` instant. Sorting by attributed joules yields a
+// suspect ranking that can be cross-checked against Anti-DOPE's own
+// URL-class suspect list: a real DOPE botnet's top sources all carry a
+// suspicious dominant URL class.
+//
+// Built after the run from an attached `SpanTracer` + `TraceRecorder`;
+// never touches the simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace dope::obs {
+
+/// Aggregates for one traffic source (client IP).
+struct SourceStats {
+  std::uint32_t source_id = 0;
+  /// Root request spans observed.
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  /// Energy attributed to this source's service spans (power at
+  /// admission x slot occupancy).
+  double joules = 0.0;
+  /// Total server-slot occupancy (milliseconds).
+  double occupancy_ms = 0.0;
+  /// BudgetViolation instants that fell inside a service span of this
+  /// source — the "who was on the slot during the violation" join.
+  std::uint64_t violation_overlaps = 0;
+  /// URL class carrying the most attributed joules (most requests when
+  /// the source never reached a slot); ties break to the lower class id.
+  std::uint32_t dominant_class = 0;
+};
+
+/// Per-source rollup over one run's spans.
+class Forensics {
+ public:
+  /// Aggregates `spans` against `trace`'s BudgetViolation instants. Open
+  /// spans are clamped to `horizon` (the run duration); a negative
+  /// horizon clamps to the latest time observed in the span log.
+  static Forensics build(const SpanTracer& spans, const TraceRecorder& trace,
+                         Time horizon = -1);
+
+  /// All sources, ordered by source id.
+  const std::vector<SourceStats>& sources() const { return sources_; }
+  /// Top `k` sources by attributed joules (ties: lower source id first).
+  std::vector<SourceStats> top_by_joules(std::size_t k) const;
+  /// Sum of per-source attributed joules.
+  double total_joules() const { return total_joules_; }
+  /// BudgetViolation instants seen in the trace.
+  std::uint64_t violation_events() const { return violation_events_; }
+
+  /// {"total_joules":…, "violation_events":…, "ranking":[…]} with the
+  /// ranking ordered by joules descending (deterministic tie-break).
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<SourceStats> sources_;
+  double total_joules_ = 0.0;
+  std::uint64_t violation_events_ = 0;
+};
+
+}  // namespace dope::obs

@@ -1,18 +1,26 @@
-// The observability hub: one object bundling the three pillars —
-// metrics registry, trace recorder, and alert watchdog — wired together
-// (watchdog alerts land in the trace).
+// The observability hub: one object bundling the pillars — metrics
+// registry, trace recorder, alert watchdog, and (opt-in) request span
+// tracer — wired together (watchdog alerts land in the trace; spans and
+// events merge into one export).
 //
 // Ownership/threading model: create one `Hub` per simulation run and
 // attach it to that run's `sim::Engine` (`engine.set_obs(&hub)`) *before*
 // constructing components, which cache their instruments at construction.
 // A null hub (the default) is the null sink: every instrumented call
 // site guards on the pointer, so a run without a hub performs no
-// observability work and no allocation. A Hub must not be shared by
+// observability work and no allocation. Span tracing is additionally
+// opt-in per hub (`HubConfig::enable_spans`): call sites cache
+// `hub->spans()` — null when disabled — so a hub without spans records
+// exactly what it did before spans existed. A Hub must not be shared by
 // concurrently running scenarios — instruments are deliberately
 // lock-free plain stores.
 #pragma once
 
+#include <iosfwd>
+#include <memory>
+
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 
@@ -20,12 +28,20 @@ namespace dope::obs {
 
 struct HubConfig {
   TraceConfig trace{};
+  /// Request-lifecycle span tracing; off by default (spans are the one
+  /// pillar with per-request cost even when nobody exports them).
+  bool enable_spans = false;
+  SpanConfig spans{};
 };
 
 class Hub {
  public:
   explicit Hub(HubConfig config = {})
-      : trace_(config.trace), watchdog_(&trace_) {}
+      : trace_(config.trace), watchdog_(&trace_) {
+    if (config.enable_spans) {
+      spans_ = std::make_unique<SpanTracer>(config.spans);
+    }
+  }
 
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
@@ -36,14 +52,30 @@ class Hub {
   const TraceRecorder& trace() const { return trace_; }
   Watchdog& watchdog() { return watchdog_; }
   const Watchdog& watchdog() const { return watchdog_; }
+  /// Null when span tracing is disabled — cache and guard, like the hub
+  /// pointer itself.
+  SpanTracer* spans() { return spans_.get(); }
+  const SpanTracer* spans() const { return spans_.get(); }
 
   /// Shorthand for trace().record(...).
   void event(TraceEvent e) { trace_.record(std::move(e)); }
+
+  /// JSONL export of the whole hub: the event trace, merged (in time
+  /// order) with SpanBegin/SpanEnd records when spans are enabled.
+  /// Byte-identical to `trace().write_jsonl` when they are not.
+  void write_trace_jsonl(std::ostream& out) const;
+
+  /// Chrome trace_event export: the instant-event rows, plus — when
+  /// spans are enabled — duration (B/E) pairs on one track per
+  /// (server, slot) and async request/queue spans. Byte-identical to
+  /// `trace().write_chrome_trace` when spans are disabled.
+  void write_chrome_trace(std::ostream& out) const;
 
  private:
   Registry registry_;
   TraceRecorder trace_;
   Watchdog watchdog_;
+  std::unique_ptr<SpanTracer> spans_;
 };
 
 }  // namespace dope::obs

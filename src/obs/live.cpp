@@ -1,0 +1,164 @@
+#include "obs/live.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+namespace {
+
+std::uint64_t to_word(double v) { return std::bit_cast<std::uint64_t>(v); }
+double from_word(std::uint64_t w) { return std::bit_cast<double>(w); }
+
+void pack(const LiveSnapshot& snap, std::uint64_t (&words)[9]) {
+  words[0] = snap.seq;
+  words[1] = snap.runs_total;
+  words[2] = snap.runs_completed;
+  words[3] = snap.runs_failed;
+  words[4] = to_word(snap.wall_ms_sum);
+  words[5] = to_word(snap.wall_ms_min);
+  words[6] = to_word(snap.wall_ms_max);
+  words[7] = snap.wall_ms_count;
+  words[8] = snap.done ? 1 : 0;
+}
+
+void unpack(const std::uint64_t (&words)[9], LiveSnapshot& snap) {
+  snap.seq = words[0];
+  snap.runs_total = words[1];
+  snap.runs_completed = words[2];
+  snap.runs_failed = words[3];
+  snap.wall_ms_sum = from_word(words[4]);
+  snap.wall_ms_min = from_word(words[5]);
+  snap.wall_ms_max = from_word(words[6]);
+  snap.wall_ms_count = words[7];
+  snap.done = words[8] != 0;
+}
+
+}  // namespace
+
+void LiveTap::publish(LiveSnapshot snap) {
+  const std::uint64_t seq = next_seq_++;
+  snap.seq = seq;
+  Slot& slot = slots_[seq % kSlots];
+
+  std::uint64_t words[kWords];
+  pack(snap, words);
+
+  // Seqlock write: mark the slot odd, store the payload, mark it even,
+  // then advance head. Readers that catch the slot mid-write see an odd
+  // or changed counter and retry.
+  const std::uint64_t mark = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(mark + 1, std::memory_order_release);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(mark + 2, std::memory_order_release);
+  head_.store(seq, std::memory_order_release);
+}
+
+bool LiveTap::latest(LiveSnapshot& out) const {
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (head == 0) return false;
+    const Slot& slot = slots_[head % kSlots];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 % 2 != 0) continue;  // producer mid-write; retry
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+    if (s1 != s2) continue;  // torn read; retry
+    unpack(words, out);
+    // With kSlots > 1 the slot we read may already hold a *newer*
+    // snapshot than `head` advertised — that is fine (still a complete
+    // snapshot); it can never hold an older one.
+    return true;
+  }
+  return false;
+}
+
+void write_live_json(std::ostream& out, const LiveSnapshot& snap) {
+  out << "{\"seq\": " << snap.seq << ", \"done\": "
+      << (snap.done ? "true" : "false")
+      << ", \"runs_total\": " << snap.runs_total
+      << ", \"runs_completed\": " << snap.runs_completed
+      << ", \"runs_failed\": " << snap.runs_failed
+      << ", \"wall_ms_count\": " << snap.wall_ms_count
+      << ", \"wall_ms_sum\": ";
+  write_json_number(out, snap.wall_ms_sum);
+  out << ", \"wall_ms_min\": ";
+  write_json_number(out, snap.wall_ms_min);
+  out << ", \"wall_ms_max\": ";
+  write_json_number(out, snap.wall_ms_max);
+  out << ", \"wall_ms_mean\": ";
+  write_json_number(out, snap.wall_ms_count > 0
+                             ? snap.wall_ms_sum /
+                                   static_cast<double>(snap.wall_ms_count)
+                             : 0.0);
+  out << "}\n";
+}
+
+void write_live_prometheus(std::ostream& out, const LiveSnapshot& snap) {
+  const auto gauge = [&out](const char* name, double value,
+                            const char* help) {
+    out << "# HELP " << name << " " << help << "\n"
+        << "# TYPE " << name << " gauge\n"
+        << name << " ";
+    write_json_number(out, value);
+    out << "\n";
+  };
+  gauge("dope_sweep_runs_total", static_cast<double>(snap.runs_total),
+        "Grid points in the sweep.");
+  gauge("dope_sweep_runs_completed",
+        static_cast<double>(snap.runs_completed),
+        "Grid points finished (ok or failed).");
+  gauge("dope_sweep_runs_failed", static_cast<double>(snap.runs_failed),
+        "Grid points whose scenario threw.");
+  gauge("dope_sweep_run_wall_ms_sum", snap.wall_ms_sum,
+        "Total wall-clock milliseconds over completed runs.");
+  gauge("dope_sweep_run_wall_ms_count",
+        static_cast<double>(snap.wall_ms_count),
+        "Completed runs contributing to wall-clock stats.");
+  gauge("dope_sweep_done", snap.done ? 1.0 : 0.0,
+        "1 once the whole grid has drained.");
+}
+
+namespace {
+
+bool replace_with(const std::string& path,
+                  const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << contents;
+    if (!out.flush()) return false;
+  }
+  // POSIX rename atomically replaces the target: readers see either the
+  // old snapshot or the new one, never a partial file.
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+bool replace_live_json(const std::string& path, const LiveSnapshot& snap) {
+  std::ostringstream buf;
+  write_live_json(buf, snap);
+  return replace_with(path, buf.str());
+}
+
+bool replace_live_prometheus(const std::string& path,
+                             const LiveSnapshot& snap) {
+  std::ostringstream buf;
+  write_live_prometheus(buf, snap);
+  return replace_with(path, buf.str());
+}
+
+}  // namespace dope::obs

@@ -1,0 +1,93 @@
+// Live sweep telemetry: a lock-free snapshot ring plus file exporters.
+//
+// A multi-hour `dope::sweep` run is otherwise a black box until exit.
+// The sweep's completion path (single producer) publishes a small
+// fixed-size `LiveSnapshot` into a seqlock ring; a drainer thread in the
+// CLI reads the latest snapshot wait-free — without ever blocking the
+// worker that published it — and emits progress lines, an atomically
+// replaced `live_metrics.json`, and a Prometheus text-format sibling.
+//
+// The ring stores snapshots as relaxed atomic words guarded by an
+// acquire/release sequence counter per slot (odd = write in progress),
+// so torn reads are detected and retried rather than observed: the
+// classic seqlock, expressed in atomics so TSan agrees it is race-free.
+// Snapshots are host-side telemetry only — nothing here feeds back into
+// simulation results, which stay byte-identical with or without a tap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dope::obs {
+
+/// One progress snapshot of a sweep in flight.
+struct LiveSnapshot {
+  /// Publication sequence number (1-based; 0 = never published).
+  std::uint64_t seq = 0;
+  std::uint64_t runs_total = 0;
+  std::uint64_t runs_completed = 0;
+  std::uint64_t runs_failed = 0;
+  /// Wall-clock stats over completed runs (milliseconds).
+  double wall_ms_sum = 0.0;
+  double wall_ms_min = 0.0;
+  double wall_ms_max = 0.0;
+  std::uint64_t wall_ms_count = 0;
+  /// True on the final snapshot, after the grid has drained.
+  bool done = false;
+};
+
+/// Single-producer / multi-reader snapshot ring.
+class LiveTap {
+ public:
+  LiveTap() = default;
+
+  LiveTap(const LiveTap&) = delete;
+  LiveTap& operator=(const LiveTap&) = delete;
+
+  /// Publishes `snap` (its `seq` is assigned). Single producer only.
+  void publish(LiveSnapshot snap);
+
+  /// Copies the most recent snapshot into `out`; false when nothing has
+  /// been published yet. Wait-free for the producer; the reader retries
+  /// while the producer is mid-write on the same slot.
+  bool latest(LiveSnapshot& out) const;
+
+  /// Snapshots published so far (producer-side count).
+  std::uint64_t published() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 8;
+  static constexpr std::size_t kWords = 9;
+
+  struct Slot {
+    /// Seqlock: odd while the producer is writing this slot.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  Slot slots_[kSlots];
+  /// Sequence number of the latest fully published snapshot.
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t next_seq_ = 1;  // producer-only
+};
+
+/// Writes `snap` as a JSON object.
+void write_live_json(std::ostream& out, const LiveSnapshot& snap);
+
+/// Writes `snap` in Prometheus text exposition format
+/// (`dope_sweep_*` gauges).
+void write_live_prometheus(std::ostream& out, const LiveSnapshot& snap);
+
+/// Atomically replaces `path` with the snapshot's JSON (write to a
+/// `.tmp` sibling, then rename). Returns false on I/O failure.
+bool replace_live_json(const std::string& path, const LiveSnapshot& snap);
+
+/// Same, in Prometheus text format.
+bool replace_live_prometheus(const std::string& path,
+                             const LiveSnapshot& snap);
+
+}  // namespace dope::obs

@@ -1,0 +1,136 @@
+// Request-lifecycle span tracing.
+//
+// A *span* is a timed interval in one request's life — the root request
+// span plus child spans for the firewall verdict, the LB pick, time spent
+// queued, and slot occupancy on a server. Spans form a two-level tree:
+// every child points at its request's root span, so "which request, from
+// which source, occupied which server slot during the violation at t?"
+// is a join over `{span.server, span.slot, span.begin..end}`.
+//
+// Span ids are *stable*: `(request_id << 3) | stage`. Request ids are
+// seed-derived (`(seed << 40) ^ serial`), so two runs of the same
+// scenario produce identical span ids — diffable traces.
+//
+// Like the rest of the hub, the tracer only observes: recording a span
+// never schedules an event, consumes randomness, or allocates on the
+// simulation's hot path beyond the append itself. Call sites cache the
+// `SpanTracer*` at construction and guard on null, so a run without
+// spans does zero observability work and exports byte-identical results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dope::obs {
+
+/// Lifecycle stage of a span; doubles as the low bits of its id.
+enum class SpanKind : std::uint8_t {
+  kRequest = 0,   // arrival -> terminal outcome (root)
+  kFirewall = 1,  // perimeter verdict (instant)
+  kLbPick = 2,    // load-balancer selection (instant)
+  kQueue = 3,     // waiting in a server's FCFS queue
+  kService = 4,   // occupying a server slot
+};
+
+inline constexpr std::size_t kSpanKindCount = 5;
+
+const char* span_kind_name(SpanKind kind);
+
+/// Deterministic span id: request id in the high bits, stage in the low
+/// three. Any component can derive a request's root-span id locally.
+inline std::uint64_t span_id_for(std::uint64_t request_id, SpanKind kind) {
+  return (request_id << 3) | static_cast<std::uint64_t>(kind);
+}
+
+/// One span. `label` and `outcome` must be string literals (or otherwise
+/// outlive the tracer), mirroring the TraceEvent key convention.
+struct Span {
+  std::uint64_t id = 0;
+  /// Root-span id of the owning request; 0 for the root itself.
+  std::uint64_t parent = 0;
+  SpanKind kind = SpanKind::kRequest;
+  Time begin = 0;
+  /// -1 while the span is still open.
+  Time end = -1;
+  std::uint32_t source_id = 0;
+  std::uint32_t url_class = 0;
+  /// Power attributed to the span (service spans: the request's active
+  /// power at admission level; 0 elsewhere).
+  double power_w = 0.0;
+  /// Serving node (-1 when not tied to a server).
+  int server = -1;
+  /// Slot index on the server (-1 when not in service).
+  int slot = -1;
+  const char* label = "";
+  const char* outcome = "";
+
+  bool open() const { return end < 0; }
+};
+
+struct SpanConfig {
+  /// Retention cap; spans past it are counted but not stored (exports
+  /// embed the drop count — never silent).
+  std::size_t max_spans = 2'000'000;
+};
+
+/// Append-only span log with begin/end pairing.
+class SpanTracer {
+ public:
+  explicit SpanTracer(SpanConfig config = {});
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Opens a span (`span.end` is forced to -1). Dropped silently into
+  /// the overflow counter once the cap is hit.
+  void begin(Span span);
+
+  /// Closes the open span `id` at `t`. Unknown ids (never begun, begun
+  /// past the cap, or already closed) are counted and ignored.
+  void end(std::uint64_t id, Time t, const char* outcome);
+
+  /// Records an already-closed zero-duration span at `t` (verdicts).
+  void instant(Span span, Time t);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - spans_.size(); }
+  /// Ends that matched no open span.
+  std::uint64_t unmatched_ends() const { return unmatched_ends_; }
+  std::size_t open_count() const { return open_.size(); }
+  std::uint64_t count(SpanKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::size_t max_spans() const { return config_.max_spans; }
+  void set_max_spans(std::size_t cap) { config_.max_spans = cap; }
+
+  /// One `SpanBegin`/`SpanEnd` JSONL record pair per span, time-ordered
+  /// (stand-alone export; `Hub::write_trace_jsonl` merges spans with the
+  /// event trace instead).
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  SpanConfig config_;
+  std::vector<Span> spans_;
+  /// Open-span lookup: id -> index into spans_. Lookup only — never
+  /// iterated, so hash order cannot leak into any output.
+  std::unordered_map<std::uint64_t, std::size_t> open_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t unmatched_ends_ = 0;
+  std::array<std::uint64_t, kSpanKindCount> counts_{};
+};
+
+/// Writes one span as its JSONL `SpanBegin` record (no trailing newline
+/// handling — callers append '\n').
+void write_span_begin_jsonl(std::ostream& out, const Span& span);
+
+/// Writes one span as its JSONL `SpanEnd` record. Only valid for closed
+/// spans.
+void write_span_end_jsonl(std::ostream& out, const Span& span);
+
+}  // namespace dope::obs

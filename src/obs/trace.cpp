@@ -64,16 +64,21 @@ void write_payload_fields(std::ostream& out, const TraceEvent& e) {
 
 }  // namespace
 
+void write_jsonl_event(std::ostream& out, const TraceEvent& e) {
+  out << "{\"t_us\": " << e.t << ", \"t_s\": ";
+  write_json_number(out, to_seconds(e.t));
+  out << ", \"type\": ";
+  write_json_string(out, event_type_name(e.type));
+  out << ", \"source\": ";
+  write_json_string(out, e.source);
+  write_payload_fields(out, e);
+  out << "}";
+}
+
 void TraceRecorder::write_jsonl(std::ostream& out) const {
   for (const auto& e : events_) {
-    out << "{\"t_us\": " << e.t << ", \"t_s\": ";
-    write_json_number(out, to_seconds(e.t));
-    out << ", \"type\": ";
-    write_json_string(out, event_type_name(e.type));
-    out << ", \"source\": ";
-    write_json_string(out, e.source);
-    write_payload_fields(out, e);
-    out << "}\n";
+    write_jsonl_event(out, e);
+    out << "\n";
   }
   if (dropped() > 0) {
     out << "{\"type\": \"TraceTruncated\", \"dropped\": " << dropped()
@@ -82,6 +87,14 @@ void TraceRecorder::write_jsonl(std::ostream& out) const {
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  write_chrome_body(out, first);
+  out << "\n]}\n";
+}
+
+void TraceRecorder::write_chrome_body(std::ostream& out,
+                                      bool& first) const {
   // One synthetic thread per emitting component so each gets its own row.
   std::map<std::string_view, int> tids;
   for (const auto& e : events_) {
@@ -90,8 +103,6 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
   int next_tid = 1;
   for (auto& [source, tid] : tids) tid = next_tid++;
 
-  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  bool first = true;
   for (const auto& [source, tid] : tids) {
     if (!first) out << ",\n";
     first = false;
@@ -131,8 +142,8 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
            "\"ts\": 0, \"name\": \"TraceTruncated\", \"args\": "
            "{\"dropped\": "
         << dropped() << "}}";
+    first = false;
   }
-  out << "\n]}\n";
 }
 
 }  // namespace dope::obs

@@ -84,6 +84,11 @@ class TraceRecorder {
   std::uint64_t count(EventType type) const {
     return counts_[static_cast<std::size_t>(type)];
   }
+  /// Current retention cap.
+  std::size_t max_events() const { return config_.max_events; }
+  /// Adjusts the retention cap. Applies to future records only: already
+  /// stored events are kept even when the cap shrinks below them.
+  void set_max_events(std::size_t cap) { config_.max_events = cap; }
   /// Number of distinct event types seen so far.
   std::size_t distinct_types() const;
 
@@ -95,11 +100,21 @@ class TraceRecorder {
   /// thread-name metadata so Perfetto labels the rows.
   void write_chrome_trace(std::ostream& out) const;
 
+  /// Writes the body of `write_chrome_trace` — the comma-separated event
+  /// objects without the surrounding envelope — so `Hub` can append span
+  /// tracks into the same traceEvents array. `first` tracks whether a
+  /// separating comma is needed and is updated.
+  void write_chrome_body(std::ostream& out, bool& first) const;
+
  private:
   TraceConfig config_;
   std::vector<TraceEvent> events_;
   std::uint64_t recorded_ = 0;
   std::array<std::uint64_t, kEventTypeCount> counts_{};
 };
+
+/// Writes one event as its JSONL object (no trailing newline). Shared by
+/// `TraceRecorder::write_jsonl` and the hub's merged span+event export.
+void write_jsonl_event(std::ostream& out, const TraceEvent& e);
 
 }  // namespace dope::obs

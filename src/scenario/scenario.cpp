@@ -44,6 +44,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   sim::Engine engine;
   engine.set_obs(config.obs);  // before any component construction
+  if (config.obs != nullptr && config.trace_cap > 0) {
+    config.obs->trace().set_max_events(config.trace_cap);
+  }
   const auto catalog = workload::Catalog::standard();
 
   cluster::ClusterConfig cc;
@@ -77,6 +80,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                     .cmp = obs::AlertCmp::kBelow,
                     .threshold = 0.25,
                     .consecutive = 1,
+                    .clear_after = 3});
+    }
+    if (config.attack_rps > 0.0) {
+      // Fires while the observed flood runs at a meaningful fraction of
+      // its configured rate; the raise/clear pair lands in the trace, so
+      // attack onset is visible next to the power events it causes.
+      dog.add_rule({.name = "attack-rate",
+                    .signal = kSignalAttackRate,
+                    .cmp = obs::AlertCmp::kAbove,
+                    .threshold = 0.5 * config.attack_rps,
+                    .consecutive = 3,
                     .clear_after = 3});
     }
   }
@@ -131,11 +145,33 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         [&cluster] { return cluster.battery()->soc(); });
   }
 
-  // Track the deepest throttling any server experiences.
-  std::size_t min_level_seen = cluster.ladder().max_level();
-  auto level_probe = engine.every(config.slot, [&] {
+  // Track the deepest throttling any server experiences, and feed the
+  // offered attack rate to the watchdog once per slot. Bundled into one
+  // struct so the periodic's captures stay within the inline budget.
+  struct SlotProbe {
+    std::size_t min_level_seen = 0;
+    workload::TrafficGenerator* attack_gen = nullptr;
+    obs::Watchdog* dog = nullptr;
+    double slot_seconds = 1.0;
+    std::uint64_t prev_generated = 0;
+  } probe;
+  probe.min_level_seen = cluster.ladder().max_level();
+  if (config.obs != nullptr && attack != nullptr) {
+    probe.attack_gen = attack.get();
+    probe.dog = &config.obs->watchdog();
+    probe.slot_seconds = to_seconds(config.slot);
+  }
+  auto level_probe = engine.every(config.slot, [&cluster, &probe, &engine] {
     for (auto* n : cluster.servers()) {
-      min_level_seen = std::min(min_level_seen, n->level());
+      probe.min_level_seen = std::min(probe.min_level_seen, n->level());
+    }
+    if (probe.attack_gen != nullptr) {
+      const std::uint64_t generated = probe.attack_gen->generated();
+      probe.dog->observe(
+          kSignalAttackRate, engine.now(),
+          static_cast<double>(generated - probe.prev_generated) /
+              probe.slot_seconds);
+      probe.prev_generated = generated;
     }
   });
 
@@ -187,7 +223,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   result.final_mean_frequency =
       freq_sum / static_cast<double>(cluster.num_servers());
-  result.min_level_seen = min_level_seen;
+  result.min_level_seen = probe.min_level_seen;
   return result;
 }
 

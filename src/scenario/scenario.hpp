@@ -87,10 +87,21 @@ struct ScenarioConfig {
   /// are byte-identical with and without a hub.
   obs::Hub* obs = nullptr;
   /// Install the standard power-emergency watchdog rules (budget breach,
-  /// utility feed over budget, battery below reserve) into `obs`'s
-  /// watchdog before the run. Ignored when `obs` is null.
+  /// utility feed over budget, battery below reserve, and — when the
+  /// scenario has attack traffic — attack rate above half the configured
+  /// flood rate) into `obs`'s watchdog before the run. Ignored when
+  /// `obs` is null.
   bool default_alert_rules = false;
+  /// Overrides the hub's trace retention cap for this run when positive
+  /// (0 keeps whatever the hub was configured with). Dropped events are
+  /// never silent: exports end with a TraceTruncated record.
+  std::size_t trace_cap = 0;
 };
+
+/// Watchdog signal carrying the offered attack rate (requests/second),
+/// fed once per management slot by the scenario runner and on every epoch
+/// by the adaptive `attack::DopeAttacker`.
+inline constexpr const char* kSignalAttackRate = "attack.rate_rps";
 
 /// Everything the paper's figures report about one run.
 struct ScenarioResult {

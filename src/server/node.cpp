@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/expect.hpp"
+#include "obs/hub.hpp"
 
 namespace dope::server {
 
@@ -26,6 +27,7 @@ ServerNode::ServerNode(sim::Engine& engine, int id,
       last_energy_update_(engine.now()) {
   DOPE_REQUIRE(sink_ != nullptr, "server needs a record sink");
   DOPE_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  if (engine_.obs() != nullptr) spans_ = engine_.obs()->spans();
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     free_mask_[i / 64] |= std::uint64_t{1} << (i % 64);
   }
@@ -54,6 +56,50 @@ double ServerNode::slowdown_at(const workload::RequestTypeProfile& profile,
          (1.0 - profile.cpu_bound_fraction);
 }
 
+void ServerNode::span_queue_begin(const workload::Request& request) {
+  if (spans_ == nullptr) return;
+  obs::Span span;
+  span.id = obs::span_id_for(request.id, obs::SpanKind::kQueue);
+  span.parent = obs::span_id_for(request.id, obs::SpanKind::kRequest);
+  span.kind = obs::SpanKind::kQueue;
+  span.begin = engine_.now();
+  span.source_id = request.source;
+  span.url_class = request.type;
+  span.server = id_;
+  spans_->begin(std::move(span));
+}
+
+void ServerNode::span_queue_end(const workload::Request& request,
+                                const char* outcome) {
+  if (spans_ == nullptr) return;
+  spans_->end(obs::span_id_for(request.id, obs::SpanKind::kQueue),
+              engine_.now(), outcome);
+}
+
+void ServerNode::span_service_begin(const workload::Request& request,
+                                    std::size_t slot_index,
+                                    Watts request_power) {
+  if (spans_ == nullptr) return;
+  obs::Span span;
+  span.id = obs::span_id_for(request.id, obs::SpanKind::kService);
+  span.parent = obs::span_id_for(request.id, obs::SpanKind::kRequest);
+  span.kind = obs::SpanKind::kService;
+  span.begin = engine_.now();
+  span.source_id = request.source;
+  span.url_class = request.type;
+  span.power_w = request_power;
+  span.server = id_;
+  span.slot = static_cast<int>(slot_index);
+  spans_->begin(std::move(span));
+}
+
+void ServerNode::span_service_end(const workload::Request& request,
+                                  const char* outcome) {
+  if (spans_ == nullptr) return;
+  spans_->end(obs::span_id_for(request.id, obs::SpanKind::kService),
+              engine_.now(), outcome);
+}
+
 void ServerNode::submit(workload::Request&& request) {
   DOPE_REQUIRE(accepting_, "submit on a non-accepting server");
   // Claim a free slot; otherwise queue (or reject when full).
@@ -66,6 +112,7 @@ void ServerNode::submit(workload::Request&& request) {
     emit(request, workload::RequestOutcome::kRejectedQueueFull, 0);
     return;
   }
+  span_queue_begin(request);
   queue_.push_back(std::move(request));
 }
 
@@ -87,6 +134,8 @@ void ServerNode::begin_service(std::size_t slot_index,
       std::max<Duration>(duration, 1),
       [this, slot_index] { finish_service(slot_index); });
   ++active_count_;
+  span_service_begin(slot.request, slot_index,
+                     model_.request_power(profile.power, level_));
   refresh_power();
 }
 
@@ -98,6 +147,7 @@ void ServerNode::finish_service(std::size_t slot_index) {
   --active_count_;
   const Duration latency = engine_.now() - slot.request.arrival;
   ++counters_.completed;
+  span_service_end(slot.request, "completed");
   emit(slot.request, workload::RequestOutcome::kCompleted, latency);
   refresh_power();
   drain_queue();
@@ -110,10 +160,12 @@ void ServerNode::drain_queue() {
     if (config_.queue_deadline > 0 &&
         engine_.now() - next.arrival > config_.queue_deadline) {
       ++counters_.timed_out;
+      span_queue_end(next, "timeout");
       emit(next, workload::RequestOutcome::kTimedOut,
            engine_.now() - next.arrival);
       continue;
     }
+    span_queue_end(next, "served");
     begin_service(claim_free_slot(), std::move(next));
   }
 }
@@ -221,10 +273,12 @@ void ServerNode::power_off() {
     slot.busy = false;
     release_slot(i);
     --active_count_;
+    span_service_end(slot.request, "outage");
     emit(slot.request, workload::RequestOutcome::kFailedOutage,
          engine_.now() - slot.request.arrival);
   }
   while (!queue_.empty()) {
+    span_queue_end(queue_.front(), "outage");
     emit(queue_.front(), workload::RequestOutcome::kFailedOutage,
          engine_.now() - queue_.front().arrival);
     queue_.pop_front();

@@ -27,6 +27,10 @@
 #include "workload/catalog.hpp"
 #include "workload/request.hpp"
 
+namespace dope::obs {
+class SpanTracer;
+}  // namespace dope::obs
+
 namespace dope::server {
 
 /// Node-level tunables.
@@ -150,6 +154,13 @@ class ServerNode final : public net::Backend {
   void integrate_energy() const;
   void emit(const workload::Request& request,
             workload::RequestOutcome outcome, Duration latency);
+  void span_queue_begin(const workload::Request& request);
+  void span_queue_end(const workload::Request& request,
+                      const char* outcome);
+  void span_service_begin(const workload::Request& request,
+                          std::size_t slot_index, Watts request_power);
+  void span_service_end(const workload::Request& request,
+                        const char* outcome);
 
   sim::Engine& engine_;
   int id_;
@@ -157,6 +168,9 @@ class ServerNode final : public net::Backend {
   power::ServerPowerModel model_;
   ServerConfig config_;
   workload::RecordSink sink_;
+  /// Cached from the engine's hub at construction; null disables queue /
+  /// service span recording entirely (guard-on-null).
+  obs::SpanTracer* spans_ = nullptr;
 
   std::vector<Slot> slots_;
   /// Bit i set => slots_[i] is free (one word per 64 cores).

@@ -8,14 +8,18 @@
 //   $ ./dopesweep --schemes capping,antidope --budgets normal,low
 //         --attacks none,dope:400 --seeds 42,43 --threads 8
 //         --json sweep.json --csv sweep.csv
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.hpp"
 #include "obs/hub.hpp"
+#include "obs/live.hpp"
 #include "sweep/report.hpp"
 #include "sweep/sweep.hpp"
 
@@ -45,6 +49,11 @@ execution
   --json FILE          write the merged sweep report (deterministic bytes)
   --csv FILE           write one CSV row per run
   --progress           print sweep progress metrics after the run
+  --live FILE          while the sweep runs, atomically refresh FILE with
+                       a JSON progress snapshot (plus a Prometheus text
+                       sibling, FILE with a .prom extension) and print
+                       progress lines to stderr
+  --live-interval-ms N live refresh period (default 1000)
   --help               this text
 
 A run that throws is recorded as a failure (reported per run, exit code
@@ -69,6 +78,8 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path;
   std::string schemes_csv, budgets_csv, attacks_csv, seeds_csv;
   bool progress = false;
+  std::string live_path;
+  long live_interval_ms = 1000;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -109,6 +120,11 @@ int main(int argc, char** argv) {
       csv_path = next();
     } else if (flag == "--progress") {
       progress = true;
+    } else if (flag == "--live") {
+      live_path = next();
+    } else if (flag == "--live-interval-ms") {
+      live_interval_ms = static_cast<long>(number(next()));
+      if (live_interval_ms <= 0) fail("--live-interval-ms must be positive");
     } else {
       fail("unknown flag: " + flag);
     }
@@ -131,8 +147,64 @@ int main(int argc, char** argv) {
   }
 
   obs::Hub hub;
-  sweep::SweepRunner runner({.threads = threads, .obs = &hub});
+  obs::LiveTap live;
+  sweep::SweepRunner runner({.threads = threads,
+                             .obs = &hub,
+                             .live = live_path.empty() ? nullptr : &live});
+
+  // Live drainer: a host-side thread that periodically snapshots the tap
+  // and refreshes the progress artifacts while `run` blocks below. Reads
+  // are wait-free for the sweep workers; the files are replaced via
+  // rename so a concurrent `cat`/scrape never sees a partial write.
+  std::thread drainer;
+  std::atomic<bool> drain_stop{false};
+  if (!live_path.empty()) {
+    std::string prom_path = live_path;
+    if (prom_path.size() > 5 &&
+        prom_path.compare(prom_path.size() - 5, 5, ".json") == 0) {
+      prom_path.resize(prom_path.size() - 5);
+    }
+    prom_path += ".prom";
+    drainer = std::thread([&live, &drain_stop, live_path, prom_path,
+                           live_interval_ms] {
+      obs::LiveSnapshot snap;
+      std::uint64_t last_seen = 0;
+      const auto emit = [&] {
+        if (!live.latest(snap) || snap.seq == last_seen) return;
+        last_seen = snap.seq;
+        obs::replace_live_json(live_path, snap);
+        obs::replace_live_prometheus(prom_path, snap);
+        std::cerr << "dopesweep: " << snap.runs_completed << "/"
+                  << snap.runs_total << " runs";
+        if (snap.runs_failed > 0) {
+          std::cerr << " (" << snap.runs_failed << " failed)";
+        }
+        if (snap.wall_ms_count > 0) {
+          std::cerr << ", mean "
+                    << snap.wall_ms_sum /
+                           static_cast<double>(snap.wall_ms_count)
+                    << " ms/run";
+        }
+        std::cerr << "\n";
+      };
+      long slept_ms = live_interval_ms;  // emit immediately on start
+      while (!drain_stop.load(std::memory_order_acquire)) {
+        if (slept_ms >= live_interval_ms) {
+          slept_ms = 0;
+          emit();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        slept_ms += 50;
+      }
+      emit();  // final state, including done=true
+    });
+  }
+
   const auto sweep_result = runner.run(grid);
+  if (drainer.joinable()) {
+    drain_stop.store(true, std::memory_order_release);
+    drainer.join();
+  }
 
   std::cout << "== dopesweep: " << sweep_result.runs.size() << " runs ("
             << sweep_result.failures << " failed) ==\n\n";

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -130,6 +131,12 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
     failed = &registry.counter("sweep.runs_failed");
     wall_ms = &registry.histo("sweep.run_wall_ms");
   }
+  // Live-tap tally, mutated only under obs_mutex; each update publishes
+  // a complete snapshot so concurrent readers always see consistent
+  // totals. Published once up front so "0 of N" is visible immediately.
+  obs::LiveSnapshot tally;
+  tally.runs_total = points.size();
+  if (options_.live != nullptr) options_.live->publish(tally);
 
   ThreadPool pool(options_.threads);
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -152,15 +159,32 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
               // dope-lint: allow(wall-clock) — same telemetry read.
               std::chrono::steady_clock::now() - start)
               .count();
-      if (options_.obs != nullptr) {
+      if (options_.obs != nullptr || options_.live != nullptr) {
         std::lock_guard<std::mutex> lock(obs_mutex);
-        completed->inc();
-        if (!record.ok) failed->inc();
-        wall_ms->observe(elapsed_ms);
+        if (options_.obs != nullptr) {
+          completed->inc();
+          if (!record.ok) failed->inc();
+          wall_ms->observe(elapsed_ms);
+        }
+        if (options_.live != nullptr) {
+          ++tally.runs_completed;
+          if (!record.ok) ++tally.runs_failed;
+          tally.wall_ms_sum += elapsed_ms;
+          tally.wall_ms_min = tally.wall_ms_count == 0
+                                  ? elapsed_ms
+                                  : std::min(tally.wall_ms_min, elapsed_ms);
+          tally.wall_ms_max = std::max(tally.wall_ms_max, elapsed_ms);
+          ++tally.wall_ms_count;
+          options_.live->publish(tally);
+        }
       }
     });
   }
   pool.wait_idle();
+  if (options_.live != nullptr) {
+    tally.done = true;
+    options_.live->publish(tally);
+  }
 
   for (const auto& run : merged.runs) {
     if (!run.ok) ++merged.failures;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "obs/hub.hpp"
+#include "obs/live.hpp"
 #include "scenario/scenario.hpp"
 
 namespace dope::sweep {
@@ -127,6 +128,11 @@ struct SweepOptions {
   /// are serialised internally, so one hub may watch one sweep at a
   /// time from another thread.
   obs::Hub* obs = nullptr;
+  /// Optional live telemetry tap: the runner publishes a snapshot when
+  /// the sweep starts, after every finished run, and once more (with
+  /// `done = true`) when the grid has drained. Any other thread may
+  /// `latest()` concurrently — publication is lock-free. Caller owns.
+  obs::LiveTap* live = nullptr;
 };
 
 /// Shards a grid onto a thread pool and merges deterministically.

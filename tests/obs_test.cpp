@@ -3,10 +3,15 @@
 // that attaching a hub never perturbs simulation results.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <string>
+#include <thread>
 
 #include "obs/hub.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "scenario/scenario.hpp"
@@ -351,6 +356,211 @@ TEST(Hub, CountersAgreeWithClusterSlotStats) {
       static_cast<double>(result.slot_stats.violation_slots));
   EXPECT_EQ(hub.trace().count(EventType::kBudgetViolation),
             result.slot_stats.violation_slots);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Spans, BeginEndPairsAndInstants) {
+  SpanTracer tracer;
+  Span root;
+  root.id = span_id_for(42, SpanKind::kRequest);
+  root.begin = 10;
+  root.source_id = 7;
+  tracer.begin(root);
+
+  Span verdict;
+  verdict.id = span_id_for(42, SpanKind::kFirewall);
+  verdict.parent = root.id;
+  verdict.kind = SpanKind::kFirewall;
+  verdict.outcome = "pass";
+  tracer.instant(verdict, 10);
+
+  EXPECT_EQ(tracer.open_count(), 1u);
+  tracer.end(root.id, 25, "completed");
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.unmatched_ends(), 0u);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const Span& closed_root = tracer.spans()[0];
+  EXPECT_EQ(closed_root.begin, 10);
+  EXPECT_EQ(closed_root.end, 25);
+  EXPECT_STREQ(closed_root.outcome, "completed");
+  EXPECT_FALSE(closed_root.open());
+  EXPECT_EQ(tracer.spans()[1].begin, tracer.spans()[1].end);
+  EXPECT_EQ(tracer.count(SpanKind::kRequest), 1u);
+  EXPECT_EQ(tracer.count(SpanKind::kFirewall), 1u);
+}
+
+TEST(Spans, UnknownEndsAreCountedNotFatal) {
+  SpanTracer tracer;
+  tracer.end(99, 5, "ghost");
+  Span span;
+  span.id = 1;
+  tracer.begin(span);
+  tracer.end(1, 2, "ok");
+  tracer.end(1, 3, "again");  // already closed
+  EXPECT_EQ(tracer.unmatched_ends(), 2u);
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(Spans, CapDropsSpansLoudlyNotSilently) {
+  SpanTracer tracer(SpanConfig{.max_spans = 2});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Span span;
+    span.id = span_id_for(i, SpanKind::kRequest);
+    span.begin = static_cast<Time>(i);
+    tracer.begin(span);
+  }
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  // Ends for spans dropped past the cap are unmatched, not fatal.
+  tracer.end(span_id_for(4, SpanKind::kRequest), 9, "late");
+  EXPECT_EQ(tracer.unmatched_ends(), 1u);
+
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  EXPECT_NE(out.str().find("SpanTruncated"), std::string::npos);
+  EXPECT_NE(out.str().find("\"dropped\": 3"), std::string::npos);
+}
+
+TEST(Spans, JsonlRecordsCarrySchemaFields) {
+  SpanTracer tracer;
+  Span span;
+  span.id = span_id_for(3, SpanKind::kService);
+  span.parent = span_id_for(3, SpanKind::kRequest);
+  span.kind = SpanKind::kService;
+  span.begin = 100;
+  span.source_id = 1'000'001;
+  span.url_class = 2;
+  span.power_w = 21.0;
+  span.server = 1;
+  span.slot = 0;
+  tracer.begin(span);
+  tracer.end(span.id, 250, "completed");
+
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\": \"SpanBegin\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\": \"SpanEnd\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"service\""), std::string::npos);
+  EXPECT_NE(text.find("\"power_w\": 21"), std::string::npos);
+  EXPECT_NE(text.find("\"outcome\": \"completed\""), std::string::npos);
+}
+
+TEST(Trace, SetMaxEventsTightensCapAtRuntime) {
+  TraceRecorder rec;
+  rec.set_max_events(3);
+  for (int i = 0; i < 4; ++i) {
+    rec.record(make_event(i, EventType::kRequestForwarded, "edge"));
+  }
+  // Exactly at the boundary: the cap-th event is kept, the next dropped.
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.dropped(), 1u);
+}
+
+// --------------------------------------------------------------- live tap
+
+TEST(Live, LatestReturnsFalseBeforeFirstPublish) {
+  LiveTap tap;
+  LiveSnapshot snap;
+  EXPECT_FALSE(tap.latest(snap));
+  EXPECT_EQ(tap.published(), 0u);
+}
+
+TEST(Live, PublishAssignsMonotoneSeqAndRoundTrips) {
+  LiveTap tap;
+  LiveSnapshot in;
+  in.runs_total = 12;
+  in.runs_completed = 3;
+  in.runs_failed = 1;
+  in.wall_ms_sum = 45.5;
+  in.wall_ms_min = 10.25;
+  in.wall_ms_max = 20.75;
+  in.wall_ms_count = 3;
+  tap.publish(in);
+  in.runs_completed = 4;
+  in.done = true;
+  tap.publish(in);
+
+  LiveSnapshot out;
+  ASSERT_TRUE(tap.latest(out));
+  EXPECT_EQ(out.seq, 2u);
+  EXPECT_EQ(out.runs_total, 12u);
+  EXPECT_EQ(out.runs_completed, 4u);
+  EXPECT_EQ(out.runs_failed, 1u);
+  EXPECT_EQ(out.wall_ms_sum, 45.5);
+  EXPECT_EQ(out.wall_ms_min, 10.25);
+  EXPECT_EQ(out.wall_ms_max, 20.75);
+  EXPECT_EQ(out.wall_ms_count, 3u);
+  EXPECT_TRUE(out.done);
+}
+
+TEST(Live, ConcurrentReaderAlwaysSeesConsistentSnapshot) {
+  // Seqlock torn-read check (runs under TSan in CI): the reader must
+  // only ever observe snapshots where the derived fields agree, even
+  // while the producer rewrites slots at full speed.
+  LiveTap tap;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread reader([&] {
+    LiveSnapshot snap;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!tap.latest(snap)) continue;
+      // Invariants the producer maintains on every publish; a torn
+      // read would mix words from two different snapshots.
+      if (snap.runs_completed != snap.wall_ms_count ||
+          snap.wall_ms_sum !=
+              static_cast<double>(snap.runs_completed) * 2.5) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  LiveSnapshot snap;
+  snap.runs_total = 4096;
+  for (std::uint64_t i = 1; i <= 4096; ++i) {
+    snap.runs_completed = i;
+    snap.wall_ms_count = i;
+    snap.wall_ms_sum = static_cast<double>(i) * 2.5;
+    tap.publish(snap);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  LiveSnapshot last;
+  ASSERT_TRUE(tap.latest(last));
+  EXPECT_EQ(last.runs_completed, 4096u);
+}
+
+TEST(Live, JsonAndPrometheusExportsCarryAllFields) {
+  LiveSnapshot snap;
+  snap.seq = 3;
+  snap.runs_total = 8;
+  snap.runs_completed = 5;
+  snap.runs_failed = 1;
+  snap.wall_ms_sum = 50.0;
+  snap.wall_ms_min = 5.0;
+  snap.wall_ms_max = 15.0;
+  snap.wall_ms_count = 5;
+  snap.done = false;
+
+  std::ostringstream json;
+  write_live_json(json, snap);
+  EXPECT_NE(json.str().find("\"runs_completed\": 5"), std::string::npos);
+  EXPECT_NE(json.str().find("\"wall_ms_mean\": 10"), std::string::npos);
+  EXPECT_NE(json.str().find("\"done\": false"), std::string::npos);
+
+  std::ostringstream prom;
+  write_live_prometheus(prom, snap);
+  EXPECT_NE(prom.str().find("dope_sweep_runs_total 8"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("dope_sweep_runs_failed 1"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("dope_sweep_done 0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate a dope JSONL trace export against the documented schema.
+
+The JSONL trace (docs/OBSERVABILITY.md) is the machine-readable contract
+between the simulator and downstream tooling; this checker keeps it
+honest.  It verifies, line by line:
+
+  * every record is a single JSON object;
+  * data records carry the reserved keys t_us / t_s / type / source
+    (the TraceTruncated / SpanTruncated trailers carry dropped / cap
+    instead);
+  * the type is one of the known event or span record types;
+  * type-specific payload fields are present (FirewallBan has
+    source_id + rate_rps, BudgetViolation has demand_w + budget_w +
+    overshoot_w, SpanBegin has span_id + parent + kind, ...);
+  * t_us never decreases across the file;
+  * every SpanEnd matches an open SpanBegin with the same span_id and
+    does not end before it began.  Re-begins of the same span id are
+    legal (the PDF router's innocent->suspect fallback re-picks), as
+    are spans still open when the export was cut.
+
+Two input modes:
+
+  --cli PATH     build a fresh export: run `PATH` (dopesim_cli) with the
+                 golden attack scenario plus --spans in a temp dir and
+                 validate the JSONL it writes;
+  --gunzip FILE  validate a gzip-compressed golden trace (no compiler
+                 or simulator needed — used by the static CI job);
+  FILE           validate an uncompressed JSONL file.
+
+Exit status is 0 when the trace is clean, 1 with one line per violation
+otherwise.
+"""
+
+import argparse
+import gzip
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+EVENT_TYPES = {
+    "RequestForwarded",
+    "RequestDropped",
+    "BudgetViolation",
+    "LevelViolation",
+    "ThrottleApplied",
+    "BatteryDischarge",
+    "BatteryCharge",
+    "BreakerTrip",
+    "OutageEnd",
+    "FirewallBan",
+    "AttackPhase",
+    "AlertRaised",
+    "AlertCleared",
+}
+SPAN_TYPES = {"SpanBegin", "SpanEnd"}
+TRAILER_TYPES = {"TraceTruncated", "SpanTruncated"}
+SPAN_KINDS = {"request", "firewall", "lb_pick", "queue", "service"}
+
+RESERVED_KEYS = ("t_us", "t_s", "type", "source")
+
+# Required payload fields per record type.  Types absent from this map
+# only need the reserved keys.
+REQUIRED_FIELDS = {
+    "FirewallBan": ("source_id", "rate_rps"),
+    "BudgetViolation": ("demand_w", "budget_w", "overshoot_w"),
+    "AlertRaised": ("value", "threshold", "windows", "rule", "signal"),
+    "AlertCleared": ("value", "rule"),
+    "SpanBegin": ("span_id", "parent", "kind", "source_id", "url_class"),
+    "SpanEnd": ("span_id", "kind", "outcome"),
+}
+
+# Per-kind extras on SpanBegin beyond the common required fields.
+SPAN_BEGIN_KIND_FIELDS = {
+    "queue": ("server",),
+    "service": ("server", "slot", "power_w"),
+}
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.records = 0
+        self.span_records = 0
+        self.open_spans = {}  # span_id -> begin t_us
+        self.last_t = None
+        self.saw_trailer = False
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+    def check_line(self, lineno, line):
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            self.error(lineno, f"not valid JSON: {e}")
+            return
+        if not isinstance(record, dict):
+            self.error(lineno, "record is not a JSON object")
+            return
+        self.records += 1
+
+        rtype = record.get("type")
+        if rtype in TRAILER_TYPES:
+            self.saw_trailer = True
+            for key in ("dropped", "cap"):
+                if key not in record:
+                    self.error(lineno, f"{rtype} trailer missing '{key}'")
+            return
+        if self.saw_trailer:
+            self.error(lineno, "data record after truncation trailer")
+
+        for key in RESERVED_KEYS:
+            if key not in record:
+                self.error(lineno, f"missing reserved key '{key}'")
+                return
+        if rtype not in EVENT_TYPES and rtype not in SPAN_TYPES:
+            self.error(lineno, f"unknown record type '{rtype}'")
+            return
+
+        t = record["t_us"]
+        if not isinstance(t, int):
+            self.error(lineno, f"t_us is not an integer: {t!r}")
+            return
+        if self.last_t is not None and t < self.last_t:
+            self.error(
+                lineno, f"t_us decreases: {t} after {self.last_t}")
+        self.last_t = t
+
+        for field in REQUIRED_FIELDS.get(rtype, ()):
+            if field not in record:
+                self.error(lineno, f"{rtype} missing '{field}'")
+
+        if rtype == "SpanBegin":
+            self.span_records += 1
+            kind = record.get("kind")
+            if kind not in SPAN_KINDS:
+                self.error(lineno, f"unknown span kind '{kind}'")
+            for field in SPAN_BEGIN_KIND_FIELDS.get(kind, ()):
+                if field not in record:
+                    self.error(
+                        lineno, f"SpanBegin kind={kind} missing '{field}'")
+            # Re-begin of a live id is legal (router fallback re-picks);
+            # the later begin supersedes the earlier one.
+            self.open_spans[record.get("span_id")] = t
+        elif rtype == "SpanEnd":
+            self.span_records += 1
+            if record.get("kind") not in SPAN_KINDS:
+                self.error(
+                    lineno, f"unknown span kind '{record.get('kind')}'")
+            span_id = record.get("span_id")
+            begin_t = self.open_spans.pop(span_id, None)
+            if begin_t is None:
+                self.error(
+                    lineno, f"SpanEnd for span_id {span_id} with no "
+                    "matching SpanBegin")
+            elif t < begin_t:
+                self.error(
+                    lineno,
+                    f"span {span_id} ends at {t} before begin {begin_t}")
+
+
+def check_stream(lines):
+    checker = Checker()
+    for lineno, line in enumerate(lines, start=1):
+        checker.check_line(lineno, line)
+    if checker.records == 0:
+        checker.errors.append("trace is empty")
+    return checker
+
+
+def run_cli(cli_path):
+    """Run the golden attack scenario with spans and return the JSONL."""
+    with tempfile.TemporaryDirectory(prefix="dope-schema-") as tmp:
+        trace = Path(tmp) / "trace.jsonl"
+        cmd = [
+            cli_path, "--scheme", "antidope", "--budget", "low",
+            "--attack-rps", "400", "--duration-s", "30", "--seed", "42",
+            "--battery-min", "2", "--spans", "--alerts",
+            "--trace-out", str(trace),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        return trace.read_text().splitlines()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate a dope JSONL trace export")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--cli", metavar="DOPESIM_CLI",
+        help="run this dopesim_cli on the golden attack scenario with "
+        "--spans and validate its JSONL export")
+    source.add_argument(
+        "--gunzip", metavar="FILE_GZ",
+        help="validate a gzip-compressed JSONL trace")
+    source.add_argument(
+        "trace", nargs="?", metavar="FILE",
+        help="validate an uncompressed JSONL trace")
+    args = parser.parse_args()
+
+    if args.cli:
+        lines = run_cli(args.cli)
+        label = f"{args.cli} (golden attack scenario)"
+    elif args.gunzip:
+        with gzip.open(args.gunzip, "rt") as f:
+            lines = f.read().splitlines()
+        label = args.gunzip
+    else:
+        lines = Path(args.trace).read_text().splitlines()
+        label = args.trace
+
+    checker = check_stream(lines)
+    for message in checker.errors:
+        print(f"trace_schema_check: {label}: {message}", file=sys.stderr)
+    if checker.errors:
+        print(
+            f"trace_schema_check: FAIL — {len(checker.errors)} "
+            f"violation(s) in {checker.records} record(s)",
+            file=sys.stderr)
+        return 1
+    open_spans = len(checker.open_spans)
+    print(
+        f"trace_schema_check: OK — {checker.records} record(s), "
+        f"{checker.span_records} span record(s), "
+        f"{open_spans} span(s) left open")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
