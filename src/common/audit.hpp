@@ -25,14 +25,31 @@
 // real obs::Hub* (which already include obs/hub.hpp and link dope_obs)
 // instantiate the watchdog path. Pass `nullptr` where no hub exists
 // (battery, DPM solver): the violation is still logged and counted.
+//
+// Hard-fail modes (fuzz oracle / test assertions):
+//   * `ScopedCollector` — a thread-local RAII scope that additionally
+//     *returns* every violation to the caller as structured `Violation`
+//     records. One collector per thread at a time (scopes nest; the
+//     innermost wins), so parallel fuzz workers each observe only their
+//     own run's violations.
+//   * `DOPE_AUDIT=FATAL` in the environment (or `set_mode(Mode::kFatal)`)
+//     — a violation throws `AuditFailure` after being logged and counted,
+//     turning any audited binary into a hard gate. A collector scope
+//     suppresses the throw: collecting *is* the caller's failure
+//     handling.
+// Neither mode changes the bytes a healthy run produces, and the
+// default (no env var, no collector) remains log-and-count only.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/units.hpp"
@@ -50,8 +67,37 @@ inline constexpr bool kEnabled = false;
 inline constexpr double kAbsEps = 1e-6;
 inline constexpr double kRelEps = 1e-9;
 
+/// One recorded invariant violation, as returned to collectors.
+struct Violation {
+  Time t = -1;
+  std::string check;
+  std::string message;
+};
+
+/// Thrown on violation in `Mode::kFatal` (outside any collector scope).
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(Violation violation)
+      : std::runtime_error("audit violation [" + violation.check +
+                           "]: " + violation.message),
+        violation_(std::move(violation)) {}
+
+  const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+/// How a violation propagates beyond the log line and the counter.
+enum class Mode { kReport, kFatal };
+
+class ScopedCollector;
+
 namespace detail {
 inline std::atomic<std::uint64_t> g_violations{0};
+/// -1 = not yet resolved from the environment; else a Mode value.
+inline std::atomic<int> g_mode{-1};
+inline thread_local ScopedCollector* t_collector = nullptr;
 }  // namespace detail
 
 /// Process-wide violation count (all runs, all threads).
@@ -63,6 +109,52 @@ inline void reset_violations() {
   detail::g_violations.store(0, std::memory_order_relaxed);
 }
 
+/// Overrides the reporting mode (tests); wins over the environment.
+inline void set_mode(Mode mode) {
+  detail::g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+/// Active mode: `set_mode` override, else `DOPE_AUDIT=FATAL` in the
+/// environment, else report-only. Resolved once and cached.
+inline Mode mode() {
+  int m = detail::g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    const char* env = std::getenv("DOPE_AUDIT");
+    m = static_cast<int>(env != nullptr && std::string_view(env) == "FATAL"
+                             ? Mode::kFatal
+                             : Mode::kReport);
+    detail::g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(m);
+}
+
+/// RAII scope that captures this thread's violations as records the
+/// caller can assert on. Scopes nest; the innermost collects. While a
+/// collector is active, `Mode::kFatal` does not throw on this thread —
+/// the caller is explicitly handling failures.
+class ScopedCollector {
+ public:
+  ScopedCollector() : prev_(detail::t_collector) {
+    detail::t_collector = this;
+  }
+  ~ScopedCollector() { detail::t_collector = prev_; }
+
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool empty() const { return violations_.empty(); }
+  std::size_t size() const { return violations_.size(); }
+
+  void add(Violation violation) {
+    violations_.push_back(std::move(violation));
+  }
+
+ private:
+  ScopedCollector* prev_;
+  std::vector<Violation> violations_;
+};
+
 /// a <= b up to mixed absolute/relative tolerance at magnitude `scale`.
 inline bool approx_le(double a, double b, double scale = 1.0) {
   return a <= b + kAbsEps + kRelEps * (scale < 0 ? -scale : scale);
@@ -73,11 +165,19 @@ inline bool approx_eq(double a, double b, double scale = 1.0) {
 }
 
 /// Counts and logs one violation. `t` is sim time (-1 when unknown).
+/// Hands the record to this thread's collector when one is in scope;
+/// otherwise throws in `Mode::kFatal`.
 inline void report_logged(Time t, std::string_view check,
                           const std::string& message) {
   detail::g_violations.fetch_add(1, std::memory_order_relaxed);
   DOPE_LOG_ERROR << "audit violation [" << check << "] t=" << t << "us: "
                  << message;
+  Violation violation{t, std::string(check), message};
+  if (detail::t_collector != nullptr) {
+    detail::t_collector->add(std::move(violation));
+    return;
+  }
+  if (mode() == Mode::kFatal) throw AuditFailure(std::move(violation));
 }
 
 /// Reports a violation, additionally raising it through the run's alert

@@ -1,0 +1,112 @@
+// Randomized-but-valid scenario sampling for the fuzzer.
+//
+// The paper's threat model is adversarial *search*: a DOPE attacker
+// sweeps the scenario space for the traffic shape that trips breakers
+// under oversubscription, so hand-picked test grids systematically
+// under-explore exactly the corners an attacker would find. `Domain`
+// declares the searchable space — scheme × budget × traffic shape ×
+// topology size × mid-run chaos — and `ScenarioSampler` maps a single
+// `uint64_t` seed to one concrete, always-valid `FuzzCase` via the
+// repo's deterministic RNG. A failing case therefore *is* its seed:
+// `dopefuzz --case-seed N` rebuilds it bit-for-bit anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace dope::fuzz {
+
+/// Declarative scenario space the sampler draws from. Every knob bounds
+/// or gates one `ScenarioConfig` dimension; defaults cover the paper's
+/// evaluation envelope plus the chaos the paper never hand-tested.
+struct Domain {
+  // --- topology ---
+  std::size_t min_servers = 2;
+  std::size_t max_servers = 12;
+
+  // --- power provisioning ---
+  std::vector<power::BudgetLevel> budgets = {
+      power::BudgetLevel::kNormal, power::BudgetLevel::kHigh,
+      power::BudgetLevel::kMedium, power::BudgetLevel::kLow};
+
+  /// Schemes under test (one per case). The differential oracle always
+  /// adds the uncapped `kNone` reference run on top.
+  std::vector<scenario::SchemeKind> schemes = {
+      scenario::SchemeKind::kCapping, scenario::SchemeKind::kShaving,
+      scenario::SchemeKind::kToken, scenario::SchemeKind::kAntiDope};
+
+  // --- observation window (whole seconds) ---
+  Duration min_duration = 20 * kSecond;
+  Duration max_duration = 90 * kSecond;
+
+  // --- normal traffic ---
+  double min_normal_rps = 25.0;
+  double max_normal_rps = 600.0;
+  /// Chance of a random service blend instead of the AliOS normal mix.
+  double p_custom_normal_mixture = 0.3;
+  double p_normal_rate_plan = 0.25;
+
+  // --- attack traffic ---
+  double p_attack = 0.75;
+  double min_attack_rps = 50.0;
+  double max_attack_rps = 900.0;
+  double p_attack_rate_plan = 0.35;
+  std::size_t max_rate_steps = 3;
+
+  // --- infrastructure toggles ---
+  double p_battery = 0.7;
+  double p_firewall = 0.25;
+  double p_breaker = 0.2;
+
+  // --- mid-run chaos ---
+  double p_node_outage = 0.3;
+  std::size_t max_node_outages = 2;
+};
+
+/// One sampled point of the domain. `config` carries the full scenario
+/// with `scheme == kNone` (the oracle's uncapped reference); the scheme
+/// under test is held separately so the same case materializes under
+/// any scheme.
+struct FuzzCase {
+  std::uint64_t case_seed = 0;
+  scenario::ScenarioConfig config;
+  scenario::SchemeKind scheme = scenario::SchemeKind::kAntiDope;
+
+  /// "case-0x1234/Low-PB/Anti-DOPE/attack-420/45s" — stable label for
+  /// reports and failure messages.
+  std::string label() const;
+};
+
+/// Concrete scenario for one scheme run of this case. Never carries an
+/// obs hub — oracle runs execute concurrently across fuzz workers.
+scenario::ScenarioConfig materialize(const FuzzCase& fuzz_case,
+                                     scenario::SchemeKind scheme);
+
+/// The facility budget the *case* implies (override, else level fraction
+/// × aggregate nameplate), computed independently of the cluster so the
+/// oracle does not trust the code under test for its expectation.
+Watts expected_budget(const scenario::ScenarioConfig& config);
+
+/// Deterministic seed → case mapping over one domain.
+class ScenarioSampler {
+ public:
+  explicit ScenarioSampler(Domain domain = {});
+
+  const Domain& domain() const { return domain_; }
+
+  /// Draws the case for `case_seed`. Same seed, same case — always.
+  FuzzCase sample(std::uint64_t case_seed) const;
+
+  /// Case seed of campaign `campaign_seed`, case `index` (splitmix64
+  /// stream, so neighbouring indices are statistically independent).
+  static std::uint64_t derive_case_seed(std::uint64_t campaign_seed,
+                                        std::uint64_t index);
+
+ private:
+  Domain domain_;
+};
+
+}  // namespace dope::fuzz

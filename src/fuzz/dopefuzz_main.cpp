@@ -1,0 +1,293 @@
+// dopefuzz — randomized scenario fuzzing with differential oracles.
+//
+// Samples N randomized-but-valid scenarios from the fuzz domain, judges
+// each under a scheme + the uncapped reference with the physics /
+// scheme-relative / determinism oracles, and greedily shrinks every
+// failure to a minimal reproduction. Campaign output is byte-identical
+// for any --threads value; every failure prints a ready-to-paste
+// `dopefuzz --case-seed N` command and can be exported as a
+// self-contained `.repro.json`.
+//
+//   $ ./dopefuzz --cases 200 --seed 1 --threads 8
+//   $ ./dopefuzz --case-seed 0xdeadbeef --repro fail.repro.json
+//   $ ./dopefuzz --replay fail.repro.json
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/repro.hpp"
+#include "obs/hub.hpp"
+#include "obs/live.hpp"
+
+namespace {
+
+using namespace dope;
+
+void print_help() {
+  std::cout <<
+      R"(dopefuzz — randomized scenario fuzzing with differential oracles
+
+usage: dopefuzz [options]
+
+campaign
+  --cases N            sampled cases per campaign (default 100)
+  --seed S             campaign seed; case i fuzzes seed
+                       splitmix64(S, i) (default 1)
+  --threads N          worker threads; 0 = hardware concurrency (default)
+  --no-shrink          report failures without minimizing them
+  --no-determinism     skip the per-case rerun determinism oracle
+                       (halves the runs; weaker campaign)
+
+single case
+  --case-seed S        judge exactly one sampled case (accepts 0x hex);
+                       this is the command every failure prints
+  --replay FILE        re-judge a stored .repro.json case instead of
+                       sampling; exit 0 only if its recorded violation
+                       is still observed
+
+output
+  --repro FILE         write the first failure (minimized when shrinking
+                       is on) as a self-contained .repro.json
+  --json FILE          write a machine-readable campaign summary
+  --live FILE          while the campaign runs, atomically refresh FILE
+                       with a JSON progress snapshot (plus a .prom
+                       sibling) and print progress lines to stderr
+  --live-interval-ms N live refresh period (default 1000)
+  --help               this text
+
+exit status: 0 = no oracle violations, 1 = violations found,
+2 = usage or I/O error. See docs/FUZZING.md.
+)";
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "dopefuzz: " << message << " (see --help)\n";
+  std::exit(2);
+}
+
+/// Judges one explicit case (from --case-seed or --replay), prints the
+/// verdict, optionally shrinks + exports, and returns the exit code.
+int run_single(const fuzz::FuzzCase& fuzz_case,
+               const fuzz::CampaignOptions& options,
+               const std::string& repro_path,
+               const std::vector<std::string>& expected_checks) {
+  std::cout << "case " << fuzz_case.label() << "\n";
+  const fuzz::OracleReport report =
+      fuzz::run_oracle(fuzz_case, options.oracle);
+  if (report.ok()) {
+    if (!expected_checks.empty()) {
+      std::cout << "recorded violation did NOT reproduce (expected ";
+      for (std::size_t i = 0; i < expected_checks.size(); ++i) {
+        std::cout << (i > 0 ? ", " : "") << expected_checks[i];
+      }
+      std::cout << ")\n";
+      return 1;
+    }
+    std::cout << "ok (" << report.runs << " scenario runs, no violations)\n";
+    return 0;
+  }
+  std::cout << "VIOLATIONS: " << report.summary() << "\n";
+  for (const auto& violation : report.violations) {
+    std::cout << "  " << violation.check << "[" << violation.scheme
+              << "]: " << violation.detail << "\n";
+  }
+  fuzz::FuzzCase minimized = fuzz_case;
+  fuzz::OracleReport minimized_report = report;
+  if (options.shrink_failures) {
+    fuzz::ShrinkOptions shrink_options;
+    shrink_options.max_attempts = options.shrink_max_attempts;
+    shrink_options.oracle = options.oracle;
+    const fuzz::ShrinkResult shrunk =
+        fuzz::shrink(fuzz_case, report, shrink_options);
+    minimized = shrunk.minimized;
+    minimized_report = shrunk.report;
+    std::cout << "shrunk to " << minimized.label() << " (" << shrunk.steps
+              << " steps, " << shrunk.attempts << " attempts)\n";
+  }
+  std::cout << "repro: dopefuzz --case-seed " << fuzz_case.case_seed << "\n";
+  if (!repro_path.empty()) {
+    fuzz::Repro repro;
+    repro.fuzz_case = minimized;
+    for (const auto& violation : minimized_report.violations) {
+      repro.checks.push_back(violation.check);
+    }
+    fuzz::write_repro_file(repro_path, repro);
+    std::cout << "wrote " << repro_path << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::CampaignOptions options;
+  std::string repro_path, json_path, replay_path, live_path;
+  std::uint64_t case_seed = 0;
+  bool have_case_seed = false;
+  long live_interval_ms = 1000;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) fail("missing value for " + flag);
+      return args[++i];
+    };
+    const auto number = [&](const std::string& value) {
+      try {
+        return std::stod(value);
+      } catch (...) {
+        fail("bad numeric value for " + flag + ": " + value);
+      }
+    };
+    const auto seed_value = [&](const std::string& value) {
+      try {
+        return std::stoull(value, nullptr, 0);  // accepts 0x prefixes
+      } catch (...) {
+        fail("bad seed value for " + flag + ": " + value);
+      }
+    };
+    if (flag == "--help" || flag == "-h") {
+      print_help();
+      return 0;
+    } else if (flag == "--cases") {
+      options.cases = static_cast<std::size_t>(number(next()));
+    } else if (flag == "--seed") {
+      options.campaign_seed = seed_value(next());
+    } else if (flag == "--threads") {
+      options.threads = static_cast<std::size_t>(number(next()));
+    } else if (flag == "--no-shrink") {
+      options.shrink_failures = false;
+    } else if (flag == "--no-determinism") {
+      options.oracle.check_determinism = false;
+    } else if (flag == "--case-seed") {
+      case_seed = seed_value(next());
+      have_case_seed = true;
+    } else if (flag == "--replay") {
+      replay_path = next();
+    } else if (flag == "--repro") {
+      repro_path = next();
+    } else if (flag == "--json") {
+      json_path = next();
+    } else if (flag == "--live") {
+      live_path = next();
+    } else if (flag == "--live-interval-ms") {
+      live_interval_ms = static_cast<long>(number(next()));
+      if (live_interval_ms <= 0) fail("--live-interval-ms must be positive");
+    } else {
+      fail("unknown flag: " + flag);
+    }
+  }
+  if (have_case_seed && !replay_path.empty()) {
+    fail("--case-seed and --replay are mutually exclusive");
+  }
+
+  try {
+    // Single-case modes: judge one case on this thread, no campaign.
+    if (have_case_seed) {
+      const fuzz::ScenarioSampler sampler(options.domain);
+      return run_single(sampler.sample(case_seed), options, repro_path, {});
+    }
+    if (!replay_path.empty()) {
+      const fuzz::Repro repro = fuzz::read_repro_file(replay_path);
+      return run_single(repro.fuzz_case, options, repro_path, repro.checks);
+    }
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+
+  obs::Hub hub;
+  obs::LiveTap live;
+  options.obs = &hub;
+  options.live = live_path.empty() ? nullptr : &live;
+
+  // Live drainer: a host-side thread that periodically snapshots the tap
+  // and refreshes the progress artifacts while the campaign runs. Reads
+  // are wait-free for the fuzz workers; the files are replaced via
+  // rename so a concurrent `cat`/scrape never sees a partial write.
+  std::thread drainer;
+  std::atomic<bool> drain_stop{false};
+  if (!live_path.empty()) {
+    std::string prom_path = live_path;
+    if (prom_path.size() > 5 &&
+        prom_path.compare(prom_path.size() - 5, 5, ".json") == 0) {
+      prom_path.resize(prom_path.size() - 5);
+    }
+    prom_path += ".prom";
+    drainer = std::thread([&live, &drain_stop, live_path, prom_path,
+                           live_interval_ms] {
+      obs::LiveSnapshot snap;
+      std::uint64_t last_seen = 0;
+      const auto emit = [&] {
+        if (!live.latest(snap) || snap.seq == last_seen) return;
+        last_seen = snap.seq;
+        obs::replace_live_json(live_path, snap);
+        obs::replace_live_prometheus(prom_path, snap);
+        std::cerr << "dopefuzz: " << snap.runs_completed << "/"
+                  << snap.runs_total << " cases";
+        if (snap.runs_failed > 0) {
+          std::cerr << " (" << snap.runs_failed << " FAILED)";
+        }
+        if (snap.wall_ms_count > 0) {
+          std::cerr << ", mean "
+                    << snap.wall_ms_sum /
+                           static_cast<double>(snap.wall_ms_count)
+                    << " ms/case";
+        }
+        std::cerr << "\n";
+      };
+      long slept_ms = live_interval_ms;  // emit immediately on start
+      while (!drain_stop.load(std::memory_order_acquire)) {
+        if (slept_ms >= live_interval_ms) {
+          slept_ms = 0;
+          emit();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        slept_ms += 50;
+      }
+      emit();  // final state, including done=true
+    });
+  }
+
+  fuzz::CampaignResult result;
+  try {
+    result = fuzz::run_campaign(options);
+  } catch (const std::exception& e) {
+    drain_stop.store(true, std::memory_order_release);
+    if (drainer.joinable()) drainer.join();
+    fail(e.what());
+  }
+  if (drainer.joinable()) {
+    drain_stop.store(true, std::memory_order_release);
+    drainer.join();
+  }
+
+  std::cout << "== dopefuzz: " << result.cases.size() << " cases, "
+            << result.failures.size() << " failed, " << result.total_runs
+            << " scenario runs (seed " << options.campaign_seed << ") ==\n";
+  fuzz::print_failures(std::cout, result);
+
+  if (!result.failures.empty() && !repro_path.empty()) {
+    const fuzz::Failure& first = result.failures.front();
+    fuzz::Repro repro;
+    repro.fuzz_case = first.minimized;
+    for (const auto& violation : first.minimized_report.violations) {
+      repro.checks.push_back(violation.check);
+    }
+    fuzz::write_repro_file(repro_path, repro);
+    std::cout << "wrote " << repro_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) fail("cannot write " + json_path);
+    fuzz::write_campaign_json(out, result);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}

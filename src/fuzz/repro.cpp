@@ -1,0 +1,534 @@
+#include "fuzz/repro.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace dope::fuzz {
+
+namespace {
+
+constexpr int kReproVersion = 1;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("repro: " + message);
+}
+
+// ---- writing ----
+
+/// Doubles with enough digits to round-trip binary64 exactly; shrunk
+/// configs must re-run bit-for-bit, so "%.12g pretty" is not enough.
+void write_number(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  // As a string: JSON readers that funnel numbers through a double
+  // would corrupt seeds above 2^53.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%" PRIu64 "\"", v);
+  out << buf;
+}
+
+void write_mixture(std::ostream& out,
+                   const std::optional<workload::Mixture>& mixture) {
+  if (!mixture.has_value()) {
+    out << "null";
+    return;
+  }
+  out << "{\"types\": [";
+  const auto& types = mixture->types();
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << types[i];
+  }
+  // Mixture exposes its normalised cumulative table; store the deltas so
+  // the constructor rebuilds the same table on load.
+  out << "], \"weights\": [";
+  const auto& cumulative = mixture->weights();
+  double prev = 0.0;
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (i > 0) out << ", ";
+    write_number(out, cumulative[i] - prev);
+    prev = cumulative[i];
+  }
+  out << "]}";
+}
+
+void write_rate_plan(std::ostream& out,
+                     const std::vector<workload::RateStep>& plan) {
+  out << "[";
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"at_us\": " << plan[i].at << ", \"rate_rps\": ";
+    write_number(out, plan[i].rate_rps);
+    out << "}";
+  }
+  out << "]";
+}
+
+// ---- parsing ----
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// String payload, or the raw numeric token (so 64-bit integers are
+  /// never squeezed through a double).
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser for the JSON subset `write_repro` emits
+/// (objects, arrays, strings, numbers, true/false/null; \uXXXX escapes
+/// are rejected — the writer never produces them).
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' at offset " +
+           std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return value;
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.fields.emplace_back(std::move(key.text), parse_value());
+      if (consume('}')) return value;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return value;
+    while (true) {
+      value.items.push_back(parse_value());
+      if (consume(']')) return value;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.text.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': value.text.push_back('"'); break;
+        case '\\': value.text.push_back('\\'); break;
+        case '/': value.text.push_back('/'); break;
+        case 'n': value.text.push_back('\n'); break;
+        case 'r': value.text.push_back('\r'); break;
+        case 't': value.text.push_back('\t'); break;
+        default: fail("unsupported string escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("malformed literal");
+    }
+    return value;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("malformed literal");
+    pos_ += 4;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNull;
+    return value;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    auto at_number_char = [&] {
+      if (pos_ >= text_.size()) return false;
+      const char c = text_[pos_];
+      return (std::isdigit(static_cast<unsigned char>(c)) != 0) ||
+             c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E';
+    };
+    while (at_number_char()) ++pos_;
+    if (pos_ == start) fail("malformed value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = text_.substr(start, pos_ - start);
+    return value;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- typed field access ----
+
+const JsonValue& require(const JsonValue& obj, const std::string& key) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    fail("expected an object around \"" + key + "\"");
+  }
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) fail("missing field \"" + key + "\"");
+  return *value;
+}
+
+double as_double(const JsonValue& value, const std::string& key) {
+  if (value.kind != JsonValue::Kind::kNumber) {
+    fail("field \"" + key + "\" must be a number");
+  }
+  return std::strtod(value.text.c_str(), nullptr);
+}
+
+std::int64_t as_i64(const JsonValue& value, const std::string& key) {
+  if (value.kind != JsonValue::Kind::kNumber) {
+    fail("field \"" + key + "\" must be an integer");
+  }
+  return std::strtoll(value.text.c_str(), nullptr, 10);
+}
+
+std::uint64_t as_u64_string(const JsonValue& value, const std::string& key) {
+  if (value.kind != JsonValue::Kind::kString) {
+    fail("field \"" + key + "\" must be a decimal string");
+  }
+  return std::strtoull(value.text.c_str(), nullptr, 10);
+}
+
+std::string as_string(const JsonValue& value, const std::string& key) {
+  if (value.kind != JsonValue::Kind::kString) {
+    fail("field \"" + key + "\" must be a string");
+  }
+  return value.text;
+}
+
+// ---- enum name maps (two-way, local so fuzz stays CLI-independent) ----
+
+std::string budget_token(power::BudgetLevel level) {
+  switch (level) {
+    case power::BudgetLevel::kNormal: return "normal";
+    case power::BudgetLevel::kHigh: return "high";
+    case power::BudgetLevel::kMedium: return "medium";
+    case power::BudgetLevel::kLow: return "low";
+  }
+  return "?";
+}
+
+power::BudgetLevel parse_budget_token(const std::string& token) {
+  if (token == "normal") return power::BudgetLevel::kNormal;
+  if (token == "high") return power::BudgetLevel::kHigh;
+  if (token == "medium") return power::BudgetLevel::kMedium;
+  if (token == "low") return power::BudgetLevel::kLow;
+  fail("unknown budget level \"" + token + "\"");
+}
+
+scenario::SchemeKind parse_scheme_token(const std::string& token) {
+  for (const auto kind :
+       {scenario::SchemeKind::kNone, scenario::SchemeKind::kCapping,
+        scenario::SchemeKind::kShaving, scenario::SchemeKind::kToken,
+        scenario::SchemeKind::kAntiDope}) {
+    if (scenario::scheme_name(kind) == token) return kind;
+  }
+  fail("unknown scheme \"" + token + "\"");
+}
+
+std::optional<workload::Mixture> parse_mixture(const JsonValue& value) {
+  if (value.kind == JsonValue::Kind::kNull) return std::nullopt;
+  const JsonValue& types_json = require(value, "types");
+  const JsonValue& weights_json = require(value, "weights");
+  if (types_json.items.size() != weights_json.items.size() ||
+      types_json.items.empty()) {
+    fail("mixture types/weights must be non-empty and equal-length");
+  }
+  std::vector<workload::RequestTypeId> types;
+  std::vector<double> weights;
+  types.reserve(types_json.items.size());
+  weights.reserve(weights_json.items.size());
+  for (const auto& item : types_json.items) {
+    types.push_back(
+        static_cast<workload::RequestTypeId>(as_i64(item, "types[]")));
+  }
+  for (const auto& item : weights_json.items) {
+    weights.push_back(as_double(item, "weights[]"));
+  }
+  return workload::Mixture(std::move(types), std::move(weights));
+}
+
+std::vector<workload::RateStep> parse_rate_plan(const JsonValue& value) {
+  std::vector<workload::RateStep> plan;
+  plan.reserve(value.items.size());
+  for (const auto& item : value.items) {
+    workload::RateStep step;
+    step.at = as_i64(require(item, "at_us"), "at_us");
+    step.rate_rps = as_double(require(item, "rate_rps"), "rate_rps");
+    plan.push_back(step);
+  }
+  return plan;
+}
+
+}  // namespace
+
+void write_repro(std::ostream& out, const Repro& repro) {
+  const scenario::ScenarioConfig& c = repro.fuzz_case.config;
+  out << "{\n";
+  out << "  \"dopefuzz_repro\": " << kReproVersion << ",\n";
+  out << "  \"case_seed\": ";
+  write_u64(out, repro.fuzz_case.case_seed);
+  out << ",\n  \"scheme\": ";
+  obs::write_json_string(out, scenario::scheme_name(repro.fuzz_case.scheme));
+  out << ",\n  \"checks\": [";
+  for (std::size_t i = 0; i < repro.checks.size(); ++i) {
+    if (i > 0) out << ", ";
+    obs::write_json_string(out, repro.checks[i]);
+  }
+  out << "],\n";
+  out << "  \"config\": {\n";
+  out << "    \"num_servers\": " << c.num_servers << ",\n";
+  out << "    \"budget\": ";
+  obs::write_json_string(out, budget_token(c.budget));
+  out << ",\n    \"budget_override_w\": ";
+  write_number(out, c.budget_override);
+  out << ",\n    \"battery_runtime_us\": " << c.battery_runtime << ",\n";
+  out << "    \"slot_us\": " << c.slot << ",\n";
+  out << "    \"firewall\": ";
+  if (c.firewall.has_value()) {
+    out << "{\"threshold_rps\": ";
+    write_number(out, c.firewall->threshold_rps);
+    out << ", \"check_interval_us\": " << c.firewall->check_interval
+        << ", \"required_strikes\": " << c.firewall->required_strikes
+        << ", \"ban_duration_us\": " << c.firewall->ban_duration << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n    \"breaker\": ";
+  if (c.breaker.has_value()) {
+    out << "{\"rated_w\": ";
+    write_number(out, c.breaker->rated);
+    out << ", \"instant_trip_multiple\": ";
+    write_number(out, c.breaker->instant_trip_multiple);
+    out << ", \"thermal_capacity\": ";
+    write_number(out, c.breaker->thermal_capacity);
+    out << ", \"cooling_rate\": ";
+    write_number(out, c.breaker->cooling_rate);
+    out << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n    \"normal_rps\": ";
+  write_number(out, c.normal_rps);
+  out << ",\n    \"normal_sources\": " << c.normal_sources << ",\n";
+  out << "    \"normal_mixture\": ";
+  write_mixture(out, c.normal_mixture);
+  out << ",\n    \"normal_rate_plan\": ";
+  write_rate_plan(out, c.normal_rate_plan);
+  out << ",\n    \"attack_rps\": ";
+  write_number(out, c.attack_rps);
+  out << ",\n    \"attack_agents\": " << c.attack_agents << ",\n";
+  out << "    \"attack_mixture\": ";
+  write_mixture(out, c.attack_mixture);
+  out << ",\n    \"attack_start_us\": " << c.attack_start << ",\n";
+  out << "    \"attack_stop_us\": " << c.attack_stop << ",\n";
+  out << "    \"attack_rate_plan\": ";
+  write_rate_plan(out, c.attack_rate_plan);
+  out << ",\n    \"node_outages\": [";
+  for (std::size_t i = 0; i < c.node_outages.size(); ++i) {
+    if (i > 0) out << ", ";
+    const auto& outage = c.node_outages[i];
+    out << "{\"server\": " << outage.server << ", \"at_us\": " << outage.at
+        << ", \"down_us\": " << outage.down << "}";
+  }
+  out << "],\n";
+  out << "    \"duration_us\": " << c.duration << ",\n";
+  out << "    \"power_sample_interval_us\": " << c.power_sample_interval
+      << ",\n";
+  out << "    \"seed\": ";
+  write_u64(out, c.seed);
+  out << "\n  }\n}\n";
+}
+
+void write_repro_file(const std::string& path, const Repro& repro) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open \"" + path + "\" for writing");
+  write_repro(out, repro);
+  out.flush();
+  if (!out) fail("failed writing \"" + path + "\"");
+}
+
+Repro read_repro(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonParser parser(buffer.str());
+  const JsonValue root = parser.parse();
+
+  const std::int64_t version =
+      as_i64(require(root, "dopefuzz_repro"), "dopefuzz_repro");
+  if (version != kReproVersion) {
+    fail("unsupported repro version " + std::to_string(version));
+  }
+
+  Repro repro;
+  repro.fuzz_case.case_seed =
+      as_u64_string(require(root, "case_seed"), "case_seed");
+  repro.fuzz_case.scheme =
+      parse_scheme_token(as_string(require(root, "scheme"), "scheme"));
+  for (const auto& check : require(root, "checks").items) {
+    repro.checks.push_back(as_string(check, "checks[]"));
+  }
+
+  const JsonValue& config = require(root, "config");
+  scenario::ScenarioConfig& c = repro.fuzz_case.config;
+  c.scheme = scenario::SchemeKind::kNone;  // FuzzCase invariant
+  c.num_servers = static_cast<std::size_t>(
+      as_i64(require(config, "num_servers"), "num_servers"));
+  c.budget = parse_budget_token(
+      as_string(require(config, "budget"), "budget"));
+  c.budget_override =
+      as_double(require(config, "budget_override_w"), "budget_override_w");
+  c.battery_runtime =
+      as_i64(require(config, "battery_runtime_us"), "battery_runtime_us");
+  c.slot = as_i64(require(config, "slot_us"), "slot_us");
+
+  const JsonValue& firewall = require(config, "firewall");
+  if (firewall.kind != JsonValue::Kind::kNull) {
+    net::FirewallConfig fw;
+    fw.threshold_rps =
+        as_double(require(firewall, "threshold_rps"), "threshold_rps");
+    fw.check_interval =
+        as_i64(require(firewall, "check_interval_us"), "check_interval_us");
+    fw.required_strikes = static_cast<unsigned>(
+        as_i64(require(firewall, "required_strikes"), "required_strikes"));
+    fw.ban_duration =
+        as_i64(require(firewall, "ban_duration_us"), "ban_duration_us");
+    c.firewall = fw;
+  }
+  const JsonValue& breaker = require(config, "breaker");
+  if (breaker.kind != JsonValue::Kind::kNull) {
+    power::BreakerSpec spec;
+    spec.rated = as_double(require(breaker, "rated_w"), "rated_w");
+    spec.instant_trip_multiple = as_double(
+        require(breaker, "instant_trip_multiple"), "instant_trip_multiple");
+    spec.thermal_capacity = as_double(require(breaker, "thermal_capacity"),
+                                      "thermal_capacity");
+    spec.cooling_rate =
+        as_double(require(breaker, "cooling_rate"), "cooling_rate");
+    c.breaker = spec;
+  }
+
+  c.normal_rps = as_double(require(config, "normal_rps"), "normal_rps");
+  c.normal_sources = static_cast<unsigned>(
+      as_i64(require(config, "normal_sources"), "normal_sources"));
+  c.normal_mixture = parse_mixture(require(config, "normal_mixture"));
+  c.normal_rate_plan = parse_rate_plan(require(config, "normal_rate_plan"));
+  c.attack_rps = as_double(require(config, "attack_rps"), "attack_rps");
+  c.attack_agents = static_cast<unsigned>(
+      as_i64(require(config, "attack_agents"), "attack_agents"));
+  c.attack_mixture = parse_mixture(require(config, "attack_mixture"));
+  c.attack_start =
+      as_i64(require(config, "attack_start_us"), "attack_start_us");
+  c.attack_stop = as_i64(require(config, "attack_stop_us"), "attack_stop_us");
+  c.attack_rate_plan = parse_rate_plan(require(config, "attack_rate_plan"));
+  for (const auto& item : require(config, "node_outages").items) {
+    scenario::NodeOutage outage;
+    outage.server = static_cast<std::size_t>(
+        as_i64(require(item, "server"), "server"));
+    outage.at = as_i64(require(item, "at_us"), "at_us");
+    outage.down = as_i64(require(item, "down_us"), "down_us");
+    c.node_outages.push_back(outage);
+  }
+  c.duration = as_i64(require(config, "duration_us"), "duration_us");
+  c.power_sample_interval = as_i64(
+      require(config, "power_sample_interval_us"), "power_sample_interval_us");
+  c.seed = as_u64_string(require(config, "seed"), "seed");
+  return repro;
+}
+
+Repro read_repro_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open \"" + path + "\"");
+  return read_repro(in);
+}
+
+}  // namespace dope::fuzz

@@ -95,6 +95,26 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
 
+  // Scripted chaos: single-node power losses. The guards make the pair
+  // robust against a facility-wide breaker trip racing a scripted
+  // recovery (whichever path powered the node first wins).
+  for (const auto& outage : config.node_outages) {
+    DOPE_REQUIRE(outage.server < cluster.num_servers(),
+                 "node outage names a server outside the cluster");
+    DOPE_REQUIRE(outage.at >= 0 && outage.down > 0,
+                 "node outage needs a non-negative start and a positive "
+                 "downtime");
+    cluster::Cluster* cl = &cluster;
+    const std::size_t idx = outage.server;
+    engine.schedule_at(outage.at, [cl, idx] {
+      cl->server(idx).power_off();
+    });
+    const Duration reboot = cc.reboot_time;
+    engine.schedule_at(outage.at + outage.down, [cl, idx, reboot] {
+      if (!cl->in_outage()) cl->server(idx).power_on(reboot);
+    });
+  }
+
   // Normal background traffic.
   std::unique_ptr<workload::TrafficGenerator> normal;
   if (config.normal_rps > 0.0 || !config.normal_rate_plan.empty()) {

@@ -40,6 +40,16 @@ std::string scheme_name(SchemeKind kind);
 std::unique_ptr<cluster::PowerScheme> make_scheme(
     SchemeKind kind, const antidope::AntiDopeConfig& antidope_config = {});
 
+/// One scripted chaos event: server `server` suffers a hard power loss
+/// at `at` (in-flight and queued work is lost, recorded as outage
+/// failures) and begins its reboot `down` later. Used by resilience
+/// studies and the fuzzer's mid-run fault injection.
+struct NodeOutage {
+  std::size_t server = 0;
+  Time at = 0;
+  Duration down = 10 * kSecond;
+};
+
 /// Full scenario description.
 struct ScenarioConfig {
   // --- cluster ---
@@ -73,6 +83,11 @@ struct ScenarioConfig {
   Time attack_stop = -1;
   /// Optional scripted attack-rate schedule (pulsating attacks etc.).
   std::vector<workload::RateStep> attack_rate_plan;
+
+  // --- chaos ---
+  /// Scripted single-node outages injected mid-run. Each entry must name
+  /// a valid server index; events on the same server must not overlap.
+  std::vector<NodeOutage> node_outages;
 
   // --- run ---
   Duration duration = 10 * kMinute;  // the paper's observation window

@@ -190,5 +190,82 @@ TEST_F(AuditTest, AuditInstrumentationDoesNotPerturbResults) {
   EXPECT_EQ(audit::violation_count(), 0u);
 }
 
+// ---- hard-fail modes (fuzz oracle / gate builds) ----
+
+/// Restores report-only mode even when the test body throws.
+class AuditModeTest : public AuditTest {
+ protected:
+  void TearDown() override {
+    audit::set_mode(audit::Mode::kReport);
+    AuditTest::TearDown();
+  }
+};
+
+TEST_F(AuditModeTest, FatalModeThrowsStructuredFailure) {
+  audit::set_mode(audit::Mode::kFatal);
+  try {
+    audit::check_non_negative(nullptr, 7, "queue.depth", -3.0);
+    FAIL() << "fatal-mode violation did not throw";
+  } catch (const audit::AuditFailure& failure) {
+    EXPECT_EQ(failure.violation().check, "negative_metric");
+    EXPECT_EQ(failure.violation().t, 7);
+    EXPECT_NE(std::string(failure.what()).find("negative_metric"),
+              std::string::npos);
+  }
+  EXPECT_EQ(audit::violation_count(), 1u);  // counted before the throw
+}
+
+TEST_F(AuditModeTest, ReportModeStaysThrowFree) {
+  audit::set_mode(audit::Mode::kReport);
+  EXPECT_NO_THROW(audit::check_non_negative(nullptr, 0, "x", -1.0));
+  EXPECT_EQ(audit::violation_count(), 1u);
+}
+
+TEST_F(AuditModeTest, CollectorCapturesInsteadOfThrowing) {
+  // A collector scope is the caller's failure handling: even in fatal
+  // mode the violation is returned, not thrown.
+  audit::set_mode(audit::Mode::kFatal);
+  audit::ScopedCollector collector;
+  EXPECT_NO_THROW(
+      audit::check_battery_soc(nullptr, 11, -5.0, 100.0));
+  ASSERT_EQ(collector.size(), 1u);
+  EXPECT_EQ(collector.violations()[0].check, "battery_soc");
+  EXPECT_EQ(collector.violations()[0].t, 11);
+  EXPECT_FALSE(collector.violations()[0].message.empty());
+}
+
+TEST_F(AuditModeTest, CollectorScopesNestInnermostWins) {
+  audit::ScopedCollector outer;
+  audit::check_non_negative(nullptr, 0, "outer", -1.0);
+  {
+    audit::ScopedCollector inner;
+    audit::check_non_negative(nullptr, 0, "inner", -2.0);
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_NE(inner.violations()[0].message.find("inner"),
+              std::string::npos);
+  }
+  // Scope restored: new violations land in the outer collector again.
+  audit::check_non_negative(nullptr, 0, "outer-again", -3.0);
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_NE(outer.violations()[1].message.find("outer-again"),
+            std::string::npos);
+}
+
+TEST_F(AuditModeTest, CollectorOnHealthyScenarioStaysEmpty) {
+  // The fuzz oracle wraps every run in a collector; a healthy golden
+  // run must come back violation-free with identical result bytes.
+  audit::set_mode(audit::Mode::kFatal);
+  auto config = stressed_config();
+  const auto baseline = scenario::run_scenario(config);
+  audit::ScopedCollector collector;
+  const auto collected = scenario::run_scenario(config);
+  EXPECT_TRUE(collector.empty());
+  std::ostringstream a;
+  std::ostringstream b;
+  scenario::write_results_csv(a, {baseline});
+  scenario::write_results_csv(b, {collected});
+  EXPECT_EQ(a.str(), b.str());
+}
+
 }  // namespace
 }  // namespace dope

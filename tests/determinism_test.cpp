@@ -1,0 +1,105 @@
+// Same-process determinism: the golden scenario executed twice
+// back-to-back (a fresh Engine, Hub, and cluster each time) must
+// serialise byte-identical exports across every surface — results CSV,
+// power/SoC timelines, metrics registry JSON, merged span+event trace
+// JSONL, Chrome trace, and per-source forensics.
+//
+// Cross-run byte-identity is the property every other pillar leans on:
+// the sweep/fuzz runners merge by index assuming a run is a pure
+// function of its config, goldens diff CI output against a committed
+// file, and the fuzz oracle's `nondeterminism` check re-runs scenarios
+// expecting exact equality. A failure here means hidden global state —
+// a static counter, an unseeded RNG, address-dependent iteration — and
+// would silently poison all of them.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/forensics.hpp"
+#include "obs/hub.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dope {
+namespace {
+
+/// The CI golden scenario (tools/check_golden.sh): Anti-DOPE under a
+/// Low budget with a 400 rps flood and a 2-minute battery.
+scenario::ScenarioConfig golden_config() {
+  scenario::ScenarioConfig config;
+  config.scheme = scenario::SchemeKind::kAntiDope;
+  config.budget = power::BudgetLevel::kLow;
+  config.num_servers = 8;
+  config.battery_runtime = 2 * kMinute;
+  config.normal_rps = 300.0;
+  config.attack_rps = 400.0;
+  config.duration = 60 * kSecond;
+  config.seed = 42;
+  config.default_alert_rules = true;
+  return config;
+}
+
+/// One full run with every observability pillar on, flattened into a
+/// single export string covering all serialisation surfaces.
+std::string run_and_export_everything() {
+  obs::HubConfig hub_config;
+  hub_config.enable_spans = true;
+  obs::Hub hub(hub_config);
+  auto config = golden_config();
+  config.obs = &hub;
+  const auto result = scenario::run_scenario(config);
+
+  std::ostringstream out;
+  scenario::write_results_csv(out, {result});
+  scenario::write_timeline_csv(out, result.power_timeline);
+  scenario::write_timeline_csv(out, result.battery_soc_timeline);
+  hub.registry().write_json(out);
+  hub.write_trace_jsonl(out);
+  hub.write_chrome_trace(out);
+  const auto forensics =
+      obs::Forensics::build(*hub.spans(), hub.trace(), config.duration);
+  forensics.write_json(out);
+  return out.str();
+}
+
+TEST(DeterminismTest, GoldenScenarioExportsAreByteIdenticalBackToBack) {
+  const std::string first = run_and_export_everything();
+  const std::string second = run_and_export_everything();
+  ASSERT_FALSE(first.empty());
+  // EXPECT_EQ on multi-megabyte strings prints an unusable diff; compare
+  // and report only the first divergence point.
+  if (first != second) {
+    std::size_t at = 0;
+    while (at < first.size() && at < second.size() &&
+           first[at] == second[at]) {
+      ++at;
+    }
+    const std::size_t lo = at < 80 ? 0 : at - 80;
+    FAIL() << "exports diverge at byte " << at << ":\n  first:  ..."
+           << first.substr(lo, 160) << "\n  second: ..."
+           << second.substr(lo, 160);
+  }
+}
+
+TEST(DeterminismTest, ResultStructsMatchFieldByFieldAcrossRuns) {
+  // The no-hub path too: a bare run (no observability at all) repeated
+  // in-process must reproduce its headline numbers exactly.
+  const auto config = golden_config();
+  const auto a = scenario::run_scenario(config);
+  const auto b = scenario::run_scenario(config);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.normal_counts.terminal(), b.normal_counts.terminal());
+  EXPECT_EQ(a.attack_counts.terminal(), b.attack_counts.terminal());
+  EXPECT_EQ(a.slot_stats.violation_slots, b.slot_stats.violation_slots);
+  EXPECT_EQ(a.slot_stats.outages, b.slot_stats.outages);
+  ASSERT_EQ(a.power_timeline.size(), b.power_timeline.size());
+  for (std::size_t i = 0; i < a.power_timeline.size(); ++i) {
+    EXPECT_EQ(a.power_timeline[i].t, b.power_timeline[i].t);
+    EXPECT_EQ(a.power_timeline[i].value, b.power_timeline[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace dope

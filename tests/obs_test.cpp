@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/forensics.hpp"
 #include "obs/hub.hpp"
 #include "obs/live.hpp"
 #include "obs/metrics.hpp"
@@ -561,6 +562,90 @@ TEST(Live, JsonAndPrometheusExportsCarryAllFields) {
   EXPECT_NE(prom.str().find("dope_sweep_runs_failed 1"),
             std::string::npos);
   EXPECT_NE(prom.str().find("dope_sweep_done 0"), std::string::npos);
+}
+
+TEST(Live, DrainLoopOverNeverPublishedTapSeesNothing) {
+  // A CLI drainer polling a tap whose producer never publishes (e.g. a
+  // campaign that fails before its first case) must observe "nothing"
+  // every time — no phantom snapshot, no seq movement — and the
+  // never-published default snapshot must still export as a well-formed
+  // "seq 0" document rather than garbage.
+  LiveTap tap;
+  LiveSnapshot snap;
+  snap.runs_total = 999;  // latest() must not leave stale fields behind
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tap.latest(snap));
+    EXPECT_EQ(tap.published(), 0u);
+  }
+  std::ostringstream json;
+  write_live_json(json, LiveSnapshot{});
+  EXPECT_NE(json.str().find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(json.str().find("\"done\": false"), std::string::npos);
+  std::ostringstream prom;
+  write_live_prometheus(prom, LiveSnapshot{});
+  EXPECT_NE(prom.str().find("dope_sweep_runs_total 0"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------- obs edge cases
+
+TEST(Forensics, ZeroRequestRunProducesEmptyRollup) {
+  // Forensics on a run that never saw a request: no sources, no energy,
+  // no violations — and the JSON export is still a complete document.
+  HubConfig config;
+  config.enable_spans = true;
+  Hub hub(config);
+  auto scenario_config = scenario::ScenarioConfig{};
+  scenario_config.num_servers = 2;
+  scenario_config.normal_rps = 0.0;
+  scenario_config.attack_rps = 0.0;
+  scenario_config.duration = 5 * kSecond;
+  scenario_config.obs = &hub;
+  scenario::run_scenario(scenario_config);
+
+  const auto forensics =
+      Forensics::build(*hub.spans(), hub.trace(), scenario_config.duration);
+  EXPECT_TRUE(forensics.sources().empty());
+  EXPECT_EQ(forensics.total_joules(), 0.0);
+  EXPECT_TRUE(forensics.top_by_joules(5).empty());
+  std::ostringstream json;
+  forensics.write_json(json);
+  EXPECT_NE(json.str().find("\"total_joules\": 0"), std::string::npos);
+  EXPECT_NE(json.str().find("\"sources\": 0"), std::string::npos);
+  EXPECT_NE(json.str().find("\"ranking\": ["), std::string::npos);
+}
+
+TEST(Hub, TraceCapZeroKeepsTheHubsConfiguredCap) {
+  // `ScenarioConfig::trace_cap == 0` means "do not touch the hub": the
+  // run must leave whatever retention the caller configured in place.
+  TraceConfig trace_config;
+  trace_config.max_events = 123;
+  HubConfig hub_config;
+  hub_config.trace = trace_config;
+  Hub hub(hub_config);
+
+  auto config = scenario::ScenarioConfig{};
+  config.num_servers = 2;
+  config.normal_rps = 20.0;
+  config.duration = 5 * kSecond;
+  config.obs = &hub;
+  config.trace_cap = 0;
+  scenario::run_scenario(config);
+  EXPECT_EQ(hub.trace().max_events(), 123u);
+
+  // A positive cap overrides for the run (and is loud when it drops).
+  Hub tightened;
+  config.obs = &tightened;
+  config.trace_cap = 1;
+  config.default_alert_rules = true;  // guarantees recordable events
+  scenario::run_scenario(config);
+  EXPECT_EQ(tightened.trace().max_events(), 1u);
+  if (tightened.trace().recorded() > 1) {
+    EXPECT_GT(tightened.trace().dropped(), 0u);
+    std::ostringstream jsonl;
+    tightened.trace().write_jsonl(jsonl);
+    EXPECT_NE(jsonl.str().find("TraceTruncated"), std::string::npos);
+  }
 }
 
 }  // namespace
