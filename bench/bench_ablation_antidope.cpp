@@ -120,7 +120,7 @@ int main() {
     grid_b.variants.push_back(
         {"threshold-" + std::to_string(threshold),
          [threshold](scenario::ScenarioConfig& c) {
-           c.antidope.suspect_power_threshold = threshold;
+           c.antidope.suspect_power_threshold = Watts{threshold};
          }});
   }
   const auto runs_b = bench::run_grid(grid_b);
@@ -128,7 +128,7 @@ int main() {
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
     const double threshold = thresholds[i];
     const auto list =
-        antidope::SuspectList::from_catalog(catalog, threshold);
+        antidope::SuspectList::from_catalog(catalog, Watts{threshold});
     const auto& r = runs_b[i];
     b.row(threshold, static_cast<int>(list.suspect_count()), r.mean_ms,
           r.p90_ms, r.availability);
@@ -154,7 +154,7 @@ int main() {
                                        4 * kSecond};
   sweep::GridSpec grid_c;
   grid_c.base = base();
-  grid_c.base.budget_override = 8 * 100.0 * 0.55;  // force active control
+  grid_c.base.budget_override = Watts{8 * 100.0 * 0.55};  // active control
   for (const Duration slot : slots) {
     grid_c.variants.push_back(
         {"slot-" + std::to_string(to_millis(slot)) + "ms",
@@ -167,7 +167,7 @@ int main() {
     const auto& r = runs_c[i];
     c.row(to_millis(slot), r.mean_ms, r.p90_ms,
           static_cast<long long>(r.slot_stats.violation_slots),
-          r.battery_discharged);
+          r.battery_discharged.value());
     violations.push_back(r.slot_stats.violation_slots *
                          static_cast<std::uint64_t>(to_millis(slot)));
   }
@@ -212,7 +212,7 @@ int main() {
                "per-node TL(p,q)\n";
   sweep::GridSpec grid_e;
   grid_e.base = base();
-  grid_e.base.budget_override = 8 * 100.0 * 0.55;  // force active throttling
+  grid_e.base.budget_override = Watts{8 * 100.0 * 0.55};  // active throttle
   grid_e.variants = {
       {"uniform", {}},
       {"per-node", [](scenario::ScenarioConfig& cfg) {

@@ -20,11 +20,11 @@ using workload::Catalog;
 namespace {
 
 struct Outcome {
-  Watts calm_power = 0.0;
-  Watts attacked_power = 0.0;
+  Watts calm_power{0.0};
+  Watts attacked_power{0.0};
   std::size_t calm_serving = 0;
   std::size_t attacked_serving = 0;
-  Joules energy = 0.0;
+  Joules energy{0.0};
 };
 
 Outcome run(bool autoscale) {
@@ -86,12 +86,16 @@ int main() {
 
   TextTable table({"fleet", "calm W", "calm serving", "under-DOPE W",
                    "under-DOPE serving", "total energy (J)"});
-  table.row("static (8 nodes)", fixed.calm_power,
-            static_cast<int>(fixed.calm_serving), fixed.attacked_power,
-            static_cast<int>(fixed.attacked_serving), fixed.energy);
-  table.row("auto-scaled", scaled.calm_power,
-            static_cast<int>(scaled.calm_serving), scaled.attacked_power,
-            static_cast<int>(scaled.attacked_serving), scaled.energy);
+  table.row("static (8 nodes)", fixed.calm_power.value(),
+            static_cast<int>(fixed.calm_serving),
+            fixed.attacked_power.value(),
+            static_cast<int>(fixed.attacked_serving),
+            fixed.energy.value());
+  table.row("auto-scaled", scaled.calm_power.value(),
+            static_cast<int>(scaled.calm_serving),
+            scaled.attacked_power.value(),
+            static_cast<int>(scaled.attacked_serving),
+            scaled.energy.value());
   table.print(std::cout);
 
   const double fixed_swing = fixed.attacked_power / fixed.calm_power;

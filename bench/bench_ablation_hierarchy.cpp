@@ -22,7 +22,7 @@ namespace {
 
 struct Outcome {
   std::uint64_t pdu_violation_slots = 0;
-  Watts worst_pdu_overload = 0.0;
+  Watts worst_pdu_overload{0.0};
   double normal_p90 = 0.0;
   bool cold_rack_throttled = false;
 };
@@ -35,7 +35,8 @@ Outcome run(bool hierarchical) {
   cc.budget_level = power::BudgetLevel::kNormal;
   cc.lb_policy = net::LbPolicy::kSourceHash;
   cluster::Cluster cluster(engine, catalog, cc);
-  auto topology = power::PowerTopology::uniform(8, 4, 100.0, 0.85, 1.00);
+  auto topology =
+      power::PowerTopology::uniform(8, 4, Watts{100.0}, 0.85, 1.00);
   const auto topology_copy = topology;
   if (hierarchical) {
     cluster.install_scheme(
@@ -120,10 +121,10 @@ int main() {
                    "worst PDU overload (W)", "normal p90 (ms)",
                    "cold rack throttled?"});
   table.row("Capping (flat)", static_cast<long long>(flat.pdu_violation_slots),
-            flat.worst_pdu_overload, flat.normal_p90,
+            flat.worst_pdu_overload.value(), flat.normal_p90,
             flat.cold_rack_throttled ? "yes" : "no");
   table.row("Hier-Capping", static_cast<long long>(hier.pdu_violation_slots),
-            hier.worst_pdu_overload, hier.normal_p90,
+            hier.worst_pdu_overload.value(), hier.normal_p90,
             hier.cold_rack_throttled ? "yes" : "no");
   table.print(std::cout);
 

@@ -32,7 +32,7 @@ Outcome run(scenario::SchemeKind scheme_kind) {
   cc.num_servers = 8;
   cc.budget_level = power::BudgetLevel::kLow;
   cc.battery_runtime = 2 * kMinute;
-  cc.breaker = power::BreakerSpec{.rated = 640.0,
+  cc.breaker = power::BreakerSpec{.rated = Watts{640.0},
                                   .instant_trip_multiple = 2.0,
                                   .thermal_capacity = 20.0,
                                   .cooling_rate = 0.1};

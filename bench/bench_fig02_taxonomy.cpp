@@ -24,7 +24,7 @@ struct Row {
   std::string name;
   double switch_drop = 0.0;       // network-layer loss (all traffic)
   double normal_timeout = 0.0;    // compute-layer loss for normal users
-  Watts mean_power = 0.0;
+  Watts mean_power{0.0};
   std::uint64_t violations = 0;
   std::uint64_t bans = 0;
 };
@@ -72,7 +72,8 @@ Row run(const std::string& name, workload::Mixture mixture, double rate,
                                         cluster.edge_sink());
 
   metrics::TimelineRecorder power_probe(
-      engine, kSecond, [&cluster] { return cluster.total_power(); });
+      engine, kSecond,
+      [&cluster] { return cluster.total_power().value(); });
   engine.run_until(config.duration);
 
   Row row;
@@ -84,7 +85,7 @@ Row run(const std::string& name, workload::Mixture mixture, double rate,
           ? 0.0
           : static_cast<double>(n.timed_out + n.rejected_queue_full) /
                 static_cast<double>(n.terminal());
-  row.mean_power = power_probe.stats().mean();
+  row.mean_power = Watts{power_probe.stats().mean()};
   row.violations = cluster.slot_stats().violation_slots;
   row.bans = cluster.firewall()->total_bans();
   return row;
@@ -109,7 +110,7 @@ int main() {
                    "mean power (W)", "budget violations", "fw bans"});
   for (const auto& row : {volume, applayer, dope}) {
     table.row(row.name, row.switch_drop * 100.0,
-              row.normal_timeout * 100.0, row.mean_power,
+              row.normal_timeout * 100.0, row.mean_power.value(),
               static_cast<long long>(row.violations),
               static_cast<long long>(row.bans));
   }
@@ -117,7 +118,7 @@ int main() {
 
   bench::shape(
       "the volume flood exhausts connectivity (switch drops) at low power",
-      volume.switch_drop > 0.5 && volume.mean_power < 250.0);
+      volume.switch_drop > 0.5 && volume.mean_power < Watts{250.0});
   bench::shape(
       "the hot app-layer flood draws high power but gets firewalled",
       applayer.bans > 0);

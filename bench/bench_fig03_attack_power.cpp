@@ -47,8 +47,8 @@ TraceResult run_attack(attack::AttackKind kind) {
   TraceResult result;
   result.kind = kind;
   const auto r = scenario::run_scenario(config);
-  result.mean_power = r.mean_power;
-  result.peak_power = r.peak_power;
+  result.mean_power = r.mean_power.value();
+  result.peak_power = r.peak_power.value();
   result.timeline = r.power_timeline;
   return result;
 }

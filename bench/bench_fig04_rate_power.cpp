@@ -46,7 +46,7 @@ int main() {
   for (std::size_t t = 0; t < types.size(); ++t) {
     for (std::size_t r = 0; r < rates.size(); ++r) {
       const auto result = run_at(types[t], rates[r]);
-      mean_power[t][r] = result.mean_power;
+      mean_power[t][r] = result.mean_power.value();
     }
   }
   for (std::size_t r = 0; r < rates.size(); ++r) {

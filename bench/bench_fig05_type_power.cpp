@@ -64,8 +64,8 @@ int main() {
   TextTable b({"type", "power/request (W)", "saturated node (W)",
                "base latency (ms)"});
   for (const auto& p : profiles) {
-    b.row(catalog.type(p.type).name, p.per_request_power,
-          p.saturated_node_power, p.base_latency_ms);
+    b.row(catalog.type(p.type).name, p.per_request_power.value(),
+          p.saturated_node_power.value(), p.base_latency_ms);
   }
   b.print(std::cout);
 
@@ -88,14 +88,16 @@ int main() {
   const auto& per_req = profiles;
   double kmeans_w = 0, volume_max = 0;
   for (const auto& p : per_req) {
-    if (p.type == Catalog::kKMeans) kmeans_w = p.per_request_power;
+    if (p.type == Catalog::kKMeans) kmeans_w = p.per_request_power.value();
     if (p.type == Catalog::kSynPacket || p.type == Catalog::kUdpPacket) {
-      volume_max = std::max(volume_max, p.per_request_power);
+      volume_max = std::max(volume_max, p.per_request_power.value());
     }
   }
   bool kmeans_highest = true;
   for (const auto& p : per_req) {
-    if (p.per_request_power > kmeans_w + 1e-9) kmeans_highest = false;
+    if (p.per_request_power.value() > kmeans_w + 1e-9) {
+      kmeans_highest = false;
+    }
   }
   bench::shape("K-means consumes the most power per request",
                kmeans_highest);

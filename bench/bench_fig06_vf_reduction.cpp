@@ -45,7 +45,7 @@ int main() {
   for (std::size_t t = 0; t < types.size(); ++t) {
     for (std::size_t r = 0; r < rates.size(); ++r) {
       const auto result = run_capped(types[t], rates[r]);
-      min_freq[t][r] = ladder.frequency(result.min_level_seen);
+      min_freq[t][r] = ladder.frequency(result.min_level_seen).value();
     }
   }
   TextTable a({"rate (rps)", "Colla-Filt", "K-means", "Word-Count",
@@ -62,10 +62,10 @@ int main() {
   std::vector<double> deepest(types.size());
   for (std::size_t t = 0; t < types.size(); ++t) {
     const auto result = run_capped(types[t], 1'000.0);
-    deepest[t] = ladder.frequency(result.min_level_seen);
+    deepest[t] = ladder.frequency(result.min_level_seen).value();
     const auto catalog = workload::Catalog::standard();
     b.row(catalog.type(types[t]).name, deepest[t],
-          result.final_mean_frequency);
+          result.final_mean_frequency.value());
   }
   b.print(std::cout);
 
@@ -73,7 +73,9 @@ int main() {
   // First rate at which each type forces any V/F reduction.
   const auto first_reduction = [&](std::size_t t) {
     for (std::size_t r = 0; r < rates.size(); ++r) {
-      if (min_freq[t][r] < ladder.max_frequency() - 1e-9) return rates[r];
+      if (min_freq[t][r] < ladder.max_frequency().value() - 1e-9) {
+        return rates[r];
+      }
     }
     return 1e18;
   };

@@ -17,7 +17,7 @@ int main() {
       "Figure 7", "Service quality vs. traffic rate (power-insufficient)");
 
   // Aggressively power-insufficient: well below Low-PB.
-  const Watts kTightBudget = 4 * 100.0 * 0.72;
+  const Watts kTightBudget{4 * 100.0 * 0.72};
 
   const std::vector<double> rates = {10, 25, 50, 75, 100, 150, 250, 400};
   TextTable table({"attack rate (rps)", "mean RT (ms)", "p90 (ms)",
@@ -34,7 +34,7 @@ int main() {
     mean_ms[i] = r.mean_ms;
     p90_ms[i] = r.p90_ms;
     table.row(rates[i], r.mean_ms, r.p90_ms, r.availability,
-              ladder.frequency(r.min_level_seen));
+              ladder.frequency(r.min_level_seen).value());
   }
   table.print(std::cout);
 

@@ -26,7 +26,7 @@ int main() {
   for (std::size_t f = 0; f < fractions.size(); ++f) {
     for (std::size_t a = 0; a < rates.size(); ++a) {
       auto config = bench::testbed_scenario(scenario::SchemeKind::kCapping);
-      config.budget_override = 4 * 100.0 * fractions[f];
+      config.budget_override = Watts{4 * 100.0 * fractions[f]};
       config.attack_rps = rates[a];
       if (rates[a] > 0) config.attack_mixture = bench::heavy_blend();
       config.duration = 5 * kMinute;

@@ -16,7 +16,7 @@ using workload::Catalog;
 int main() {
   bench::figure_header("Figure 11", "The DOPE attack region");
 
-  const Watts budget = 4 * 100.0 * 0.80;  // Low-PB on the mini rack
+  const Watts budget{4 * 100.0 * 0.80};  // Low-PB on the mini rack
   const double firewall_threshold = 150.0;  // per source
   const unsigned agents = 16;
 
@@ -27,7 +27,8 @@ int main() {
       Catalog::kTextCont, Catalog::kSynPacket};
   const auto catalog = workload::Catalog::standard();
 
-  std::cout << "budget = " << budget << " W (Low-PB), firewall = "
+  std::cout << "budget = " << budget.value()
+            << " W (Low-PB), firewall = "
             << firewall_threshold << " rps/source, botnet of " << agents
             << " agents\n\n";
   std::cout << "cell legend:  D = DOPE region (power violated, "

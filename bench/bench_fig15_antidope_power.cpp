@@ -20,7 +20,7 @@ sweep::GridSpec antidope_grid() {
   // A tight explicit budget: the confined attack still causes a deficit
   // that RPM must actively throttle away (the paper's Fig. 15a shows the
   // controller visibly pulling power down).
-  grid.base.budget_override = 8 * 100.0 * 0.55;
+  grid.base.budget_override = Watts{8 * 100.0 * 0.55};
   grid.base.duration = 10 * kMinute;
   // Attack axis: the DOPE flood arriving at t=120 s, and no attack.
   auto dope = sweep::AttackProfile::dope(400.0);
@@ -44,7 +44,7 @@ int main() {
 
   // ---- (a) power timeline around the attack onset ----
   std::cout << "\n(a) cluster power (W), DOPE onset at t=120 s, budget = "
-            << attacked.budget << " W\n";
+            << attacked.budget.value() << " W\n";
   TextTable a({"t (s)", "power w/ DOPE", "power no attack"});
   const auto mean_between = [](const scenario::ScenarioResult& r, Time lo,
                                Time hi) {
@@ -87,7 +87,7 @@ int main() {
   bench::shape("DOPE onset produces a sharp increase in total power",
                spike > before + 50.0);
   bench::shape("Anti-DOPE settles power back to the supply budget",
-               settled <= attacked.budget * 1.05);
+               settled <= attacked.budget.value() * 1.05);
   bench::shape(
       "normal users' p90/p95 are only slightly worse than the baseline",
       attacked.p90_ms < 3.0 * baseline.p90_ms + 10.0 &&

@@ -63,7 +63,7 @@ int main() {
   cluster::ClusterConfig cc;
   cc.num_servers = 8;
   cc.budget_level = power::BudgetLevel::kLow;
-  cc.budget_override = 8 * 100.0 * 0.55;  // deficit even when confined
+  cc.budget_override = Watts{8 * 100.0 * 0.55};  // deficit when confined
   cc.battery_runtime = 2 * kMinute;
   cluster::Cluster cluster(engine, catalog, cc);
   cluster.install_scheme(

@@ -21,8 +21,8 @@ int main() {
                                           /*attack_rps=*/0.0);
   const auto baseline = scenario::run_scenario(base_config);
   const Joules reference = baseline.energy.utility_total();
-  std::cout << "\nreference energy (Normal-PB, no attack): " << reference
-            << " J over 10 min\n";
+  std::cout << "\nreference energy (Normal-PB, no attack): "
+            << reference.value() << " J over 10 min\n";
 
   const std::vector<power::BudgetLevel> budgets = {
       power::BudgetLevel::kNormal, power::BudgetLevel::kHigh,
@@ -82,7 +82,7 @@ int main() {
       low[3] < normalized[3][1] + 1e-9);
   bench::shape("energy under DOPE never exceeds the supplied budget's "
                "10-minute envelope",
-               low[0] * reference <=
+               low[0] * reference.value() <=
                    0.80 * 800.0 * 600.0 * 1.05);
   return 0;
 }

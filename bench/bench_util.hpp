@@ -213,8 +213,8 @@ inline void result_metrics(const std::string& prefix,
   metric(prefix + ".p90_ms", r.p90_ms);
   metric(prefix + ".p99_ms", r.p99_ms);
   metric(prefix + ".availability", r.availability);
-  metric(prefix + ".mean_power_w", r.mean_power);
-  metric(prefix + ".peak_power_w", r.peak_power);
+  metric(prefix + ".mean_power_w", r.mean_power.value());
+  metric(prefix + ".peak_power_w", r.peak_power.value());
   metric(prefix + ".violation_slots",
          static_cast<double>(r.slot_stats.violation_slots));
   metric(prefix + ".outages", static_cast<double>(r.slot_stats.outages));

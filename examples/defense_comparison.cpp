@@ -41,8 +41,8 @@ int main() {
                    "dropped %", "battery used (J)", "utility energy (J)"});
   for (const auto& r : results) {
     table.row(r.scheme, r.mean_ms, r.p90_ms, r.availability,
-              r.drop_fraction * 100.0, r.battery_discharged,
-              r.energy.utility_total());
+              r.drop_fraction * 100.0, r.battery_discharged.value(),
+              r.energy.utility_total().value());
   }
   table.print(std::cout);
 

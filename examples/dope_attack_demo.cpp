@@ -54,7 +54,8 @@ int main() {
 
   // Observe cluster power while the attack unfolds.
   metrics::TimelineRecorder power_probe(
-      engine, 5 * kSecond, [&cluster] { return cluster.total_power(); });
+      engine, 5 * kSecond,
+      [&cluster] { return cluster.total_power().value(); });
 
   engine.run_until(8 * kMinute);
 
@@ -76,7 +77,7 @@ int main() {
   outcome.row("final attack rate (rps)", attacker.current_rate());
   outcome.row("firewall bans",
               static_cast<long long>(cluster.firewall()->total_bans()));
-  outcome.row("budget (W)", cluster.budget());
+  outcome.row("budget (W)", cluster.budget().value());
   outcome.row("peak power seen (W)", power_probe.stats().max());
   outcome.row("victim DVFS level (server 0)",
               static_cast<long long>(cluster.server(0).level()));

@@ -173,7 +173,7 @@ int main(int argc, char** argv) {
       if (it == budgets.end()) fail("unknown budget level");
       config.budget = it->second;
     } else if (flag == "--budget-watts") {
-      config.budget_override = number_arg(flag, next());
+      config.budget_override = Watts{number_arg(flag, next())};
     } else if (flag == "--battery-min") {
       config.battery_runtime =
           static_cast<Duration>(number_arg(flag, next()) * kMinute);
@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
       config.firewall = firewall;
     } else if (flag == "--breaker-watts") {
       power::BreakerSpec breaker;
-      breaker.rated = number_arg(flag, next());
+      breaker.rated = Watts{number_arg(flag, next())};
       config.breaker = breaker;
     } else if (flag == "--slot-ms") {
       config.slot = millis(number_arg(flag, next()));
@@ -290,7 +290,7 @@ int main(int argc, char** argv) {
       if (run.ok) {
         table.row(run.point.label(), run.result.mean_ms,
                   run.result.p90_ms, run.result.availability,
-                  run.result.peak_power, "ok");
+                  run.result.peak_power.value(), "ok");
       } else {
         table.row(run.point.label(), "-", "-", "-", "-",
                   "FAILED: " + run.error);
@@ -326,7 +326,8 @@ int main(int argc, char** argv) {
 
   const auto r = scenario::run_scenario(config);
 
-  std::cout << "== dopesim: " << r.scheme << " @ " << r.budget << " W, "
+  std::cout << "== dopesim: " << r.scheme << " @ " << r.budget.value()
+            << " W, "
             << config.normal_rps << " rps normal, " << config.attack_rps
             << " rps attack, " << to_seconds(config.duration)
             << " s ==\n\n";
@@ -340,10 +341,10 @@ int main(int argc, char** argv) {
   table.row("availability", r.availability);
   table.row("drop fraction", r.drop_fraction);
   table.row("mean / peak power (W)",
-            TextTable::format_cell(r.mean_power) + " / " +
-                TextTable::format_cell(r.peak_power));
-  table.row("utility energy (J)", r.energy.utility_total());
-  table.row("battery energy (J)", r.energy.battery);
+            TextTable::format_cell(r.mean_power.value()) + " / " +
+                TextTable::format_cell(r.peak_power.value()));
+  table.row("utility energy (J)", r.energy.utility_total().value());
+  table.row("battery energy (J)", r.energy.battery.value());
   table.row("demand violation slots",
             static_cast<long long>(r.slot_stats.violation_slots));
   table.row("utility violation slots",
@@ -429,8 +430,8 @@ int main(int argc, char** argv) {
               : (suspects->suspicious(s.dominant_class) ? "yes" : "no");
       suspect_table.row(static_cast<long long>(rank++),
                         static_cast<long long>(s.source_id),
-                        static_cast<long long>(s.requests), s.joules,
-                        s.occupancy_ms,
+                        static_cast<long long>(s.requests),
+                        s.joules.value(), s.occupancy_ms,
                         static_cast<long long>(s.violation_overlaps),
                         class_name, flagged);
     }

@@ -64,7 +64,7 @@ int main() {
       innocent_load += cluster.server(i).load();
     }
     learning.row(to_seconds(engine.now()),
-                 scheme->classifier()->estimate(Catalog::kKMeans),
+                 scheme->classifier()->estimate(Catalog::kKMeans).value(),
                  scheme->suspects().suspicious(Catalog::kKMeans) ? "YES"
                                                                  : "no",
                  static_cast<long long>(innocent_load));

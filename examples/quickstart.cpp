@@ -62,10 +62,12 @@ int main() {
   table.row("mean latency (ms)", latency.mean());
   table.row("p90 latency (ms)", latency.percentile(90));
   table.row("p99 latency (ms)", latency.percentile(99));
-  table.row("power budget (W)", cluster.budget());
-  table.row("mean demand last slot (W)", cluster.last_slot_demand());
-  table.row("energy from utility (J)", cluster.energy_account().utility);
-  table.row("energy from battery (J)", cluster.energy_account().battery);
+  table.row("power budget (W)", cluster.budget().value());
+  table.row("mean demand last slot (W)", cluster.last_slot_demand().value());
+  table.row("energy from utility (J)",
+            cluster.energy_account().utility.value());
+  table.row("energy from battery (J)",
+            cluster.energy_account().battery.value());
   table.row("battery state of charge", cluster.battery()->soc());
   table.row("budget violation slots",
             static_cast<long long>(cluster.slot_stats().violation_slots));

@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
             static_cast<long long>(metrics.attack_counts().terminal()));
   table.row("budget violations (slots)",
             static_cast<long long>(cluster.slot_stats().violation_slots));
-  table.row("utility energy (J)", cluster.energy_account().utility);
+  table.row("utility energy (J)",
+            cluster.energy_account().utility.value());
   table.print(std::cout);
 
   // 7. Round-trip demo: write the synthetic trace back out in the same

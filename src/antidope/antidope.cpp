@@ -14,7 +14,7 @@ namespace dope::antidope {
 
 AntiDopeScheme::AntiDopeScheme(AntiDopeConfig config)
     : config_(std::move(config)) {
-  DOPE_REQUIRE(config_.suspect_power_threshold > 0,
+  DOPE_REQUIRE(config_.suspect_power_threshold > Watts{0.0},
                "suspect threshold must be positive");
   DOPE_REQUIRE(config_.suspect_pool_fraction > 0.0 &&
                    config_.suspect_pool_fraction < 1.0,
@@ -78,16 +78,16 @@ void AntiDopeScheme::trace_throttle(Time now, Watts deficit,
   e.t = now;
   e.type = obs::EventType::kThrottleApplied;
   e.source = "antidope";
-  e.num.emplace_back("deficit_w", deficit);
+  e.num.emplace_back("deficit_w", deficit.value());
   e.num.emplace_back("suspect_level", suspect_target_);
   e.num.emplace_back("innocent_level", innocent_target_);
-  e.num.emplace_back("battery_w", last_battery_power_);
+  e.num.emplace_back("battery_w", last_battery_power_.value());
   if (stats != nullptr) {
     e.num.emplace_back("tl_iterations",
                        static_cast<double>(stats->iterations));
     e.num.emplace_back("throttled_nodes",
                        static_cast<double>(stats->throttled_nodes));
-    e.num.emplace_back("final_power_w", stats->final_power);
+    e.num.emplace_back("final_power_w", stats->final_power.value());
   }
   e.str.emplace_back("mode", mode);
   hub_->event(std::move(e));
@@ -111,17 +111,18 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
   battery::Battery* battery =
       config_.use_battery ? cluster_->battery() : nullptr;
 
-  last_battery_power_ = 0.0;
+  last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;
 
-  if (deficit > 0.0) {
+  if (deficit > Watts{0.0}) {
     // --- Algorithm 1: differentiated power management ---
     // Step 1: decide the throttling configuration. Reclaim power from the
     // suspect pool first: find the highest suspect level that fits under
     // what remains of the budget after the innocent pool's draw.
     const Watts innocent_now = schemes::estimate_power_at_uniform(
         innocent_nodes_, innocent_target_);
-    const Watts suspect_allowance = std::max(0.0, budget - innocent_now);
+    const Watts suspect_allowance =
+        std::max(Watts{0.0}, budget - innocent_now);
     if (config_.per_node_throttling) {
       // Heterogeneous TL(p,q): each suspect node gets its own level.
       SolveStats stats;
@@ -157,7 +158,8 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
         suspect_nodes_, ladder.min_level());
     if (new_suspect == ladder.min_level() &&
         suspect_floor > suspect_allowance) {
-      const Watts innocent_allowance = std::max(0.0, budget - suspect_floor);
+      const Watts innocent_allowance =
+          std::max(Watts{0.0}, budget - suspect_floor);
       innocent_target_ = schemes::find_uniform_level(
           innocent_nodes_, ladder, innocent_allowance, innocent_target_);
       schemes::request_uniform_level(innocent_nodes_, innocent_target_);
@@ -191,7 +193,7 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
     if (projected <= budget * (1.0 - config_.headroom_margin)) {
       innocent_target_ = next;
       schemes::request_uniform_level(innocent_nodes_, innocent_target_);
-      headroom = std::max(0.0, budget - projected);
+      headroom = std::max(Watts{0.0}, budget - projected);
     }
   } else if (suspect_target_ < ladder.max_level()) {
     const power::DvfsLevel next = suspect_target_ + 1;
@@ -202,10 +204,10 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
     if (projected <= budget * (1.0 - config_.headroom_margin)) {
       suspect_target_ = next;
       schemes::request_uniform_level(suspect_nodes_, suspect_target_);
-      headroom = std::max(0.0, budget - projected);
+      headroom = std::max(Watts{0.0}, budget - projected);
     }
   }
-  if (battery != nullptr && headroom > 0.0 && !battery->full()) {
+  if (battery != nullptr && headroom > Watts{0.0} && !battery->full()) {
     battery->charge(headroom, slot);
   }
 }

@@ -41,7 +41,7 @@ struct AntiDopeConfig {
   /// Per-request power (watts at f_max) above which a URL class is
   /// forwarded to the suspect pool. 10 W separates Colla-Filt/K-means/
   /// Word-Count from the light request types in the standard catalog.
-  Watts suspect_power_threshold = 10.0;
+  Watts suspect_power_threshold{10.0};
   /// Fraction of servers dedicated to the suspect pool (at least one).
   double suspect_pool_fraction = 0.25;
   /// Hysteresis headroom for frequency restoration.
@@ -96,7 +96,7 @@ class AntiDopeScheme final : public cluster::PowerScheme {
   std::vector<server::ServerNode*> innocent_nodes_;
   power::DvfsLevel suspect_target_ = 0;
   power::DvfsLevel innocent_target_ = 0;
-  Watts last_battery_power_ = 0.0;
+  Watts last_battery_power_{0.0};
   std::unique_ptr<OnlineClassifier> classifier_;
   obs::Hub* hub_ = nullptr;
   obs::Counter* obs_tl_iterations_ = nullptr;

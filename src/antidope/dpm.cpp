@@ -17,7 +17,7 @@ ThrottleAssignment solve_throttling(
   ThrottleAssignment assignment(nodes.size(), ceiling);
   // Cache per-node power estimates at the current assignment.
   std::vector<Watts> node_power(nodes.size());
-  Watts total = 0.0;
+  Watts total{0.0};
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     node_power[i] = nodes[i]->estimate_power_at(ceiling);
     total += node_power[i];
@@ -25,9 +25,10 @@ ThrottleAssignment solve_throttling(
 
   while (total > allowance) {
     // Pick the single step-down with the best watts-per-gigahertz ratio.
+    using WattsPerGHz = decltype(Watts{} / GHz{});
     std::size_t best = nodes.size();
-    double best_ratio = -1.0;
-    Watts best_saving = 0.0;
+    WattsPerGHz best_ratio{-1.0};
+    Watts best_saving{0.0};
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       if (assignment[i] == ladder.min_level()) continue;
       const auto next = assignment[i] - 1;
@@ -37,7 +38,7 @@ ThrottleAssignment solve_throttling(
                        ladder.frequency(next);
       // Clamped (saturated) nodes may save ~0 W for a step; still allow
       // the move so the search cannot stall, but rank it last.
-      const double ratio = saving / std::max(lost, 1e-9);
+      const WattsPerGHz ratio = saving / std::max(lost, GHz{1e-9});
       if (ratio > best_ratio) {
         best_ratio = ratio;
         best = i;
@@ -77,7 +78,7 @@ Watts assignment_power(const std::vector<server::ServerNode*>& nodes,
                        const ThrottleAssignment& assignment) {
   DOPE_REQUIRE(nodes.size() == assignment.size(),
                "assignment size mismatch");
-  Watts total = 0.0;
+  Watts total{0.0};
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     total += nodes[i]->estimate_power_at(assignment[i]);
   }
@@ -86,7 +87,7 @@ Watts assignment_power(const std::vector<server::ServerNode*>& nodes,
 
 GHz assignment_frequency(const power::DvfsLadder& ladder,
                          const ThrottleAssignment& assignment) {
-  GHz total = 0.0;
+  GHz total{0.0};
   for (const auto level : assignment) total += ladder.frequency(level);
   return total;
 }

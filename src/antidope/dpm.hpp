@@ -34,7 +34,7 @@ struct SolveStats {
   /// Nodes whose final level is below the ceiling.
   std::size_t throttled_nodes = 0;
   /// Estimated total power of the returned assignment.
-  Watts final_power = 0.0;
+  Watts final_power{0.0};
 };
 
 /// Computes a heterogeneous throttling assignment whose estimated total

@@ -78,9 +78,9 @@ void GradedAntiDopeScheme::on_slot(Time now, Duration slot) {
   battery::Battery* battery =
       config_.use_battery ? cluster_->battery() : nullptr;
 
-  last_battery_power_ = 0.0;
+  last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;
-  if (deficit > 0.0) {
+  if (deficit > Watts{0.0}) {
     // Throttle heaviest class first; each class gets whatever remains of
     // the budget after every other pool's current draw. The lightest
     // class (c == 0) is never throttled here.
@@ -88,13 +88,13 @@ void GradedAntiDopeScheme::on_slot(Time now, Duration slot) {
       Pool& pool = pools_[c];
       // Allowance: budget minus everything outside this pool at its
       // current target.
-      Watts outside = 0.0;
+      Watts outside{0.0};
       for (std::size_t other = 0; other < pools_.size(); ++other) {
         if (other == c) continue;
         outside += schemes::estimate_power_at_uniform(
             pools_[other].nodes, pools_[other].target);
       }
-      const Watts allowance = std::max(0.0, budget - outside);
+      const Watts allowance = std::max(Watts{0.0}, budget - outside);
       const auto level = schemes::find_uniform_level(
           pool.nodes, ladder, allowance, pool.target);
       if (level != pool.target) {
@@ -129,11 +129,11 @@ void GradedAntiDopeScheme::on_slot(Time now, Duration slot) {
     if (projected <= budget * (1.0 - config_.headroom_margin)) {
       pool.target = next;
       schemes::request_uniform_level(pool.nodes, pool.target);
-      headroom = std::max(0.0, budget - projected);
+      headroom = std::max(Watts{0.0}, budget - projected);
     }
     break;  // one adjustment per slot
   }
-  if (battery != nullptr && headroom > 0.0 && !battery->full()) {
+  if (battery != nullptr && headroom > Watts{0.0} && !battery->full()) {
     battery->charge(headroom, slot);
   }
 }

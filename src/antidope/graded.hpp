@@ -63,7 +63,7 @@ class GradedAntiDopeScheme final : public cluster::PowerScheme {
   std::unique_ptr<PowerClassifier> classifier_;
   /// pools_[c] serves power class c (0 = lightest).
   std::vector<Pool> pools_;
-  Watts last_battery_power_ = 0.0;
+  Watts last_battery_power_{0.0};
 };
 
 }  // namespace dope::antidope

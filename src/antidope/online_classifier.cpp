@@ -9,14 +9,15 @@ namespace dope::antidope {
 OnlineClassifier::OnlineClassifier(std::size_t types, SuspectList initial,
                                    OnlineClassifierConfig config)
     : config_(config),
-      ewma_(types, 0.0),
+      ewma_(types, Watts{0.0}),
       count_(types, 0),
       flags_(types, false),
       suspects_(std::move(initial)) {
   DOPE_REQUIRE(types > 0, "need at least one type");
   DOPE_REQUIRE(suspects_.size() == types,
                "initial suspect list size mismatch");
-  DOPE_REQUIRE(config_.suspect_threshold > 0, "threshold must be positive");
+  DOPE_REQUIRE(config_.suspect_threshold > Watts{0.0},
+               "threshold must be positive");
   DOPE_REQUIRE(config_.alpha > 0.0 && config_.alpha <= 1.0,
                "alpha must be in (0, 1]");
   DOPE_REQUIRE(config_.hysteresis >= 0.0 && config_.hysteresis < 1.0,
@@ -36,7 +37,8 @@ void OnlineClassifier::observe(const server::ServerNode& node) {
   const unsigned active = node.active_count();
   if (active == 0) return;
   const Watts idle = node.power_model().idle_power(node.level());
-  const Watts above_idle = std::max(0.0, node.current_power() - idle);
+  const Watts above_idle =
+      std::max(Watts{0.0}, node.current_power() - idle);
   const Watts share = above_idle / static_cast<double>(active);
   node.visit_active([this, share](workload::RequestTypeId type) {
     ingest(type, share);
@@ -46,8 +48,9 @@ void OnlineClassifier::observe(const server::ServerNode& node) {
 void OnlineClassifier::ingest(workload::RequestTypeId type,
                               Watts per_request_power) {
   DOPE_REQUIRE(type < ewma_.size(), "type id out of range");
-  DOPE_REQUIRE(per_request_power >= 0, "power must be non-negative");
-  double& ewma = ewma_[type];
+  DOPE_REQUIRE(per_request_power >= Watts{0.0},
+               "power must be non-negative");
+  Watts& ewma = ewma_[type];
   if (count_[type] == 0) {
     ewma = per_request_power;
   } else {
@@ -58,8 +61,8 @@ void OnlineClassifier::ingest(workload::RequestTypeId type,
 }
 
 void OnlineClassifier::reclassify(workload::RequestTypeId type) {
-  const double up = config_.suspect_threshold;
-  const double down = up * (1.0 - config_.hysteresis);
+  const Watts up = config_.suspect_threshold;
+  const Watts down = up * (1.0 - config_.hysteresis);
   const bool was = flags_[type];
   bool now = was;
   if (!was && ewma_[type] >= up) now = true;
@@ -73,7 +76,7 @@ void OnlineClassifier::reclassify(workload::RequestTypeId type) {
 
 Watts OnlineClassifier::estimate(workload::RequestTypeId type) const {
   DOPE_REQUIRE(type < ewma_.size(), "type id out of range");
-  return count_[type] ? ewma_[type] : 0.0;
+  return count_[type] ? ewma_[type] : Watts{0.0};
 }
 
 std::size_t OnlineClassifier::observations(

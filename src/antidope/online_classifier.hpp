@@ -30,7 +30,7 @@ namespace dope::antidope {
 /// Classifier tuning.
 struct OnlineClassifierConfig {
   /// Per-request power at/above which a type becomes suspect.
-  Watts suspect_threshold = 10.0;
+  Watts suspect_threshold{10.0};
   /// Hysteresis: an already-suspect type stays suspect until its EWMA
   /// falls below threshold * (1 - hysteresis).
   double hysteresis = 0.2;
@@ -77,7 +77,7 @@ class OnlineClassifier {
   void reclassify(workload::RequestTypeId type);
 
   OnlineClassifierConfig config_;
-  std::vector<double> ewma_;
+  std::vector<Watts> ewma_;
   std::vector<std::size_t> count_;
   std::vector<bool> flags_;
   SuspectList suspects_;

@@ -17,7 +17,7 @@ PowerClassifier::PowerClassifier(std::vector<Watts> per_type_power,
   DOPE_REQUIRE(num_classes_ <= per_type_power_.size(),
                "more classes than types");
   for (const Watts p : per_type_power_) {
-    DOPE_REQUIRE(p >= 0, "powers must be non-negative");
+    DOPE_REQUIRE(p >= Watts{0.0}, "powers must be non-negative");
   }
 
   // Rank types by power, then cut the ranking into num_classes groups of
@@ -61,7 +61,7 @@ std::size_t PowerClassifier::class_of(workload::RequestTypeId type) const {
 
 Watts PowerClassifier::class_ceiling(std::size_t c) const {
   DOPE_REQUIRE(c < num_classes_, "class index out of range");
-  Watts ceiling = 0.0;
+  Watts ceiling{0.0};
   for (std::size_t t = 0; t < class_of_.size(); ++t) {
     if (class_of_[t] == c) ceiling = std::max(ceiling, per_type_power_[t]);
   }
@@ -93,12 +93,12 @@ bool PowerClassifier::fits_budget(const std::vector<std::size_t>& q,
                                   double rel, Watts budget,
                                   const workload::Catalog& catalog) const {
   DOPE_REQUIRE(q.size() == num_classes_, "count vector size mismatch");
-  Watts total = 0.0;
+  Watts total{0.0};
   for (std::size_t c = 0; c < num_classes_; ++c) {
     if (q[c] == 0) continue;
     // Conservative class power: the heaviest member evaluated at `rel`
     // with that member's own frequency sensitivity.
-    Watts worst = 0.0;
+    Watts worst{0.0};
     for (const auto type : members(c)) {
       worst = std::max(
           worst, power::active_power(catalog.type(type).power, rel));

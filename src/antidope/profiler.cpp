@@ -34,7 +34,7 @@ struct ConcurrencyIntegral {
 /// One measurement phase: load a fresh node with `type` at `rate_rps` for
 /// `duration`; returns (mean node power, mean concurrency, mean latency).
 struct PhaseResult {
-  Watts mean_power = 0.0;
+  Watts mean_power{0.0};
   double mean_concurrency = 0.0;
   double mean_latency_ms = 0.0;
 };
@@ -80,7 +80,7 @@ PhaseResult run_phase(const workload::Catalog& catalog,
   sampler.stop();
 
   PhaseResult result;
-  result.mean_power = node.energy() / to_seconds(duration);
+  result.mean_power = node.energy() / duration;
   result.mean_concurrency = concurrency.mean(duration);
   result.mean_latency_ms = latency_ms.mean();
   return result;
@@ -123,9 +123,9 @@ std::vector<TypeProfile> profile_catalog(const workload::Catalog& catalog,
     result.type = type;
     result.per_request_power =
         probe.mean_concurrency > 1e-9
-            ? std::max(0.0, (probe.mean_power - idle) /
-                                probe.mean_concurrency)
-            : 0.0;
+            ? std::max(Watts{0.0}, (probe.mean_power - idle) /
+                                       probe.mean_concurrency)
+            : Watts{0.0};
     result.saturated_node_power = overload.mean_power;
     result.base_latency_ms = probe.mean_latency_ms;
     result.saturation_rps = saturation_rps;
@@ -136,7 +136,7 @@ std::vector<TypeProfile> profile_catalog(const workload::Catalog& catalog,
 
 std::vector<Watts> per_request_powers(
     const std::vector<TypeProfile>& profiles) {
-  std::vector<Watts> out(profiles.size(), 0.0);
+  std::vector<Watts> out(profiles.size(), Watts{0.0});
   for (const auto& p : profiles) {
     DOPE_REQUIRE(p.type < out.size(), "profile type id out of range");
     out[p.type] = p.per_request_power;

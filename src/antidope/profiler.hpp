@@ -24,9 +24,9 @@ namespace dope::antidope {
 struct TypeProfile {
   workload::RequestTypeId type = 0;
   /// Measured active power per in-flight request (watts).
-  Watts per_request_power = 0.0;
+  Watts per_request_power{0.0};
   /// Measured node power when saturated with this type (watts).
-  Watts saturated_node_power = 0.0;
+  Watts saturated_node_power{0.0};
   /// Mean unloaded service latency at f_max (milliseconds).
   double base_latency_ms = 0.0;
   /// Request rate (rps) at which a single node saturates.
@@ -55,6 +55,7 @@ std::vector<TypeProfile> profile_catalog(const workload::Catalog& catalog,
                                          const ProfilerConfig& config = {});
 
 /// Extracts the per-request power column (indexed by type id).
-std::vector<Watts> per_request_powers(const std::vector<TypeProfile>& profiles);
+std::vector<Watts> per_request_powers(
+    const std::vector<TypeProfile>& profiles);
 
 }  // namespace dope::antidope

@@ -12,10 +12,11 @@ SuspectList::SuspectList(std::vector<bool> suspicious)
 
 SuspectList SuspectList::from_catalog(const workload::Catalog& catalog,
                                       Watts threshold) {
-  DOPE_REQUIRE(threshold > 0, "threshold must be positive");
+  DOPE_REQUIRE(threshold > Watts{0.0}, "threshold must be positive");
   std::vector<bool> flags(catalog.size());
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    const auto& profile = catalog.type(static_cast<workload::RequestTypeId>(i));
+    const auto& profile =
+        catalog.type(static_cast<workload::RequestTypeId>(i));
     flags[i] = power::active_power(profile.power, 1.0) >= threshold;
   }
   return SuspectList(std::move(flags));
@@ -24,7 +25,7 @@ SuspectList SuspectList::from_catalog(const workload::Catalog& catalog,
 SuspectList SuspectList::from_measurements(const std::vector<Watts>& measured,
                                            Watts threshold) {
   DOPE_REQUIRE(!measured.empty(), "need at least one measurement");
-  DOPE_REQUIRE(threshold > 0, "threshold must be positive");
+  DOPE_REQUIRE(threshold > Watts{0.0}, "threshold must be positive");
   std::vector<bool> flags(measured.size());
   for (std::size_t i = 0; i < measured.size(); ++i) {
     flags[i] = measured[i] >= threshold;

@@ -20,11 +20,11 @@ namespace dope::battery {
 /// Static battery parameters.
 struct BatterySpec {
   /// Usable energy when fully charged (joules).
-  Joules capacity = 0.0;
+  Joules capacity{0.0};
   /// Maximum discharge power (watts). 0 means unlimited by rate.
-  Watts max_discharge = 0.0;
+  Watts max_discharge{0.0};
   /// Maximum recharge power drawn from the supply (watts).
-  Watts max_charge = 0.0;
+  Watts max_charge{0.0};
   /// Fraction of charged energy actually stored (round-trip efficiency).
   double charge_efficiency = 0.9;
   /// Fraction of capacity held back for outage ride-through: ordinary
@@ -54,7 +54,7 @@ class Battery {
   /// State of charge in [0, 1].
   double soc() const;
 
-  bool empty() const { return stored_ <= 0.0; }
+  bool empty() const { return stored_ <= Joules{0.0}; }
   bool full() const { return stored_ >= spec_.capacity; }
 
   /// Requests `power` watts of discharge for `slot` microseconds. Returns
@@ -89,8 +89,8 @@ class Battery {
  private:
   BatterySpec spec_;
   Joules stored_;
-  Joules total_discharged_ = 0.0;
-  Joules total_charge_drawn_ = 0.0;
+  Joules total_discharged_{0.0};
+  Joules total_charge_drawn_{0.0};
   unsigned long discharge_events_ = 0;
 };
 

@@ -31,7 +31,7 @@ Cluster::Cluster(sim::Engine& engine, const workload::Catalog& catalog,
     : engine_(engine),
       catalog_(catalog),
       config_(std::move(config)),
-      budget_(config_.budget_override > 0.0
+      budget_(config_.budget_override > Watts{0.0}
                   ? power::PowerBudget{config_.budget_override}
                   : power::PowerBudget::for_level(
                         config_.budget_level,
@@ -213,13 +213,13 @@ Watts Cluster::total_nameplate() const {
 }
 
 Watts Cluster::total_power() const {
-  Watts p = 0.0;
+  Watts p{0.0};
   for (const auto& n : nodes_) p += n->current_power();
   return p;
 }
 
 Joules Cluster::total_energy() const {
-  Joules e = 0.0;
+  Joules e{0.0};
   for (const auto& n : nodes_) e += n->energy();
   return e;
 }
@@ -271,27 +271,27 @@ void Cluster::management_slot() {
   const Joules load_energy = total_energy();
   const Joules slot_energy = load_energy - prev_load_energy_;
   prev_load_energy_ = load_energy;
-  last_slot_demand_ = slot_energy / to_seconds(slot);
+  last_slot_demand_ = slot_energy / slot;
 
   ++slot_stats_.slots;
   const Watts overshoot = last_slot_demand_ - budget_.supply;
-  if (overshoot > 1e-9) {
+  if (overshoot > Watts{1e-9}) {
     ++slot_stats_.violation_slots;
     slot_stats_.worst_overshoot =
         std::max(slot_stats_.worst_overshoot, overshoot);
   }
   if (hub_ != nullptr) {
-    obs_slot_demand_->set(last_slot_demand_);
-    if (overshoot > 1e-9) {
+    obs_slot_demand_->set(last_slot_demand_.value());
+    if (overshoot > Watts{1e-9}) {
       obs_violation_slots_->inc();
-      obs_overshoot_->observe(overshoot);
+      obs_overshoot_->observe(overshoot.value());
       obs::TraceEvent e;
       e.t = now;
       e.type = obs::EventType::kBudgetViolation;
       e.source = "cluster";
-      e.num.emplace_back("demand_w", last_slot_demand_);
-      e.num.emplace_back("budget_w", budget_.supply);
-      e.num.emplace_back("overshoot_w", overshoot);
+      e.num.emplace_back("demand_w", last_slot_demand_.value());
+      e.num.emplace_back("budget_w", budget_.supply.value());
+      e.num.emplace_back("overshoot_w", overshoot.value());
       hub_->event(std::move(e));
     }
   }
@@ -301,8 +301,8 @@ void Cluster::management_slot() {
   // between the utility and battery columns. This must happen *before*
   // the scheme acts so that a discharge reserved at the start of a slot
   // is credited to that slot, not the one before it.
-  Joules battery_delta = 0.0;
-  Joules recharge_delta = 0.0;
+  Joules battery_delta{0.0};
+  Joules recharge_delta{0.0};
   if (battery_) {
     battery_delta = battery_->total_discharged() - prev_battery_discharged_;
     prev_battery_discharged_ = battery_->total_discharged();
@@ -310,45 +310,45 @@ void Cluster::management_slot() {
         battery_->total_charge_drawn() - prev_battery_charge_drawn_;
     prev_battery_charge_drawn_ = battery_->total_charge_drawn();
   }
-  const Joules utility_j = std::max(0.0, slot_energy - battery_delta);
+  const Joules utility_j =
+      std::max(Joules{0.0}, slot_energy - battery_delta);
   if constexpr (audit::kEnabled) {
     // Per-slot power conservation: what the servers drew is covered by
     // the utility feed plus the battery, and nothing went negative.
     audit::check_power_conservation(hub_, now, slot_energy, utility_j,
                                     battery_delta);
     audit::check_non_negative(hub_, now, "battery.recharge_j",
-                              recharge_delta);
+                              recharge_delta.value());
     if (battery_) {
       audit::check_battery_soc(hub_, now, battery_->stored(),
                                battery_->spec().capacity);
     }
   }
   energy_account_.add_joules(utility_j, battery_delta, recharge_delta);
-  const Watts utility_power =
-      (utility_j + recharge_delta) / to_seconds(slot);
-  if (utility_power > budget_.supply + 1e-9) {
+  const Watts utility_power = (utility_j + recharge_delta) / slot;
+  if (utility_power > budget_.supply + Watts{1e-9}) {
     ++slot_stats_.utility_violation_slots;
     if (hub_ != nullptr) obs_utility_violation_slots_->inc();
   }
   if (hub_ != nullptr) {
-    obs_utility_->set(utility_power);
-    if (battery_delta > 0.0) {
+    obs_utility_->set(utility_power.value());
+    if (battery_delta > Joules{0.0}) {
       obs_battery_discharge_slots_->inc();
       obs::TraceEvent e;
       e.t = now;
       e.type = obs::EventType::kBatteryDischarge;
       e.source = "battery";
-      e.num.emplace_back("joules", battery_delta);
-      e.num.emplace_back("watts", battery_delta / to_seconds(slot));
+      e.num.emplace_back("joules", battery_delta.value());
+      e.num.emplace_back("watts", (battery_delta / slot).value());
       e.num.emplace_back("soc", battery_->soc());
       hub_->event(std::move(e));
     }
-    if (recharge_delta > 0.0) {
+    if (recharge_delta > Joules{0.0}) {
       obs::TraceEvent e;
       e.t = now;
       e.type = obs::EventType::kBatteryCharge;
       e.source = "battery";
-      e.num.emplace_back("joules", recharge_delta);
+      e.num.emplace_back("joules", recharge_delta.value());
       e.num.emplace_back("soc", battery_->soc());
       hub_->event(std::move(e));
     }
@@ -369,8 +369,8 @@ void Cluster::management_slot() {
       e.t = now;
       e.type = obs::EventType::kBreakerTrip;
       e.source = "breaker";
-      e.num.emplace_back("utility_w", utility_power);
-      e.num.emplace_back("rated_w", breaker_->spec().rated);
+      e.num.emplace_back("utility_w", utility_power.value());
+      e.num.emplace_back("rated_w", breaker_->spec().rated.value());
       e.num.emplace_back("trips", breaker_->trips());
       hub_->event(std::move(e));
     }
@@ -398,8 +398,8 @@ void Cluster::management_slot() {
   // from these.
   if (hub_ != nullptr) {
     auto& dog = hub_->watchdog();
-    dog.observe(kSignalSlotDemand, now, last_slot_demand_);
-    dog.observe(kSignalUtility, now, utility_power);
+    dog.observe(kSignalSlotDemand, now, last_slot_demand_.value());
+    dog.observe(kSignalUtility, now, utility_power.value());
     if (battery_) dog.observe(kSignalBatterySoc, now, battery_->soc());
     if (breaker_) dog.observe(kSignalBreakerHeat, now, breaker_->heat());
   }

@@ -44,7 +44,7 @@ struct ClusterConfig {
   power::BudgetLevel budget_level = power::BudgetLevel::kNormal;
   /// Explicit supply in watts; overrides `budget_level` when positive
   /// (used for "aggressively power-insufficient" scenarios like Fig. 7).
-  Watts budget_override = 0.0;
+  Watts budget_override{0.0};
   /// Power-manager decision interval.
   Duration slot = 1 * kSecond;
   /// Battery sized to sustain the full cluster for this long; 0 = none.
@@ -78,7 +78,7 @@ struct SlotStats {
   /// exceeded the budget — the violations that actually trip breakers.
   std::uint64_t utility_violation_slots = 0;
   /// Worst single-slot overshoot above the budget (watts).
-  Watts worst_overshoot = 0.0;
+  Watts worst_overshoot{0.0};
   /// Unplanned outages (breaker trips).
   std::uint64_t outages = 0;
   /// Total time the cluster spent dark.
@@ -204,10 +204,10 @@ class Cluster {
   sim::PeriodicHandle slot_task_;
   metrics::EnergyAccount energy_account_;
   SlotStats slot_stats_;
-  Joules prev_load_energy_ = 0.0;
-  Joules prev_battery_discharged_ = 0.0;
-  Joules prev_battery_charge_drawn_ = 0.0;
-  Watts last_slot_demand_ = 0.0;
+  Joules prev_load_energy_{0.0};
+  Joules prev_battery_discharged_{0.0};
+  Joules prev_battery_charge_drawn_{0.0};
+  Watts last_slot_demand_{0.0};
 };
 
 }  // namespace dope::cluster

@@ -29,7 +29,7 @@ enum class NodeHealth {
 struct NodeReport {
   int server = -1;
   NodeHealth health = NodeHealth::kHealthy;
-  Watts power = 0.0;
+  Watts power{0.0};
   std::size_t queue_length = 0;
   unsigned active = 0;
   std::size_t dvfs_level = 0;
@@ -39,10 +39,10 @@ struct NodeReport {
 struct HealthReport {
   Time at = 0;
   std::vector<NodeReport> nodes;
-  Watts total_power = 0.0;
-  Watts budget = 0.0;
+  Watts total_power{0.0};
+  Watts budget{0.0};
   /// Negative when the cluster is over budget.
-  Watts headroom = 0.0;
+  Watts headroom{0.0};
   /// Battery state of charge; 1.0 when no battery is installed.
   double battery_soc = 1.0;
 

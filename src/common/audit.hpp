@@ -225,13 +225,13 @@ void report(Hub hub, Time t, std::string_view check,
 /// Battery stored energy must stay within [0, capacity].
 template <typename Hub>
 bool check_battery_soc(Hub hub, Time t, Joules stored, Joules capacity) {
-  if (stored >= -kAbsEps &&
-      approx_le(stored, capacity, capacity)) {
+  if (stored.value() >= -kAbsEps &&
+      approx_le(stored.value(), capacity.value(), capacity.value())) {
     return true;
   }
   std::ostringstream msg;
-  msg << "battery stored energy " << stored << " J outside [0, "
-      << capacity << "] J";
+  msg << "battery stored energy " << stored.value() << " J outside [0, "
+      << capacity.value() << "] J";
   report(hub, t, "battery_soc", msg.str());
   return false;
 }
@@ -241,13 +241,14 @@ bool check_battery_soc(Hub hub, Time t, Joules stored, Joules capacity) {
 template <typename Hub>
 bool check_battery_rate(Hub hub, Time t, Watts actual, Watts rated,
                         std::string_view which) {
-  if (actual >= -kAbsEps &&
-      (rated <= 0.0 || approx_le(actual, rated, rated))) {
+  if (actual.value() >= -kAbsEps &&
+      (rated.value() <= 0.0 ||
+       approx_le(actual.value(), rated.value(), rated.value()))) {
     return true;
   }
   std::ostringstream msg;
-  msg << which << " power " << actual << " W outside rated limit "
-      << rated << " W";
+  msg << which << " power " << actual.value() << " W outside rated limit "
+      << rated.value() << " W";
   report(hub, t, "battery_rate", msg.str());
   return false;
 }
@@ -257,17 +258,19 @@ bool check_battery_rate(Hub hub, Time t, Watts actual, Watts rated,
 template <typename Hub>
 bool check_power_conservation(Hub hub, Time t, Joules slot_energy,
                               Joules utility, Joules battery_delta) {
-  const double scale = slot_energy < 1.0 ? 1.0 : slot_energy;
-  if (slot_energy >= -kAbsEps && utility >= -kAbsEps &&
-      battery_delta >= -kAbsEps &&
-      approx_le(slot_energy, utility + battery_delta, scale) &&
-      approx_le(utility, slot_energy, scale)) {
+  const double scale =
+      slot_energy.value() < 1.0 ? 1.0 : slot_energy.value();
+  if (slot_energy.value() >= -kAbsEps && utility.value() >= -kAbsEps &&
+      battery_delta.value() >= -kAbsEps &&
+      approx_le(slot_energy.value(),
+                utility.value() + battery_delta.value(), scale) &&
+      approx_le(utility.value(), slot_energy.value(), scale)) {
     return true;
   }
   std::ostringstream msg;
-  msg << "slot energy books do not balance: load=" << slot_energy
-      << " J, utility=" << utility << " J, battery=" << battery_delta
-      << " J";
+  msg << "slot energy books do not balance: load=" << slot_energy.value()
+      << " J, utility=" << utility.value()
+      << " J, battery=" << battery_delta.value() << " J";
   report(hub, t, "power_conservation", msg.str());
   return false;
 }
@@ -278,13 +281,14 @@ bool check_power_conservation(Hub hub, Time t, Joules slot_energy,
 template <typename Hub>
 bool check_budget_feasible(Hub hub, Time t, Watts estimated,
                            Watts allowance, bool all_at_floor) {
-  if (all_at_floor || approx_le(estimated, allowance,
-                                allowance < 1.0 ? 1.0 : allowance)) {
+  if (all_at_floor ||
+      approx_le(estimated.value(), allowance.value(),
+                allowance.value() < 1.0 ? 1.0 : allowance.value())) {
     return true;
   }
   std::ostringstream msg;
-  msg << "post-solve assignment power " << estimated
-      << " W exceeds allowance " << allowance
+  msg << "post-solve assignment power " << estimated.value()
+      << " W exceeds allowance " << allowance.value()
       << " W with headroom left on the ladder";
   report(hub, t, "dpm_budget", msg.str());
   return false;

@@ -41,7 +41,11 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  // The analysis cannot see that a condition-variable predicate runs
+  // with the waiter's lock re-acquired.
+  idle_.wait(lock, [this]() NO_THREAD_SAFETY_ANALYSIS {
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
@@ -49,8 +53,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
+      task_ready_.wait(lock, [this]() NO_THREAD_SAFETY_ANALYSIS {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace dope {
 
 /// Fixed-size thread pool executing enqueued void() tasks.
@@ -30,28 +32,28 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues a task; throws std::runtime_error after shutdown.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing. Tasks may
   /// themselves submit follow-up work; wait_idle returns only once the
   /// whole transitive closure has drained.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// Drains already-queued tasks, joins the workers, and makes further
   /// `submit` calls throw. Idempotent; the destructor calls it. Must not
   /// be called from inside a pool task.
-  void shutdown();
+  void shutdown() EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::condition_variable task_ready_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `fn(i)` for i in [0, n) across `threads` workers (0 = hardware

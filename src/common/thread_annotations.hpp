@@ -1,0 +1,57 @@
+// Clang thread-safety analysis annotations (no-ops elsewhere).
+//
+// These macros attach lock/capability contracts to classes so that
+// `clang++ -Wthread-safety` proves, at compile time, that every access
+// to a guarded member happens under its mutex. GCC and MSVC define the
+// macros away, so annotated headers stay portable; the clang CI lane
+// (THREAD_SAFETY_ANALYSIS in CMakeLists.txt) is what enforces them.
+//
+// Usage sketch:
+//
+//   class Account {
+//     std::mutex mu_;
+//     double balance_ GUARDED_BY(mu_);
+//     void deposit(double amount) {
+//       std::lock_guard<std::mutex> lock(mu_);
+//       balance_ += amount;              // OK: mu_ is held
+//     }
+//   };
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DOPE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DOPE_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// Data members: which lock protects them.
+#define GUARDED_BY(x) DOPE_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) DOPE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock types and ordering.
+#define CAPABILITY(x) DOPE_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY DOPE_THREAD_ANNOTATION(scoped_lockable)
+#define ACQUIRED_BEFORE(...) \
+  DOPE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DOPE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function contracts: what must (not) be held on entry, what is
+// acquired/released by the call.
+#define REQUIRES(...) \
+  DOPE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DOPE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  DOPE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  DOPE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EXCLUDES(...) DOPE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) DOPE_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (e.g. handing a
+// locked region to a condition variable's wait).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DOPE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,12 +1,28 @@
 // Core physical and temporal units used across the simulator.
 //
-// Simulation time is an integer count of microseconds (`Time`). Power is
-// expressed in watts, energy in joules, and CPU frequency in GHz. Keeping
-// these as plain arithmetic types (with strongly named helpers) keeps the
-// hot event-processing paths allocation- and indirection-free.
+// Simulation time is an integer count of microseconds (`Time`). Every
+// continuous physical quantity — power, energy, CPU frequency — is a
+// `Quantity<Dim>`: a single `double` payload tagged with a compile-time
+// dimension, so the compiler rejects watts-vs-joules mix-ups that used
+// to be found only by the runtime audits and the fuzzer (Tier 0 of the
+// correctness stack, docs/ANALYSIS.md). Arithmetic derives dimensions:
+//
+//   Watts + Watts      -> Watts        Watts + Joules   -> ill-formed
+//   Watts * Duration   -> Joules       Joules / Duration -> Watts
+//   Watts / Watts      -> double       Watts * double   -> Watts
+//
+// A `Quantity` is trivial and exactly `sizeof(double)` (static_asserts
+// below), so hot event-processing paths stay allocation- and
+// indirection-free: passing `Watts` by value is passing a double.
+//
+// Boundary convention: raw doubles enter via the explicit constructor
+// (`Watts{120.0}`) and leave via `.value()` — the only escape hatch —
+// at export/JSON/CSV/metrics boundaries. Dimensionless ratios (SoC,
+// f/f_max, budget fractions) are plain `double` by design.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 namespace dope {
 
@@ -42,16 +58,210 @@ constexpr double to_millis(Duration d) {
   return static_cast<double>(d) / static_cast<double>(kMillisecond);
 }
 
+namespace units {
+
+/// Integer exponents over the simulator's unit axes. The axes are
+/// *units*, not SI base dimensions: joules and watt-hours get distinct
+/// axes precisely so that same-dimension-different-scale values cannot
+/// be added without an explicit conversion, and frequency is carried in
+/// GHz rather than derived from the time axis for the same reason.
+/// Adding a new quantity = adding an axis here plus an alias below.
+template <int JouleExp, int PerSecondExp, int GigahertzExp, int WattHourExp>
+struct Dim {
+  static constexpr int kJoule = JouleExp;
+  static constexpr int kPerSecond = PerSecondExp;
+  static constexpr int kGigahertz = GigahertzExp;
+  static constexpr int kWattHour = WattHourExp;
+};
+
+template <class A, class B>
+using DimProduct = Dim<A::kJoule + B::kJoule, A::kPerSecond + B::kPerSecond,
+                       A::kGigahertz + B::kGigahertz,
+                       A::kWattHour + B::kWattHour>;
+
+template <class A, class B>
+using DimQuotient = Dim<A::kJoule - B::kJoule, A::kPerSecond - B::kPerSecond,
+                        A::kGigahertz - B::kGigahertz,
+                        A::kWattHour - B::kWattHour>;
+
+template <class D>
+inline constexpr bool kIsDimensionless =
+    D::kJoule == 0 && D::kPerSecond == 0 && D::kGigahertz == 0 &&
+    D::kWattHour == 0;
+
+}  // namespace units
+
+/// A physical quantity: one double tagged with a compile-time dimension.
+///
+/// Same-dimension quantities add, subtract, and compare; any quantity
+/// scales by a raw double; products and quotients derive the result
+/// dimension (collapsing to plain `double` when all exponents cancel,
+/// e.g. `Watts / Watts`). Construction from a raw double is explicit,
+/// and `.value()` is the explicit way back out.
+template <class D>
+class Quantity {
+ public:
+  using Dimension = D;
+
+  /// Default construction leaves the payload uninitialized, exactly like
+  /// a raw double — keeping the type trivial. Use `Quantity{}` (value
+  /// initialization) or the explicit constructor for a definite zero.
+  Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The only escape hatch back to a raw double; reserve it for
+  /// export/JSON/CSV/metrics boundaries and genuinely scalar math.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr Quantity operator+() const { return *this; }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.v_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.v_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.v_ / s};
+  }
+
+  // Exact comparison mirrors raw-double semantics; the dope_lint
+  // float-eq rule still polices ==/!= at power/energy call sites.
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Quantity a, Quantity b) {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Quantity a, Quantity b) {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(Quantity a, Quantity b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Quantity a, Quantity b) {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(Quantity a, Quantity b) {
+    return a.v_ >= b.v_;
+  }
+
+ private:
+  double v_;
+};
+
+/// Product of two quantities; the result dimension is the exponent sum,
+/// collapsing to a raw double when everything cancels.
+template <class Da, class Db>
+constexpr auto operator*(Quantity<Da> a, Quantity<Db> b) {
+  using Result = units::DimProduct<Da, Db>;
+  if constexpr (units::kIsDimensionless<Result>) {
+    return a.value() * b.value();
+  } else {
+    return Quantity<Result>{a.value() * b.value()};
+  }
+}
+
+/// Quotient of two quantities; `Watts / Watts` and every other same-
+/// dimension ratio is a plain double.
+template <class Da, class Db>
+constexpr auto operator/(Quantity<Da> a, Quantity<Db> b) {
+  using Result = units::DimQuotient<Da, Db>;
+  if constexpr (units::kIsDimensionless<Result>) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<Result>{a.value() / b.value()};
+  }
+}
+
+/// Magnitude of a quantity (std::abs does not accept class types).
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return q.value() < 0.0 ? Quantity<D>{-q.value()} : q;
+}
+
 /// Electrical power in watts.
-using Watts = double;
+using Watts = Quantity<units::Dim<1, 1, 0, 0>>;
 
 /// Energy in joules (watt-seconds).
-using Joules = double;
+using Joules = Quantity<units::Dim<1, 0, 0, 0>>;
 
 /// CPU core frequency in GHz.
-using GHz = double;
+using GHz = Quantity<units::Dim<0, 0, 1, 0>>;
+
+/// Energy in watt-hours: the unit battery capacities are quoted in.
+/// A distinct axis from `Joules` so the 3600x scale cannot silently
+/// leak into joule accounting; convert explicitly at the boundary.
+using WattHours = Quantity<units::Dim<0, 0, 0, 1>>;
+
+// The whole point of the wrapper is costing nothing: a Quantity is one
+// double — trivially copyable, trivially default-constructible, and
+// standard-layout — so ABI and codegen match the old raw aliases.
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(GHz) == sizeof(double));
+static_assert(sizeof(WattHours) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Watts> &&
+              std::is_trivially_default_constructible_v<Watts> &&
+              std::is_standard_layout_v<Watts>);
+static_assert(std::is_trivially_copyable_v<Joules> &&
+              std::is_trivially_default_constructible_v<Joules> &&
+              std::is_standard_layout_v<Joules>);
+static_assert(std::is_trivially_copyable_v<GHz> &&
+              std::is_trivially_default_constructible_v<GHz> &&
+              std::is_standard_layout_v<GHz>);
+static_assert(std::is_trivially_copyable_v<WattHours> &&
+              std::is_trivially_default_constructible_v<WattHours> &&
+              std::is_standard_layout_v<WattHours>);
 
 /// Integrates constant power over a microsecond duration into joules.
-constexpr Joules energy_of(Watts p, Duration d) { return p * to_seconds(d); }
+constexpr Joules energy_of(Watts p, Duration d) {
+  return Joules{p.value() * to_seconds(d)};
+}
+
+/// Power × time is energy: `p * slot` reads as the physics does.
+constexpr Joules operator*(Watts p, Duration d) { return energy_of(p, d); }
+constexpr Joules operator*(Duration d, Watts p) { return energy_of(p, d); }
+
+/// Energy spread over a duration is average power.
+constexpr Watts operator/(Joules e, Duration d) {
+  return Watts{e.value() / to_seconds(d)};
+}
+
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Converts joules to watt-hours (export/spec boundary).
+constexpr WattHours to_watt_hours(Joules e) {
+  return WattHours{e.value() / kSecondsPerHour};
+}
+
+/// Converts watt-hours to joules (import/spec boundary).
+constexpr Joules to_joules(WattHours wh) {
+  return Joules{wh.value() * kSecondsPerHour};
+}
 
 }  // namespace dope

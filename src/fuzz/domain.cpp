@@ -89,7 +89,7 @@ scenario::ScenarioConfig materialize(const FuzzCase& fuzz_case,
 }
 
 Watts expected_budget(const scenario::ScenarioConfig& config) {
-  if (config.budget_override > 0.0) return config.budget_override;
+  if (config.budget_override > Watts{0.0}) return config.budget_override;
   const Watts nameplate = power::ServerPowerSpec{}.nameplate *
                           static_cast<double>(config.num_servers);
   return power::PowerBudget::for_level(config.budget, nameplate).supply;

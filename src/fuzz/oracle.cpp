@@ -63,29 +63,30 @@ class Judge {
       return;
     }
     const scenario::ScenarioResult& r = run.result;
-    const double seconds = to_seconds(config.duration);
     std::ostringstream detail;
 
     // Energy books must balance: load == utility + battery.
     const Joules load = r.energy.load_total();
-    const double scale = std::max(1.0, load);
-    if (std::abs(load - (r.energy.utility + r.energy.battery)) >
-            1e-6 * scale ||
-        r.energy.utility < -1e-9 || r.energy.battery < -1e-9 ||
-        r.energy.recharge < -1e-9) {
-      detail << "load=" << load << " J, utility=" << r.energy.utility
-             << " J, battery=" << r.energy.battery
-             << " J, recharge=" << r.energy.recharge << " J";
+    const double scale = std::max(1.0, load.value());
+    if (abs(load - (r.energy.utility + r.energy.battery)) >
+            Joules{1e-6 * scale} ||
+        r.energy.utility < Joules{-1e-9} ||
+        r.energy.battery < Joules{-1e-9} ||
+        r.energy.recharge < Joules{-1e-9}) {
+      detail << "load=" << load.value()
+             << " J, utility=" << r.energy.utility.value()
+             << " J, battery=" << r.energy.battery.value()
+             << " J, recharge=" << r.energy.recharge.value() << " J";
       flag("energy_conservation", scheme, detail.str());
       return;
     }
 
     // Sampled power timeline must agree with the exact energy integral.
-    const Watts from_energy = load / seconds;
-    if (std::abs(r.mean_power - from_energy) >
-        0.12 * std::max(20.0, from_energy)) {
-      detail << "sampled mean " << r.mean_power << " W vs integral "
-             << from_energy << " W";
+    const Watts from_energy = load / config.duration;
+    if (abs(r.mean_power - from_energy) >
+        0.12 * std::max(Watts{20.0}, from_energy)) {
+      detail << "sampled mean " << r.mean_power.value()
+             << " W vs integral " << from_energy.value() << " W";
       flag("power_integral", scheme, detail.str());
     }
 
@@ -93,16 +94,17 @@ class Judge {
     const Watts nameplate =
         power::ServerPowerSpec{}.nameplate *
         static_cast<double>(config.num_servers);
-    if (r.peak_power > nameplate + 1e-6) {
-      detail << "peak " << r.peak_power << " W above nameplate "
-             << nameplate << " W";
+    if (r.peak_power > nameplate + Watts{1e-6}) {
+      detail << "peak " << r.peak_power.value() << " W above nameplate "
+             << nameplate.value() << " W";
       flag("nameplate_exceeded", scheme, detail.str());
     }
     for (const auto& sample : r.power_timeline) {
-      if (sample.value < -1e-9 || sample.value > nameplate + 1e-6) {
+      if (sample.value < -1e-9 ||
+          sample.value > nameplate.value() + 1e-6) {
         detail << "power sample " << sample.value << " W at t="
-               << to_seconds(sample.t) << " s outside [0, " << nameplate
-               << "] W";
+               << to_seconds(sample.t) << " s outside [0, "
+               << nameplate.value() << "] W";
         flag("nameplate_exceeded", scheme, detail.str());
         break;
       }
@@ -111,9 +113,10 @@ class Judge {
     // The cluster's reported budget must match the provisioning math —
     // computed here from the *case*, not from the code under test.
     const Watts budget = expected_budget(fuzz_case_.config);
-    if (std::abs(r.budget - budget) > 1e-6 * std::max(1.0, budget)) {
-      detail << "cluster reports " << r.budget << " W, provisioning math "
-             << "says " << budget << " W";
+    if (abs(r.budget - budget) > 1e-6 * std::max(Watts{1.0}, budget)) {
+      detail << "cluster reports " << r.budget.value()
+             << " W, provisioning math " << "says " << budget.value()
+             << " W";
       flag("budget_mismatch", scheme, detail.str());
     }
 
@@ -149,10 +152,11 @@ class Judge {
         break;
       }
     }
-    if (r.battery_discharged < -1e-9 ||
+    if (r.battery_discharged < Joules{-1e-9} ||
         (config.battery_runtime == 0 &&
-         (r.battery_discharged > 1e-9 || r.energy.battery > 1e-9))) {
-      detail << "discharged " << r.battery_discharged
+         (r.battery_discharged > Joules{1e-9} ||
+          r.energy.battery > Joules{1e-9}))) {
+      detail << "discharged " << r.battery_discharged.value()
              << " J with battery_runtime="
              << to_seconds(config.battery_runtime) << " s";
       flag("battery_accounting", scheme, detail.str());
@@ -165,12 +169,12 @@ class Judge {
     const auto& slots = r.slot_stats;
     if (slots.violation_slots > slots.slots ||
         slots.utility_violation_slots > slots.slots ||
-        slots.worst_overshoot < -1e-9 || slots.downtime < 0 ||
+        slots.worst_overshoot < Watts{-1e-9} || slots.downtime < 0 ||
         slots.downtime > config.duration) {
       detail << "slots=" << slots.slots
              << ", violations=" << slots.violation_slots
              << ", utility violations=" << slots.utility_violation_slots
-             << ", overshoot=" << slots.worst_overshoot
+             << ", overshoot=" << slots.worst_overshoot.value()
              << " W, downtime=" << to_seconds(slots.downtime) << " s";
       flag("slot_stats", scheme, detail.str());
     }
@@ -201,13 +205,15 @@ class Judge {
         fuzz_case_.scheme == scenario::SchemeKind::kToken ||
         fuzz_case_.scheme == scenario::SchemeKind::kAntiDope;
     if (budgeted) {
-      const Joules envelope = expected_budget(fuzz_case_.config) * seconds *
-                              (1.0 + options_.budget_envelope_slack);
-      if (!loosely_le(r.energy.utility_total(), envelope + 1.0, envelope)) {
-        detail << "utility energy " << r.energy.utility_total()
-               << " J above envelope " << envelope << " J ("
-               << expected_budget(fuzz_case_.config) << " W budget over "
-               << seconds << " s + "
+      const Joules envelope =
+          expected_budget(fuzz_case_.config) * scheme_config.duration *
+          (1.0 + options_.budget_envelope_slack);
+      if (!loosely_le(r.energy.utility_total().value(),
+                      envelope.value() + 1.0, envelope.value())) {
+        detail << "utility energy " << r.energy.utility_total().value()
+               << " J above envelope " << envelope.value() << " J ("
+               << expected_budget(fuzz_case_.config).value()
+               << " W budget over " << seconds << " s + "
                << options_.budget_envelope_slack * 100.0 << "% slack)";
         flag("budget_envelope", scheme, detail.str());
       }
@@ -221,11 +227,12 @@ class Judge {
       const Joules limit =
           reference.result.energy.load_total() *
               options_.admitted_energy_multiple +
-          1.0;
-      if (!loosely_le(r.energy.load_total(), limit, limit)) {
-        detail << "load energy " << r.energy.load_total()
+          Joules{1.0};
+      if (!loosely_le(r.energy.load_total().value(), limit.value(),
+                      limit.value())) {
+        detail << "load energy " << r.energy.load_total().value()
                << " J vs uncapped reference "
-               << reference.result.energy.load_total() << " J (x"
+               << reference.result.energy.load_total().value() << " J (x"
                << options_.admitted_energy_multiple << " allowed)";
         flag("admitted_energy", scheme, detail.str());
       }
@@ -264,8 +271,8 @@ class Judge {
     same = same && a.slot_stats.outages == b.slot_stats.outages;
     if (!same) {
       detail << "rerun diverged: mean_ms " << a.mean_ms << " vs "
-             << b.mean_ms << ", utility " << a.energy.utility << " vs "
-             << b.energy.utility << ", terminal "
+             << b.mean_ms << ", utility " << a.energy.utility.value()
+             << " vs " << b.energy.utility.value() << ", terminal "
              << a.normal_counts.terminal() << " vs "
              << b.normal_counts.terminal();
       flag("nondeterminism", a.scheme, detail.str());

@@ -370,7 +370,7 @@ void write_repro(std::ostream& out, const Repro& repro) {
   out << "    \"budget\": ";
   obs::write_json_string(out, budget_token(c.budget));
   out << ",\n    \"budget_override_w\": ";
-  write_number(out, c.budget_override);
+  write_number(out, c.budget_override.value());
   out << ",\n    \"battery_runtime_us\": " << c.battery_runtime << ",\n";
   out << "    \"slot_us\": " << c.slot << ",\n";
   out << "    \"firewall\": ";
@@ -386,7 +386,7 @@ void write_repro(std::ostream& out, const Repro& repro) {
   out << ",\n    \"breaker\": ";
   if (c.breaker.has_value()) {
     out << "{\"rated_w\": ";
-    write_number(out, c.breaker->rated);
+    write_number(out, c.breaker->rated.value());
     out << ", \"instant_trip_multiple\": ";
     write_number(out, c.breaker->instant_trip_multiple);
     out << ", \"thermal_capacity\": ";
@@ -465,8 +465,8 @@ Repro read_repro(std::istream& in) {
       as_i64(require(config, "num_servers"), "num_servers"));
   c.budget = parse_budget_token(
       as_string(require(config, "budget"), "budget"));
-  c.budget_override =
-      as_double(require(config, "budget_override_w"), "budget_override_w");
+  c.budget_override = Watts{
+      as_double(require(config, "budget_override_w"), "budget_override_w")};
   c.battery_runtime =
       as_i64(require(config, "battery_runtime_us"), "battery_runtime_us");
   c.slot = as_i64(require(config, "slot_us"), "slot_us");
@@ -487,7 +487,8 @@ Repro read_repro(std::istream& in) {
   const JsonValue& breaker = require(config, "breaker");
   if (breaker.kind != JsonValue::Kind::kNull) {
     power::BreakerSpec spec;
-    spec.rated = as_double(require(breaker, "rated_w"), "rated_w");
+    spec.rated =
+        Watts{as_double(require(breaker, "rated_w"), "rated_w")};
     spec.instant_trip_multiple = as_double(
         require(breaker, "instant_trip_multiple"), "instant_trip_multiple");
     spec.thermal_capacity = as_double(require(breaker, "thermal_capacity"),

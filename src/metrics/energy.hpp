@@ -12,11 +12,11 @@ namespace dope::metrics {
 /// Accumulated energy by source.
 struct EnergyAccount {
   /// Energy delivered directly by the utility feed to the IT load.
-  Joules utility = 0.0;
+  Joules utility{0.0};
   /// Energy delivered by battery discharge.
-  Joules battery = 0.0;
+  Joules battery{0.0};
   /// Utility energy diverted into recharging the battery.
-  Joules recharge = 0.0;
+  Joules recharge{0.0};
 
   /// Total energy the IT load consumed.
   Joules load_total() const { return utility + battery; }

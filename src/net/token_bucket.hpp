@@ -46,4 +46,37 @@ class TokenBucket {
   std::uint64_t rejected_ = 0;
 };
 
+/// Energy-unit facade over `TokenBucket` for power-aware admission: the
+/// bucket holds joules and refills in watts. The `.value()` unwraps live
+/// here, at one audited boundary, so scheme code never handles raw token
+/// doubles.
+class EnergyTokenBucket {
+ public:
+  EnergyTokenBucket(Joules capacity, Watts refill_rate)
+      : bucket_(capacity.value(), refill_rate.value()) {}
+
+  Joules capacity() const { return Joules{bucket_.capacity()}; }
+  Watts refill_rate() const { return Watts{bucket_.refill_rate()}; }
+
+  /// Energy available at time `now`.
+  Joules available(Time now) { return Joules{bucket_.available(now)}; }
+
+  /// Attempts to withdraw `cost` at time `now`. Returns true and debits
+  /// on success; leaves the bucket untouched on failure.
+  bool try_consume(Joules cost, Time now) {
+    return bucket_.try_consume(cost.value(), now);
+  }
+
+  /// Changes the refill rate from `now` onward (budget changes).
+  void set_refill_rate(Watts refill_rate, Time now) {
+    bucket_.set_refill_rate(refill_rate.value(), now);
+  }
+
+  std::uint64_t admitted() const { return bucket_.admitted(); }
+  std::uint64_t rejected() const { return bucket_.rejected(); }
+
+ private:
+  TokenBucket bucket_;
+};
+
 }  // namespace dope::net

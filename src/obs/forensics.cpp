@@ -14,7 +14,7 @@ namespace {
 /// Build-time accumulator; std::map keeps every iteration deterministic.
 struct SourceAccum {
   SourceStats stats;
-  std::map<std::uint32_t, double> class_joules;
+  std::map<std::uint32_t, Joules> class_joules;
   std::map<std::uint32_t, std::uint64_t> class_requests;
 };
 
@@ -54,9 +54,9 @@ Forensics Forensics::build(const SpanTracer& spans,
       case SpanKind::kService: {
         const Time end = span.open() ? horizon : span.end;
         const Duration held = std::max<Duration>(end - span.begin, 0);
-        a.stats.joules += span.power_w * to_seconds(held);
+        a.stats.joules += span.power_w * held;
         a.stats.occupancy_ms += to_seconds(held) * 1e3;
-        a.class_joules[span.url_class] += span.power_w * to_seconds(held);
+        a.class_joules[span.url_class] += span.power_w * held;
         const auto lo = std::lower_bound(violations.begin(),
                                          violations.end(), span.begin);
         const auto hi =
@@ -77,14 +77,14 @@ Forensics Forensics::build(const SpanTracer& spans,
     // Dominant class: by joules when the source reached a slot at all,
     // by request count otherwise. std::map order makes ties break to the
     // lower class id.
-    double best_j = 0.0;
+    Joules best_j{0.0};
     for (const auto& [cls, j] : a.class_joules) {
       if (j > best_j) {
         best_j = j;
         a.stats.dominant_class = cls;
       }
     }
-    if (best_j <= 0.0) {
+    if (best_j <= Joules{0.0}) {
       std::uint64_t best_n = 0;
       for (const auto& [cls, n] : a.class_requests) {
         if (n > best_n) {
@@ -113,7 +113,7 @@ std::vector<SourceStats> Forensics::top_by_joules(std::size_t k) const {
 
 void Forensics::write_json(std::ostream& out) const {
   out << "{\n  \"total_joules\": ";
-  write_json_number(out, total_joules_);
+  write_json_number(out, total_joules_.value());
   out << ",\n  \"violation_events\": " << violation_events_
       << ",\n  \"sources\": " << sources_.size() << ",\n  \"ranking\": [";
   const auto ranked = top_by_joules(sources_.size());
@@ -124,7 +124,7 @@ void Forensics::write_json(std::ostream& out) const {
     out << "\n    {\"source_id\": " << s.source_id
         << ", \"requests\": " << s.requests
         << ", \"completed\": " << s.completed << ", \"joules\": ";
-    write_json_number(out, s.joules);
+    write_json_number(out, s.joules.value());
     out << ", \"occupancy_ms\": ";
     write_json_number(out, s.occupancy_ms);
     out << ", \"violation_overlaps\": " << s.violation_overlaps

@@ -31,7 +31,7 @@ struct SourceStats {
   std::uint64_t completed = 0;
   /// Energy attributed to this source's service spans (power at
   /// admission x slot occupancy).
-  double joules = 0.0;
+  Joules joules{0.0};
   /// Total server-slot occupancy (milliseconds).
   double occupancy_ms = 0.0;
   /// BudgetViolation instants that fell inside a service span of this
@@ -56,7 +56,7 @@ class Forensics {
   /// Top `k` sources by attributed joules (ties: lower source id first).
   std::vector<SourceStats> top_by_joules(std::size_t k) const;
   /// Sum of per-source attributed joules.
-  double total_joules() const { return total_joules_; }
+  Joules total_joules() const { return total_joules_; }
   /// BudgetViolation instants seen in the trace.
   std::uint64_t violation_events() const { return violation_events_; }
 
@@ -66,7 +66,7 @@ class Forensics {
 
  private:
   std::vector<SourceStats> sources_;
-  double total_joules_ = 0.0;
+  Joules total_joules_{0.0};
   std::uint64_t violation_events_ = 0;
 };
 

@@ -153,7 +153,7 @@ void Hub::write_chrome_trace(std::ostream& out) const {
             << ", \"source_id\": " << span.source_id
             << ", \"url_class\": " << span.url_class
             << ", \"power_w\": ";
-        write_json_number(out, span.power_w);
+        write_json_number(out, span.power_w.value());
         out << "}}";
         if (!span.open()) {
           out << ",\n{\"ph\": \"E\", \"pid\": 2, \"tid\": "

@@ -14,6 +14,13 @@
 // exactly what it did before spans existed. A Hub must not be shared by
 // concurrently running scenarios — instruments are deliberately
 // lock-free plain stores.
+//
+// Thread-safety analysis (common/thread_annotations.hpp): the Hub
+// carries no capability annotations because it owns no locks — its
+// contract is single-owner-per-run. The one place a Hub is touched from
+// multiple threads, the sweep worker pool, routes every instrument
+// access through sweep.cpp's ProgressBoard, whose PT_GUARDED_BY members
+// make the clang -Wthread-safety lane prove the serialization.
 #pragma once
 
 #include <iosfwd>

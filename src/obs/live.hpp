@@ -13,6 +13,13 @@
 // classic seqlock, expressed in atomics so TSan agrees it is race-free.
 // Snapshots are host-side telemetry only — nothing here feeds back into
 // simulation results, which stay byte-identical with or without a tap.
+//
+// Thread-safety analysis (common/thread_annotations.hpp): a seqlock has
+// no capability clang's -Wthread-safety lane can model — the protocol
+// lives in the atomics, and TSan (not the static analysis) is the tier
+// that checks it. The single-producer contract on `publish` / the
+// producer-only `next_seq_` is enforced where publishers actually run:
+// sweep.cpp calls publish() only under ProgressBoard::mu (GUARDED_BY).
 #pragma once
 
 #include <atomic>

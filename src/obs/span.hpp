@@ -61,7 +61,7 @@ struct Span {
   std::uint32_t url_class = 0;
   /// Power attributed to the span (service spans: the request's active
   /// power at admission level; 0 elsewhere).
-  double power_w = 0.0;
+  Watts power_w{0.0};
   /// Serving node (-1 when not tied to a server).
   int server = -1;
   /// Slot index on the server (-1 when not in service).

@@ -8,7 +8,7 @@
 namespace dope::power {
 
 CircuitBreaker::CircuitBreaker(BreakerSpec spec) : spec_(spec) {
-  DOPE_REQUIRE(spec_.rated > 0, "breaker rating must be positive");
+  DOPE_REQUIRE(spec_.rated > Watts{0.0}, "breaker rating must be positive");
   DOPE_REQUIRE(spec_.instant_trip_multiple > 1.0,
                "instant trip must exceed the rating");
   DOPE_REQUIRE(spec_.thermal_capacity > 0,
@@ -17,7 +17,7 @@ CircuitBreaker::CircuitBreaker(BreakerSpec spec) : spec_(spec) {
 }
 
 bool CircuitBreaker::observe(Watts load, Duration dt) {
-  DOPE_REQUIRE(load >= 0, "load must be non-negative");
+  DOPE_REQUIRE(load >= Watts{0.0}, "load must be non-negative");
   DOPE_REQUIRE(dt > 0, "observation interval must be positive");
   if (tripped_) return false;
 

@@ -22,7 +22,7 @@ namespace dope::power {
 /// Breaker electrical/thermal parameters.
 struct BreakerSpec {
   /// Continuous current rating expressed in watts of load.
-  Watts rated = 0.0;
+  Watts rated{0.0};
   /// Instantaneous (magnetic) trip at rated * this multiple.
   double instant_trip_multiple = 2.0;
   /// Overload-heat capacity: seconds of ((P/R)² − 1) == 1 overload

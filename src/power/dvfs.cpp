@@ -8,7 +8,8 @@
 namespace dope::power {
 
 DvfsLadder DvfsLadder::make(GHz min_ghz, GHz max_ghz, GHz step_ghz) {
-  DOPE_REQUIRE(min_ghz > 0 && max_ghz >= min_ghz && step_ghz > 0,
+  DOPE_REQUIRE(min_ghz > GHz{0.0} && max_ghz >= min_ghz &&
+                   step_ghz > GHz{0.0},
                "invalid ladder parameters");
   std::vector<GHz> freqs;
   // Walk in integer steps to avoid floating-point drift in the ladder.
@@ -19,7 +20,7 @@ DvfsLadder DvfsLadder::make(GHz min_ghz, GHz max_ghz, GHz step_ghz) {
     // Snap to 1 kHz to keep points like "2.4" exact despite binary
     // floating-point accumulation (1.2 + 12*0.1 != 2.4 exactly).
     const GHz f = min_ghz + step_ghz * static_cast<double>(i);
-    freqs.push_back(std::round(f * 1e6) / 1e6);
+    freqs.push_back(GHz{std::round(f.value() * 1e6) / 1e6});
   }
   return DvfsLadder(std::move(freqs));
 }
@@ -28,7 +29,7 @@ DvfsLadder::DvfsLadder(std::vector<GHz> freqs) : freqs_(std::move(freqs)) {
   DOPE_REQUIRE(!freqs_.empty(), "ladder must have at least one frequency");
   DOPE_REQUIRE(std::is_sorted(freqs_.begin(), freqs_.end()),
                "ladder frequencies must ascend");
-  DOPE_REQUIRE(freqs_.front() > 0, "frequencies must be positive");
+  DOPE_REQUIRE(freqs_.front() > GHz{0.0}, "frequencies must be positive");
 }
 
 GHz DvfsLadder::frequency(DvfsLevel level) const {

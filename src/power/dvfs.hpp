@@ -21,8 +21,8 @@ class DvfsLadder {
  public:
   /// Builds a ladder spanning [min_ghz, max_ghz] at `step_ghz` increments.
   /// The paper's testbed ladder is the default: 1.2–2.4 GHz, 0.1 steps.
-  static DvfsLadder make(GHz min_ghz = 1.2, GHz max_ghz = 2.4,
-                         GHz step_ghz = 0.1);
+  static DvfsLadder make(GHz min_ghz = GHz{1.2}, GHz max_ghz = GHz{2.4},
+                         GHz step_ghz = GHz{0.1});
 
   /// Builds a ladder from an explicit ascending frequency list.
   explicit DvfsLadder(std::vector<GHz> freqs);

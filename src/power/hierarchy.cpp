@@ -13,7 +13,7 @@ PowerTopology PowerTopology::uniform(std::size_t num_servers,
                                      double facility_oversubscription) {
   DOPE_REQUIRE(num_servers > 0, "need at least one server");
   DOPE_REQUIRE(per_rack > 0, "rack size must be positive");
-  DOPE_REQUIRE(server_nameplate > 0, "nameplate must be positive");
+  DOPE_REQUIRE(server_nameplate > Watts{0.0}, "nameplate must be positive");
   DOPE_REQUIRE(
       rack_oversubscription > 0 && rack_oversubscription <= 1.0,
       "rack oversubscription must be in (0, 1]");
@@ -38,11 +38,12 @@ PowerTopology PowerTopology::uniform(std::size_t num_servers,
 }
 
 void PowerTopology::validate(std::size_t num_servers) const {
-  DOPE_REQUIRE(facility_rating > 0, "facility rating must be positive");
+  DOPE_REQUIRE(facility_rating > Watts{0.0},
+               "facility rating must be positive");
   DOPE_REQUIRE(!pdus.empty(), "topology needs at least one PDU");
   std::vector<bool> seen(num_servers, false);
   for (const auto& pdu : pdus) {
-    DOPE_REQUIRE(pdu.rating > 0, "PDU rating must be positive");
+    DOPE_REQUIRE(pdu.rating > Watts{0.0}, "PDU rating must be positive");
     DOPE_REQUIRE(!pdu.servers.empty(), "PDU feeds no servers");
     for (const std::size_t s : pdu.servers) {
       DOPE_REQUIRE(s < num_servers, "PDU server index out of range");

@@ -20,7 +20,7 @@ namespace dope::power {
 struct PduSpec {
   std::string name;
   /// Continuous rating of this PDU (watts).
-  Watts rating = 0.0;
+  Watts rating{0.0};
   /// Indices of the servers fed by this PDU.
   std::vector<std::size_t> servers;
 };
@@ -28,7 +28,7 @@ struct PduSpec {
 /// A two-level delivery tree over a flat server list.
 struct PowerTopology {
   /// Facility feed rating (watts).
-  Watts facility_rating = 0.0;
+  Watts facility_rating{0.0};
   std::vector<PduSpec> pdus;
 
   /// Builds a uniform topology: `num_servers` split into racks of
@@ -51,9 +51,9 @@ struct PowerTopology {
 /// Load evaluation of one tree level.
 struct LevelLoad {
   std::string name;
-  Watts load = 0.0;
-  Watts rating = 0.0;
-  bool violated() const { return load > rating + 1e-9; }
+  Watts load{0.0};
+  Watts rating{0.0};
+  bool violated() const { return load > rating + Watts{1e-9}; }
   Watts headroom() const { return rating - load; }
 };
 

@@ -16,8 +16,8 @@ Watts active_power(const RequestPowerProfile& profile, double rel) {
 
 ServerPowerModel::ServerPowerModel(ServerPowerSpec spec, DvfsLadder ladder)
     : spec_(spec), ladder_(std::move(ladder)) {
-  DOPE_REQUIRE(spec_.nameplate > 0, "nameplate must be positive");
-  DOPE_REQUIRE(spec_.idle_base >= 0 && spec_.idle_dyn >= 0,
+  DOPE_REQUIRE(spec_.nameplate > Watts{0.0}, "nameplate must be positive");
+  DOPE_REQUIRE(spec_.idle_base >= Watts{0.0} && spec_.idle_dyn >= Watts{0.0},
                "idle power terms must be non-negative");
   DOPE_REQUIRE(spec_.cores > 0, "server needs at least one core");
 }

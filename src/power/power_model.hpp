@@ -22,7 +22,7 @@ namespace dope::power {
 /// Per-request-type active power parameters.
 struct RequestPowerProfile {
   /// Active power contribution of one in-flight request at f_max (watts).
-  Watts p0 = 0.0;
+  Watts p0{0.0};
   /// Fraction of p0 that scales with (f/f_max)^3; in [0, 1].
   double freq_sensitivity = 1.0;
 };
@@ -33,15 +33,15 @@ Watts active_power(const RequestPowerProfile& profile, double rel);
 /// Whole-server static parameters.
 struct ServerPowerSpec {
   /// Nameplate (faceplate) rating; the paper's leaf node is 100 W.
-  Watts nameplate = 100.0;
+  Watts nameplate{100.0};
   /// Idle power floor independent of frequency.
-  Watts idle_base = 30.0;
+  Watts idle_base{30.0};
   /// Idle power that scales with (f/f_max)^3 (uncore/clock tree).
-  Watts idle_dyn = 8.0;
+  Watts idle_dyn{8.0};
   /// Number of request slots served concurrently (cores/workers).
   unsigned cores = 4;
   /// Power drawn while parked in a PowerNap-style deep sleep state.
-  Watts sleep_power = 4.0;
+  Watts sleep_power{4.0};
 };
 
 /// Evaluates server power laws for a given spec + ladder.

@@ -25,7 +25,7 @@ std::string budget_name(BudgetLevel level) {
 }
 
 PowerBudget PowerBudget::for_level(BudgetLevel level, Watts total_nameplate) {
-  DOPE_REQUIRE(total_nameplate > 0, "nameplate must be positive");
+  DOPE_REQUIRE(total_nameplate > Watts{0.0}, "nameplate must be positive");
   return PowerBudget{budget_fraction(level) * total_nameplate};
 }
 

@@ -30,7 +30,7 @@ inline constexpr BudgetLevel kAllBudgetLevels[] = {
 /// A concrete facility power budget.
 struct PowerBudget {
   /// Total power the facility can supply (watts).
-  Watts supply = 0.0;
+  Watts supply{0.0};
 
   /// Builds a budget for `level` over a cluster with the given aggregate
   /// nameplate rating.

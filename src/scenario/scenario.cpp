@@ -65,13 +65,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     dog.add_rule({.name = "budget-violated",
                   .signal = cluster::Cluster::kSignalSlotDemand,
                   .cmp = obs::AlertCmp::kAbove,
-                  .threshold = cluster.budget(),
+                  .threshold = cluster.budget().value(),
                   .consecutive = 5,
                   .clear_after = 5});
     dog.add_rule({.name = "utility-over-budget",
                   .signal = cluster::Cluster::kSignalUtility,
                   .cmp = obs::AlertCmp::kAbove,
-                  .threshold = cluster.budget(),
+                  .threshold = cluster.budget().value(),
                   .consecutive = 3,
                   .clear_after = 3});
     if (cluster.battery() != nullptr) {
@@ -157,7 +157,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // Probes.
   metrics::TimelineRecorder power_probe(
       engine, config.power_sample_interval,
-      [&cluster] { return cluster.total_power(); });
+      [&cluster] { return cluster.total_power().value(); });
   std::unique_ptr<metrics::TimelineRecorder> soc_probe;
   if (cluster.battery() != nullptr) {
     soc_probe = std::make_unique<metrics::TimelineRecorder>(
@@ -218,13 +218,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.attack_counts = metrics.attack_counts();
   result.attack_mean_ms = metrics.attack_latency_ms().mean();
 
-  result.mean_power = power_probe.stats().mean();
-  result.peak_power = power_probe.stats().max();
+  result.mean_power = Watts{power_probe.stats().mean()};
+  result.peak_power = Watts{power_probe.stats().max()};
   result.power_timeline = power_probe.samples();
   result.power_samples_normalized.reserve(power_probe.samples().size());
   const Watts nameplate = cluster.total_nameplate();
   for (const auto& s : power_probe.samples()) {
-    result.power_samples_normalized.push_back(s.value / nameplate);
+    result.power_samples_normalized.push_back(Watts{s.value} / nameplate);
   }
 
   if (soc_probe) {
@@ -237,7 +237,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.energy = cluster.energy_account();
   result.slot_stats = cluster.slot_stats();
 
-  double freq_sum = 0.0;
+  GHz freq_sum{0.0};
   for (auto* n : cluster.servers()) {
     freq_sum += cluster.ladder().frequency(n->level());
   }
@@ -265,9 +265,10 @@ void write_results_csv(std::ostream& out,
                     "mean_power_w", "peak_power_w", "utility_j",
                     "battery_j", "violation_slots", "outages"});
   for (const auto& r : results) {
-    writer.row(r.scheme, r.budget, r.mean_ms, r.p50_ms, r.p90_ms, r.p95_ms,
-               r.p99_ms, r.availability, r.drop_fraction, r.mean_power,
-               r.peak_power, r.energy.utility_total(), r.energy.battery,
+    writer.row(r.scheme, r.budget.value(), r.mean_ms, r.p50_ms, r.p90_ms,
+               r.p95_ms, r.p99_ms, r.availability, r.drop_fraction,
+               r.mean_power.value(), r.peak_power.value(),
+               r.energy.utility_total().value(), r.energy.battery.value(),
                r.slot_stats.violation_slots, r.slot_stats.outages);
   }
 }

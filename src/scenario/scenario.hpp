@@ -56,7 +56,7 @@ struct ScenarioConfig {
   std::size_t num_servers = 8;
   power::BudgetLevel budget = power::BudgetLevel::kNormal;
   /// Explicit budget watts; overrides `budget` when positive.
-  Watts budget_override = 0.0;
+  Watts budget_override{0.0};
   Duration battery_runtime = 2 * kMinute;
   std::optional<net::FirewallConfig> firewall;
   /// Branch-circuit breaker on the utility feed; disabled when nullopt.
@@ -121,7 +121,7 @@ inline constexpr const char* kSignalAttackRate = "attack.rate_rps";
 /// Everything the paper's figures report about one run.
 struct ScenarioResult {
   std::string scheme;
-  Watts budget = 0.0;
+  Watts budget{0.0};
 
   // Normal-user latency (completed requests, milliseconds).
   double mean_ms = 0.0;
@@ -139,23 +139,23 @@ struct ScenarioResult {
   double attack_mean_ms = 0.0;
 
   // Power.
-  Watts mean_power = 0.0;
-  Watts peak_power = 0.0;
+  Watts mean_power{0.0};
+  Watts peak_power{0.0};
   std::vector<metrics::Sample> power_timeline;
   /// Power distribution (normalised to aggregate nameplate) for CDFs.
   std::vector<double> power_samples_normalized;
 
   // Battery.
   std::vector<metrics::Sample> battery_soc_timeline;
-  Joules battery_discharged = 0.0;
+  Joules battery_discharged{0.0};
 
   // Energy and enforcement.
   metrics::EnergyAccount energy;
   cluster::SlotStats slot_stats;
 
-  // DVFS: mean applied frequency (GHz) over servers at run end, and the
+  // DVFS: mean applied frequency over servers at run end, and the
   // minimum level any server reached during the run.
-  double final_mean_frequency = 0.0;
+  GHz final_mean_frequency{0.0};
   std::size_t min_level_seen = 0;
 };
 

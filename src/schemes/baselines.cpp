@@ -79,16 +79,16 @@ void ShavingScheme::on_slot(Time now, Duration slot) {
   const auto& ladder = cluster_->ladder();
   battery::Battery& battery = *cluster_->battery();
 
-  last_battery_power_ = 0.0;
+  last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;
-  if (deficit > 0.0) {
+  if (deficit > Watts{0.0}) {
     // Battery first: reserve the discharge for this whole slot, with a
     // small guard band on top of the instantaneous reading so intra-slot
     // load growth does not leak onto the utility feed.
     const Watts guard = 0.03 * budget;
     last_battery_power_ = battery.discharge(deficit + guard, slot);
     const Watts remaining = deficit - last_battery_power_;
-    if (remaining > 1e-9) {
+    if (remaining > Watts{1e-9}) {
       // The battery could not carry the peak alone: DVFS covers the rest.
       const Watts allowance = budget + last_battery_power_;
       const power::DvfsLevel level =
@@ -107,10 +107,10 @@ void ShavingScheme::on_slot(Time now, Duration slot) {
     if (projected <= budget * (1.0 - headroom_margin_)) {
       target_ = next;
       request_uniform_level(nodes, target_);
-      headroom = std::max(0.0, budget - projected);
+      headroom = std::max(Watts{0.0}, budget - projected);
     }
   }
-  if (headroom > 0.0 && !battery.full()) {
+  if (headroom > Watts{0.0} && !battery.full()) {
     battery.charge(headroom, slot);
   }
 }
@@ -126,13 +126,13 @@ void TokenScheme::attach(cluster::Cluster& cluster) {
   PowerScheme::attach(cluster);
   // Usable power for request work: budget minus what the cluster burns
   // when fully idle at maximum frequency.
-  Watts idle_floor = 0.0;
+  Watts idle_floor{0.0};
   for (auto* n : cluster.servers()) {
     idle_floor += n->power_model().idle_power(cluster.ladder().max_level());
   }
-  base_refill_ = std::max(1.0, cluster.budget() - idle_floor);
-  bucket_ = std::make_unique<net::TokenBucket>(
-      base_refill_ * burst_seconds_, base_refill_);
+  base_refill_ = std::max(Watts{1.0}, cluster.budget() - idle_floor);
+  bucket_ = std::make_unique<net::EnergyTokenBucket>(
+      Joules{base_refill_.value() * burst_seconds_}, base_refill_);
 }
 
 Joules TokenScheme::request_cost(const workload::Request& request) const {

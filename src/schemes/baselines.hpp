@@ -66,7 +66,7 @@ class ShavingScheme final : public cluster::PowerScheme {
  private:
   double headroom_margin_;
   power::DvfsLevel target_;
-  Watts last_battery_power_ = 0.0;
+  Watts last_battery_power_{0.0};
 };
 
 /// Power-based token-bucket admission control at the NLB.
@@ -80,16 +80,16 @@ class TokenScheme final : public cluster::PowerScheme {
   bool admit(const workload::Request& request) override;
   void on_slot(Time now, Duration slot) override;
 
-  const net::TokenBucket& bucket() const { return *bucket_; }
+  const net::EnergyTokenBucket& bucket() const { return *bucket_; }
 
  private:
   /// Estimated energy (joules) one request costs at full frequency.
   Joules request_cost(const workload::Request& request) const;
 
   double burst_seconds_;
-  std::unique_ptr<net::TokenBucket> bucket_;
-  /// Usable refill (budget minus the cluster idle floor), watts.
-  Watts base_refill_ = 0.0;
+  std::unique_ptr<net::EnergyTokenBucket> bucket_;
+  /// Usable refill (budget minus the cluster idle floor).
+  Watts base_refill_{0.0};
   /// Multiplicative feedback on the refill rate.
   double refill_scale_ = 1.0;
 };

@@ -60,8 +60,8 @@ void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
     e.t = now;
     e.type = obs::EventType::kLevelViolation;
     e.source = "hierarchy";
-    e.num.emplace_back("load_w", last_load_.facility.load);
-    e.num.emplace_back("rating_w", last_load_.facility.rating);
+    e.num.emplace_back("load_w", last_load_.facility.load.value());
+    e.num.emplace_back("rating_w", last_load_.facility.rating.value());
     e.str.emplace_back("level", "facility");
     hub_->event(std::move(e));
   }
@@ -73,7 +73,8 @@ void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
     Watts allowance = level_load.rating;
     if (facility_hot) {
       const double share =
-          level_load.load / std::max(1e-9, last_load_.facility.load);
+          level_load.load /
+          std::max(Watts{1e-9}, last_load_.facility.load);
       allowance = std::min(allowance,
                            share * topology_.facility_rating);
     }
@@ -86,8 +87,8 @@ void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
         e.type = obs::EventType::kLevelViolation;
         e.source = "hierarchy";
         e.num.emplace_back("pdu", static_cast<double>(p));
-        e.num.emplace_back("load_w", level_load.load);
-        e.num.emplace_back("allowance_w", allowance);
+        e.num.emplace_back("load_w", level_load.load.value());
+        e.num.emplace_back("allowance_w", allowance.value());
         e.str.emplace_back("level", "pdu");
         hub_->event(std::move(e));
       }

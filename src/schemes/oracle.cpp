@@ -48,7 +48,7 @@ void OracleScheme::on_slot(Time now, Duration slot) {
   if (demand > budget) {
     const Watts clean_now = estimate_power_at_uniform(
         clean_nodes_, ladder.max_level());
-    const Watts allowance = std::max(0.0, budget - clean_now);
+    const Watts allowance = std::max(Watts{0.0}, budget - clean_now);
     isolated_target_ = find_uniform_level(isolated_nodes_, ladder,
                                           allowance, isolated_target_);
     request_uniform_level(isolated_nodes_, isolated_target_);

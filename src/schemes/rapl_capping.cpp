@@ -33,28 +33,29 @@ void RaplCappingScheme::on_slot(Time now, Duration slot) {
     // budget proportionally to each node's *active* draw: idle nodes keep
     // their frequency, hot nodes absorb the entire reduction.
     const auto max_level = cluster_->ladder().max_level();
-    Watts idle_total = 0.0;
-    Watts active_total = 0.0;
+    Watts idle_total{0.0};
+    Watts active_total{0.0};
     std::vector<Watts> idle(rapl_.size()), active(rapl_.size());
     for (std::size_t i = 0; i < rapl_.size(); ++i) {
       idle[i] = rapl_[i]->node().power_model().idle_power(max_level);
       active[i] = std::max(
-          0.0, rapl_[i]->node().estimate_power_at(max_level) - idle[i]);
+          Watts{0.0},
+          rapl_[i]->node().estimate_power_at(max_level) - idle[i]);
       idle_total += idle[i];
       active_total += active[i];
     }
     const Watts spare = budget - idle_total;
     for (std::size_t i = 0; i < rapl_.size(); ++i) {
       Watts slice;
-      if (spare <= 0.0) {
+      if (spare <= Watts{0.0}) {
         // Budget below the idle floor: split evenly; RAPL floors apply.
         slice = budget / static_cast<double>(rapl_.size());
-      } else if (active_total <= 1e-9) {
+      } else if (active_total <= Watts{1e-9}) {
         slice = idle[i] + spare / static_cast<double>(rapl_.size());
       } else {
         slice = idle[i] + spare * active[i] / active_total;
       }
-      rapl_[i]->set_cap(std::max(1.0, slice));
+      rapl_[i]->set_cap(std::max(Watts{1.0}, slice));
     }
     return;
   }

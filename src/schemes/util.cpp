@@ -4,7 +4,7 @@ namespace dope::schemes {
 
 Watts estimate_power_at_uniform(const std::vector<server::ServerNode*>& nodes,
                                 power::DvfsLevel level) {
-  Watts p = 0.0;
+  Watts p{0.0};
   for (const auto* n : nodes) p += n->estimate_power_at(level);
   return p;
 }

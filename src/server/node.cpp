@@ -286,7 +286,7 @@ void ServerNode::power_off() {
   DOPE_ASSERT(active_count_ == 0);
   powered_off_ = true;
   parked_ = false;
-  current_power_ = 0.0;
+  current_power_ = Watts{0.0};
 }
 
 void ServerNode::power_on(Duration boot_time) {
@@ -303,7 +303,7 @@ void ServerNode::power_on(Duration boot_time) {
 }
 
 Watts ServerNode::estimate_power_at(power::DvfsLevel level) const {
-  if (powered_off_) return 0.0;
+  if (powered_off_) return Watts{0.0};
   if (parked_) return model_.spec().sleep_power;
   Watts p = model_.idle_power(level);
   for (const Slot& slot : slots_) {

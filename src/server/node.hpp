@@ -188,8 +188,8 @@ class ServerNode final : public net::Backend {
   bool actuation_pending_ = false;
   sim::EventId actuation_event_ = 0;
 
-  Watts current_power_ = 0.0;
-  mutable Joules energy_ = 0.0;
+  Watts current_power_{0.0};
+  mutable Joules energy_{0.0};
   mutable Time last_energy_update_ = 0;
 
   ServerCounters counters_;

@@ -5,7 +5,7 @@
 namespace dope::server {
 
 void RaplInterface::set_cap(Watts cap) {
-  DOPE_REQUIRE(cap > 0, "power cap must be positive");
+  DOPE_REQUIRE(cap > Watts{0.0}, "power cap must be positive");
   cap_ = cap;
   enforce();
 }

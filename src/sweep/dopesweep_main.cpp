@@ -213,7 +213,8 @@ int main(int argc, char** argv) {
   for (const auto& run : sweep_result.runs) {
     if (run.ok) {
       table.row(run.point.label(), run.result.mean_ms, run.result.p90_ms,
-                run.result.availability, run.result.peak_power, "ok");
+                run.result.availability, run.result.peak_power.value(),
+                "ok");
     } else {
       table.row(run.point.label(), "-", "-", "-", "-",
                 "FAILED: " + run.error);

@@ -41,7 +41,7 @@ void write_run(std::ostream& out, const RunRecord& run) {
     obs::write_json_number(out, value);
   };
   out << ",\n     \"ok\": true";
-  field("budget_w", r.budget);
+  field("budget_w", r.budget.value());
   field("mean_ms", r.mean_ms);
   field("p50_ms", r.p50_ms);
   field("p90_ms", r.p90_ms);
@@ -49,10 +49,10 @@ void write_run(std::ostream& out, const RunRecord& run) {
   field("p99_ms", r.p99_ms);
   field("availability", r.availability);
   field("drop_fraction", r.drop_fraction);
-  field("mean_power_w", r.mean_power);
-  field("peak_power_w", r.peak_power);
-  field("utility_j", r.energy.utility_total());
-  field("battery_j", r.energy.battery);
+  field("mean_power_w", r.mean_power.value());
+  field("peak_power_w", r.peak_power.value());
+  field("utility_j", r.energy.utility_total().value());
+  field("battery_j", r.energy.battery.value());
   out << ", \"violation_slots\": " << r.slot_stats.violation_slots
       << ", \"outages\": " << r.slot_stats.outages << "}";
 }
@@ -110,10 +110,11 @@ void write_csv(std::ostream& out, const SweepResult& sweep) {
     const auto& r = run.result;
     writer.row(p.index, power::budget_name(p.budget),
                scenario::scheme_name(p.scheme), p.attack, p.variant,
-               p.seed, 1, std::string(), r.budget, r.mean_ms, r.p50_ms,
-               r.p90_ms, r.p95_ms, r.p99_ms, r.availability,
-               r.drop_fraction, r.mean_power, r.peak_power,
-               r.energy.utility_total(), r.energy.battery,
+               p.seed, 1, std::string(), r.budget.value(), r.mean_ms,
+               r.p50_ms, r.p90_ms, r.p95_ms, r.p99_ms, r.availability,
+               r.drop_fraction, r.mean_power.value(),
+               r.peak_power.value(), r.energy.utility_total().value(),
+               r.energy.battery.value(),
                r.slot_stats.violation_slots, r.slot_stats.outages);
   }
 }

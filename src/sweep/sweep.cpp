@@ -7,8 +7,25 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dope::sweep {
+
+namespace {
+
+// Progress instruments shared by the worker tasks. Registry instruments
+// and the live tally are not thread-safe, so every post-spawn touch
+// happens under `mu`; the clang -Wthread-safety lane proves it. The
+// pointers themselves are set once before the pool spawns.
+struct ProgressBoard {
+  std::mutex mu;
+  obs::Counter* completed PT_GUARDED_BY(mu) = nullptr;
+  obs::Counter* failed PT_GUARDED_BY(mu) = nullptr;
+  obs::Histo* wall_ms PT_GUARDED_BY(mu) = nullptr;
+  obs::LiveSnapshot tally GUARDED_BY(mu);
+};
+
+}  // namespace
 
 AttackProfile AttackProfile::dope(double rps) {
   AttackProfile p;
@@ -119,24 +136,23 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
 
   // Progress instruments. The registry is not thread-safe, so create
   // them up front on this thread and serialise updates below.
-  obs::Counter* completed = nullptr;
-  obs::Counter* failed = nullptr;
-  obs::Histo* wall_ms = nullptr;
-  std::mutex obs_mutex;
+  ProgressBoard board;
   if (options_.obs != nullptr) {
     auto& registry = options_.obs->registry();
     registry.counter("sweep.runs_total").inc(
         static_cast<double>(points.size()));
-    completed = &registry.counter("sweep.runs_completed");
-    failed = &registry.counter("sweep.runs_failed");
-    wall_ms = &registry.histo("sweep.run_wall_ms");
+    board.completed = &registry.counter("sweep.runs_completed");
+    board.failed = &registry.counter("sweep.runs_failed");
+    board.wall_ms = &registry.histo("sweep.run_wall_ms");
   }
-  // Live-tap tally, mutated only under obs_mutex; each update publishes
+  // Live-tap tally, mutated only under board.mu; each update publishes
   // a complete snapshot so concurrent readers always see consistent
   // totals. Published once up front so "0 of N" is visible immediately.
-  obs::LiveSnapshot tally;
-  tally.runs_total = points.size();
-  if (options_.live != nullptr) options_.live->publish(tally);
+  {
+    std::lock_guard<std::mutex> lock(board.mu);
+    board.tally.runs_total = points.size();
+    if (options_.live != nullptr) options_.live->publish(board.tally);
+  }
 
   ThreadPool pool(options_.threads);
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -160,13 +176,14 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
               std::chrono::steady_clock::now() - start)
               .count();
       if (options_.obs != nullptr || options_.live != nullptr) {
-        std::lock_guard<std::mutex> lock(obs_mutex);
+        std::lock_guard<std::mutex> lock(board.mu);
         if (options_.obs != nullptr) {
-          completed->inc();
-          if (!record.ok) failed->inc();
-          wall_ms->observe(elapsed_ms);
+          board.completed->inc();
+          if (!record.ok) board.failed->inc();
+          board.wall_ms->observe(elapsed_ms);
         }
         if (options_.live != nullptr) {
+          obs::LiveSnapshot& tally = board.tally;
           ++tally.runs_completed;
           if (!record.ok) ++tally.runs_failed;
           tally.wall_ms_sum += elapsed_ms;
@@ -182,8 +199,9 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
   }
   pool.wait_idle();
   if (options_.live != nullptr) {
-    tally.done = true;
-    options_.live->publish(tally);
+    std::lock_guard<std::mutex> lock(board.mu);
+    board.tally.done = true;
+    options_.live->publish(board.tally);
   }
 
   for (const auto& run : merged.runs) {

@@ -20,51 +20,51 @@ Catalog Catalog::standard() {
   std::vector<RequestTypeProfile> types;
   types.push_back({
       "Colla-Filt", "/api/recommend",
-      millis(80.0),  // long, compute-heavy recommendation
-      0.90,          // almost fully CPU-bound
-      {19.0, 0.80},  // high power per request, strongly f-sensitive
+      millis(80.0),         // long, compute-heavy recommendation
+      0.90,                 // almost fully CPU-bound
+      {Watts{19.0}, 0.80},  // high power per request, strongly f-sensitive
       0.25,
   });
   types.push_back({
       "K-means", "/api/classify",
       millis(60.0),
-      0.55,          // partly memory-bound: DVFS helps latency less
-      {21.0, 0.35},  // highest per-request power, weakly f-sensitive
+      0.55,                 // partly memory-bound: DVFS helps latency less
+      {Watts{21.0}, 0.35},  // highest per-request power, weakly f-sensitive
       0.25,
   });
   types.push_back({
       "Word-Count", "/api/wordcount",
       millis(40.0),
-      0.40,          // disk-dominated
-      {15.0, 0.45},
+      0.40,  // disk-dominated
+      {Watts{15.0}, 0.45},
       0.30,
   });
   types.push_back({
       "Text-Cont", "/api/text",
       millis(8.0),
       0.70,
-      {6.0, 0.70},
+      {Watts{6.0}, 0.70},
       0.20,
   });
   types.push_back({
       "DNS-Q", "/dns",
       millis(5.0),
       0.85,
-      {8.0, 0.75},
+      {Watts{8.0}, 0.75},
       0.10,
   });
   types.push_back({
       "SYN", "/syn",
       static_cast<Duration>(200),  // 0.2 ms of protocol handling
       1.0,
-      {0.8, 1.0},
+      {Watts{0.8}, 1.0},
       0.0,
   });
   types.push_back({
       "UDP", "/udp",
       static_cast<Duration>(150),
       1.0,
-      {0.6, 1.0},
+      {Watts{0.6}, 1.0},
       0.0,
   });
   return Catalog(std::move(types));
@@ -77,7 +77,8 @@ Catalog::Catalog(std::vector<RequestTypeProfile> types)
     DOPE_REQUIRE(t.base_service_time > 0, "service time must be positive");
     DOPE_REQUIRE(t.cpu_bound_fraction >= 0.0 && t.cpu_bound_fraction <= 1.0,
                  "cpu_bound_fraction must be in [0,1]");
-    DOPE_REQUIRE(t.power.p0 >= 0.0, "request power must be non-negative");
+    DOPE_REQUIRE(t.power.p0 >= Watts{0.0},
+                 "request power must be non-negative");
     DOPE_REQUIRE(
         t.power.freq_sensitivity >= 0.0 && t.power.freq_sensitivity <= 1.0,
         "freq_sensitivity must be in [0,1]");
@@ -138,7 +139,8 @@ RequestTypeId Mixture::sample(Rng& rng) const {
       std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
   const auto idx = static_cast<std::size_t>(
       std::min<std::ptrdiff_t>(it - cumulative_.begin(),
-                               static_cast<std::ptrdiff_t>(types_.size()) - 1));
+                               static_cast<std::ptrdiff_t>(types_.size()) -
+                                   1));
   return types_[idx];
 }
 

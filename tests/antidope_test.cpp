@@ -20,7 +20,7 @@ using workload::Catalog;
 
 TEST(SuspectList, FromCatalogSeparatesHeavyFromLight) {
   const auto catalog = Catalog::standard();
-  const auto list = SuspectList::from_catalog(catalog, 10.0);
+  const auto list = SuspectList::from_catalog(catalog, Watts{10.0});
   EXPECT_TRUE(list.suspicious(Catalog::kCollaFilt));
   EXPECT_TRUE(list.suspicious(Catalog::kKMeans));
   EXPECT_TRUE(list.suspicious(Catalog::kWordCount));
@@ -32,7 +32,8 @@ TEST(SuspectList, FromCatalogSeparatesHeavyFromLight) {
 }
 
 TEST(SuspectList, FromMeasurementsThresholds) {
-  const auto list = SuspectList::from_measurements({1.0, 15.0, 9.99}, 10.0);
+  const auto list = SuspectList::from_measurements(
+      {Watts{1.0}, Watts{15.0}, Watts{9.99}}, Watts{10.0});
   EXPECT_FALSE(list.suspicious(0));
   EXPECT_TRUE(list.suspicious(1));
   EXPECT_FALSE(list.suspicious(2));
@@ -40,7 +41,7 @@ TEST(SuspectList, FromMeasurementsThresholds) {
 
 TEST(SuspectList, Validates) {
   EXPECT_THROW(SuspectList(std::vector<bool>{}), std::invalid_argument);
-  EXPECT_THROW(SuspectList::from_measurements({}, 1.0),
+  EXPECT_THROW(SuspectList::from_measurements({}, Watts{1.0}),
                std::invalid_argument);
   const SuspectList list(std::vector<bool>{true});
   EXPECT_THROW(list.suspicious(5), std::invalid_argument);
@@ -56,9 +57,10 @@ TEST(Profiler, MeasuredPowersMatchModelGroundTruth) {
       profile_catalog(catalog, {}, power::DvfsLadder::make(), config);
   ASSERT_EQ(profiles.size(), catalog.size());
   for (const auto& p : profiles) {
-    const double truth = catalog.type(p.type).power.p0;
+    const Watts truth = catalog.type(p.type).power.p0;
     // Measurement error should be small (concurrency attribution noise).
-    EXPECT_NEAR(p.per_request_power, truth, 0.15 * truth + 0.5)
+    EXPECT_NEAR(p.per_request_power.value(), truth.value(),
+                0.15 * truth.value() + 0.5)
         << catalog.type(p.type).name;
   }
 }
@@ -70,8 +72,9 @@ TEST(Profiler, MeasuredSuspectListMatchesAnalyticOne) {
   const auto profiles =
       profile_catalog(catalog, {}, power::DvfsLadder::make(), config);
   const auto measured =
-      SuspectList::from_measurements(per_request_powers(profiles), 10.0);
-  const auto analytic = SuspectList::from_catalog(catalog, 10.0);
+      SuspectList::from_measurements(per_request_powers(profiles),
+                                     Watts{10.0});
+  const auto analytic = SuspectList::from_catalog(catalog, Watts{10.0});
   for (workload::RequestTypeId t = 0; t < catalog.size(); ++t) {
     EXPECT_EQ(measured.suspicious(t), analytic.suspicious(t))
         << catalog.type(t).name;
@@ -85,8 +88,8 @@ TEST(Profiler, CollaFiltSaturatesNodeNearNameplate) {
   config.duration = 20 * kSecond;
   const auto profiles =
       profile_catalog(catalog, {}, power::DvfsLadder::make(), config);
-  EXPECT_GT(profiles[Catalog::kCollaFilt].saturated_node_power, 90.0);
-  EXPECT_LT(profiles[Catalog::kSynPacket].saturated_node_power, 45.0);
+  EXPECT_GT(profiles[Catalog::kCollaFilt].saturated_node_power, Watts{90.0});
+  EXPECT_LT(profiles[Catalog::kSynPacket].saturated_node_power, Watts{45.0});
 }
 
 TEST(Profiler, ReportsSaturationRates) {
@@ -119,7 +122,8 @@ TEST_F(PdfTest, RoutesByUrlClass) {
   auto nodes = cluster_.servers();
   std::vector<net::Backend*> suspect_pool(nodes.begin(), nodes.begin() + 2);
   std::vector<net::Backend*> innocent_pool(nodes.begin() + 2, nodes.end());
-  PdfRouter router(SuspectList::from_catalog(catalog_, 10.0), suspect_pool,
+  PdfRouter router(SuspectList::from_catalog(catalog_, Watts{10.0}),
+                   suspect_pool,
                    innocent_pool);
 
   workload::Request heavy;
@@ -142,7 +146,8 @@ TEST_F(PdfTest, SuspectTrafficNeverSpillsToInnocentPool) {
   auto nodes = cluster_.servers();
   std::vector<net::Backend*> suspect_pool(nodes.begin(), nodes.begin() + 1);
   std::vector<net::Backend*> innocent_pool(nodes.begin() + 1, nodes.end());
-  PdfRouter router(SuspectList::from_catalog(catalog_, 10.0), suspect_pool,
+  PdfRouter router(SuspectList::from_catalog(catalog_, Watts{10.0}),
+                   suspect_pool,
                    innocent_pool);
   // Even with the suspect node refusing traffic, suspicious requests must
   // not leak into the innocent pool.
@@ -156,7 +161,8 @@ TEST_F(PdfTest, InnocentTrafficSpillsWhenPoolUnavailable) {
   auto nodes = cluster_.servers();
   std::vector<net::Backend*> suspect_pool(nodes.begin(), nodes.begin() + 1);
   std::vector<net::Backend*> innocent_pool(nodes.begin() + 1, nodes.end());
-  PdfRouter router(SuspectList::from_catalog(catalog_, 10.0), suspect_pool,
+  PdfRouter router(SuspectList::from_catalog(catalog_, Watts{10.0}),
+                   suspect_pool,
                    innocent_pool);
   for (std::size_t i = 1; i < cluster_.num_servers(); ++i) {
     cluster_.server(i).set_accepting(false);
@@ -180,7 +186,7 @@ struct AntiDopeRig {
 
   explicit AntiDopeRig(power::BudgetLevel level = power::BudgetLevel::kLow,
                        AntiDopeConfig config = {},
-                       Watts budget_override = 0.0) {
+                       Watts budget_override = Watts{0.0}) {
     cluster::ClusterConfig cc;
     cc.num_servers = 8;
     cc.budget_level = level;
@@ -248,7 +254,8 @@ TEST(AntiDope, IsolationAloneCanNeutraliseDope) {
 
 TEST(AntiDope, ThrottlesSuspectPoolUnderDope) {
   // Tight explicit budget so the confined attack still causes a deficit.
-  AntiDopeRig rig(power::BudgetLevel::kLow, {}, /*budget_override=*/420.0);
+  AntiDopeRig rig(power::BudgetLevel::kLow, {},
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(60 * kSecond);
   EXPECT_LT(rig.scheme->suspect_level(),
@@ -256,7 +263,8 @@ TEST(AntiDope, ThrottlesSuspectPoolUnderDope) {
 }
 
 TEST(AntiDope, InnocentPoolKeepsFullFrequencyUnderDope) {
-  AntiDopeRig rig(power::BudgetLevel::kLow, {}, /*budget_override=*/420.0);
+  AntiDopeRig rig(power::BudgetLevel::kLow, {},
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(60 * kSecond);
   EXPECT_EQ(rig.scheme->innocent_level(),
@@ -268,7 +276,8 @@ TEST(AntiDope, InnocentPoolKeepsFullFrequencyUnderDope) {
 }
 
 TEST(AntiDope, BringsDemandWithinBudget) {
-  AntiDopeRig rig(power::BudgetLevel::kLow, {}, /*budget_override=*/420.0);
+  AntiDopeRig rig(power::BudgetLevel::kLow, {},
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(60 * kSecond);
   EXPECT_LE(rig.cluster->last_slot_demand(),
@@ -289,17 +298,19 @@ TEST(AntiDope, NormalLatencyStaysNearBaselineUnderDope) {
 }
 
 TEST(AntiDope, BatteryOnlyBridgesTransitions) {
-  AntiDopeRig rig(power::BudgetLevel::kLow, {}, /*budget_override=*/420.0);
+  AntiDopeRig rig(power::BudgetLevel::kLow, {},
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(3 * kMinute);
   // Unlike Shaving, the battery must not be drained by a sustained DOPE:
   // throttling converges within a few slots and the battery recharges.
   EXPECT_GT(rig.cluster->battery()->soc(), 0.5);
-  EXPECT_GT(rig.cluster->battery()->total_discharged(), 0.0);
+  EXPECT_GT(rig.cluster->battery()->total_discharged(), Joules{0.0});
 }
 
 TEST(AntiDope, RecoversFullSpeedAfterAttack) {
-  AntiDopeRig rig(power::BudgetLevel::kLow, {}, /*budget_override=*/420.0);
+  AntiDopeRig rig(power::BudgetLevel::kLow, {},
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(60 * kSecond);
   rig.attack->stop();
@@ -311,11 +322,11 @@ TEST(AntiDope, NoBatteryConfigurationStillEnforces) {
   AntiDopeConfig config;
   config.use_battery = false;
   AntiDopeRig rig(power::BudgetLevel::kLow, config,
-                  /*budget_override=*/420.0);
+                  /*budget_override=*/Watts{420.0});
   rig.start_traffic(300.0, 500.0, Catalog::kCollaFilt);
   rig.cluster->run_for(60 * kSecond);
   EXPECT_LE(rig.cluster->last_slot_demand(), rig.cluster->budget() * 1.10);
-  EXPECT_DOUBLE_EQ(rig.cluster->battery()->total_discharged(), 0.0);
+  EXPECT_DOUBLE_EQ(rig.cluster->battery()->total_discharged().value(), 0.0);
 }
 
 TEST(AntiDope, ValidatesConfig) {
@@ -323,7 +334,7 @@ TEST(AntiDope, ValidatesConfig) {
   bad.suspect_pool_fraction = 0.0;
   EXPECT_THROW(AntiDopeScheme{bad}, std::invalid_argument);
   bad = {};
-  bad.suspect_power_threshold = 0.0;
+  bad.suspect_power_threshold = Watts{0.0};
   EXPECT_THROW(AntiDopeScheme{bad}, std::invalid_argument);
 }
 

@@ -37,52 +37,59 @@ class AuditTest : public ::testing::Test {
 };
 
 TEST_F(AuditTest, BatterySocTripsOnCorruptedState) {
-  EXPECT_TRUE(audit::check_battery_soc(nullptr, 0, 50.0, 100.0));
+  EXPECT_TRUE(
+      audit::check_battery_soc(nullptr, 0, Joules{50.0}, Joules{100.0}));
   EXPECT_EQ(audit::violation_count(), 0u);
-  EXPECT_FALSE(audit::check_battery_soc(nullptr, 0, -5.0, 100.0));
-  EXPECT_FALSE(audit::check_battery_soc(nullptr, 0, 101.0, 100.0));
+  EXPECT_FALSE(
+      audit::check_battery_soc(nullptr, 0, Joules{-5.0}, Joules{100.0}));
+  EXPECT_FALSE(
+      audit::check_battery_soc(nullptr, 0, Joules{101.0}, Joules{100.0}));
   EXPECT_EQ(audit::violation_count(), 2u);
 }
 
 TEST_F(AuditTest, BatteryRateTripsOnOverRatedPower) {
-  EXPECT_TRUE(audit::check_battery_rate(nullptr, 0, 400.0, 500.0,
+  EXPECT_TRUE(audit::check_battery_rate(nullptr, 0, Watts{400.0}, Watts{500.0},
                                         "discharge"));
   // rated <= 0 means unlimited by rate.
-  EXPECT_TRUE(audit::check_battery_rate(nullptr, 0, 1e9, 0.0,
+  EXPECT_TRUE(audit::check_battery_rate(nullptr, 0, Watts{1e9}, Watts{0.0},
                                         "discharge"));
-  EXPECT_FALSE(audit::check_battery_rate(nullptr, 0, 501.0, 500.0,
+  EXPECT_FALSE(audit::check_battery_rate(nullptr, 0, Watts{501.0},
+                                         Watts{500.0},
                                          "discharge"));
-  EXPECT_FALSE(audit::check_battery_rate(nullptr, 0, -1.0, 500.0,
+  EXPECT_FALSE(audit::check_battery_rate(nullptr, 0, Watts{-1.0}, Watts{500.0},
                                          "charge"));
   EXPECT_EQ(audit::violation_count(), 2u);
 }
 
 TEST_F(AuditTest, PowerConservationTripsOnUnbalancedBooks) {
   // Balanced: load fully covered by utility + battery.
-  EXPECT_TRUE(audit::check_power_conservation(nullptr, 0, 1000.0, 700.0,
-                                              300.0));
+  EXPECT_TRUE(audit::check_power_conservation(nullptr, 0, Joules{1000.0},
+                                              Joules{700.0}, Joules{300.0}));
   // Battery over-delivery is representable (utility clamps at zero).
-  EXPECT_TRUE(audit::check_power_conservation(nullptr, 0, 200.0, 0.0,
-                                              300.0));
+  EXPECT_TRUE(audit::check_power_conservation(nullptr, 0, Joules{200.0},
+                                              Joules{0.0}, Joules{300.0}));
   // Uncovered load: 1000 J drawn, only 800 J accounted.
-  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, 1000.0, 500.0,
-                                               300.0));
+  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, Joules{1000.0},
+                                               Joules{500.0}, Joules{300.0}));
   // Utility exceeding the load drawn is a sign error somewhere.
-  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, 100.0, 200.0,
-                                               0.0));
+  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, Joules{100.0},
+                                               Joules{200.0}, Joules{0.0}));
   // Negative components never balance.
-  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, 100.0, -50.0,
-                                               200.0));
+  EXPECT_FALSE(audit::check_power_conservation(nullptr, 0, Joules{100.0},
+                                               Joules{-50.0}, Joules{200.0}));
   EXPECT_EQ(audit::violation_count(), 3u);
 }
 
 TEST_F(AuditTest, BudgetFeasibilityTripsOnInfeasibleSolve) {
-  EXPECT_TRUE(audit::check_budget_feasible(nullptr, 0, 900.0, 1000.0,
+  EXPECT_TRUE(audit::check_budget_feasible(nullptr, 0, Watts{900.0},
+                                           Watts{1000.0},
                                            false));
   // Over allowance is legal only when every node hit the ladder floor.
-  EXPECT_TRUE(audit::check_budget_feasible(nullptr, 0, 1200.0, 1000.0,
+  EXPECT_TRUE(audit::check_budget_feasible(nullptr, 0, Watts{1200.0},
+                                           Watts{1000.0},
                                            true));
-  EXPECT_FALSE(audit::check_budget_feasible(nullptr, 0, 1200.0, 1000.0,
+  EXPECT_FALSE(audit::check_budget_feasible(nullptr, 0, Watts{1200.0},
+                                            Watts{1000.0},
                                             false));
   EXPECT_EQ(audit::violation_count(), 1u);
 }
@@ -106,7 +113,8 @@ TEST_F(AuditTest, MonotonicTimeTrips) {
 
 TEST_F(AuditTest, ViolationRaisesWatchdogAlertAndTraceEvent) {
   obs::Hub hub;
-  ASSERT_FALSE(audit::check_battery_soc(&hub, 7 * kSecond, -1.0, 10.0));
+  ASSERT_FALSE(audit::check_battery_soc(&hub, 7 * kSecond, Joules{-1.0},
+                                        Joules{10.0}));
   EXPECT_TRUE(hub.watchdog().is_firing("audit.battery_soc"));
   ASSERT_EQ(hub.watchdog().alerts().size(), 1u);
   const auto& alert = hub.watchdog().alerts().front();
@@ -121,7 +129,7 @@ TEST_F(AuditTest, ViolationRaisesWatchdogAlertAndTraceEvent) {
   EXPECT_TRUE(saw_raise);
 
   // A second violation of the same class reuses the lazily added rule.
-  audit::check_battery_soc(&hub, 8 * kSecond, -2.0, 10.0);
+  audit::check_battery_soc(&hub, 8 * kSecond, Joules{-2.0}, Joules{10.0});
   EXPECT_EQ(hub.watchdog().rule_count(), 1u);
   EXPECT_EQ(audit::violation_count(), 2u);
 }
@@ -138,13 +146,13 @@ TEST_F(AuditTest, CompileTimeGateMatchesBuildConfiguration) {
 
 TEST_F(AuditTest, HealthyBatteryPathIsSilent) {
   battery::Battery battery(
-      battery::BatterySpec::sized_for(1000.0, 2 * kMinute));
+      battery::BatterySpec::sized_for(Watts{1000.0}, 2 * kMinute));
   // Over-rate and over-capacity requests are legal: the battery clamps.
-  battery.discharge(5000.0, kSecond);
-  battery.discharge(1000.0, 10 * kMinute, /*emergency=*/true);
-  battery.charge(5000.0, kSecond);
+  battery.discharge(Watts{5000.0}, kSecond);
+  battery.discharge(Watts{1000.0}, 10 * kMinute, /*emergency=*/true);
+  battery.charge(Watts{5000.0}, kSecond);
   battery.refill();
-  battery.charge(5000.0, kSecond);
+  battery.charge(Watts{5000.0}, kSecond);
   EXPECT_EQ(audit::violation_count(), 0u);
 }
 
@@ -155,7 +163,7 @@ scenario::ScenarioConfig stressed_config() {
   config.scheme = scenario::SchemeKind::kAntiDope;
   config.antidope.per_node_throttling = true;
   config.firewall.emplace();
-  config.breaker = power::BreakerSpec{.rated = 900.0};
+  config.breaker = power::BreakerSpec{.rated = Watts{900.0}};
   config.attack_rps = 400.0;
   config.duration = 90 * kSecond;
   config.seed = 42;
@@ -227,7 +235,7 @@ TEST_F(AuditModeTest, CollectorCapturesInsteadOfThrowing) {
   audit::set_mode(audit::Mode::kFatal);
   audit::ScopedCollector collector;
   EXPECT_NO_THROW(
-      audit::check_battery_soc(nullptr, 11, -5.0, 100.0));
+      audit::check_battery_soc(nullptr, 11, Joules{-5.0}, Joules{100.0}));
   ASSERT_EQ(collector.size(), 1u);
   EXPECT_EQ(collector.violations()[0].check, "battery_soc");
   EXPECT_EQ(collector.violations()[0].t, 11);

@@ -27,18 +27,19 @@ class ParkTest : public ::testing::Test {
 };
 
 TEST_F(ParkTest, ParkDropsPowerToSleepLevel) {
-  ASSERT_DOUBLE_EQ(node_.current_power(), 38.0);
+  ASSERT_DOUBLE_EQ(node_.current_power().value(), 38.0);
   node_.park();
   EXPECT_TRUE(node_.parked());
   EXPECT_FALSE(node_.accepting());
-  EXPECT_DOUBLE_EQ(node_.current_power(), 4.0);
-  EXPECT_DOUBLE_EQ(node_.estimate_power_at(ladder_.max_level()), 4.0);
+  EXPECT_DOUBLE_EQ(node_.current_power().value(), 4.0);
+  EXPECT_DOUBLE_EQ(node_.estimate_power_at(ladder_.max_level()).value(),
+                   4.0);
 }
 
 TEST_F(ParkTest, ParkedEnergyIntegratesSleepPower) {
   node_.park();
   engine_.run_until(10 * kSecond);
-  EXPECT_NEAR(node_.energy(), 4.0 * 10.0, 1e-6);
+  EXPECT_NEAR(node_.energy().value(), 4.0 * 10.0, 1e-6);
 }
 
 TEST_F(ParkTest, CannotParkBusyNode) {
@@ -55,7 +56,7 @@ TEST_F(ParkTest, UnparkTakesWakeLatency) {
   EXPECT_TRUE(node_.waking());
   EXPECT_FALSE(node_.accepting());
   // Boot power during wake = idle power.
-  EXPECT_DOUBLE_EQ(node_.current_power(), 38.0);
+  EXPECT_DOUBLE_EQ(node_.current_power().value(), 38.0);
   engine_.run_until(engine_.now() + 3 * kSecond);  // > 2 s wake latency
   EXPECT_FALSE(node_.waking());
   EXPECT_TRUE(node_.accepting());
@@ -122,7 +123,7 @@ TEST(AutoScaler, ParksIdleFleetDownToMinimum) {
   EXPECT_EQ(rig.scaler->serving_count(), 2u);
   EXPECT_GE(rig.scaler->parked_count(), 5u);
   // Parked fleet slashes idle power: 2 serving x ~38 W + 6 parked x 4 W.
-  EXPECT_LT(rig.cluster->total_power(), 2 * 45.0 + 6 * 5.0);
+  EXPECT_LT(rig.cluster->total_power(), Watts{2 * 45.0 + 6 * 5.0});
 }
 
 TEST(AutoScaler, WakesFleetUnderLoadGrowth) {

@@ -11,134 +11,140 @@ namespace {
 
 TEST(BatterySpec, SizedForMatchesPaperMiniBattery) {
   // 2 minutes at 400 W cluster load.
-  const auto spec = BatterySpec::sized_for(400.0, 2 * kMinute);
-  EXPECT_DOUBLE_EQ(spec.capacity, 400.0 * 120.0);
-  EXPECT_DOUBLE_EQ(spec.max_discharge, 400.0);
-  EXPECT_DOUBLE_EQ(spec.max_charge, 100.0);
+  const auto spec = BatterySpec::sized_for(Watts{400.0}, 2 * kMinute);
+  EXPECT_DOUBLE_EQ(spec.capacity.value(), 400.0 * 120.0);
+  EXPECT_DOUBLE_EQ(spec.max_discharge.value(), 400.0);
+  EXPECT_DOUBLE_EQ(spec.max_charge.value(), 100.0);
 }
 
 TEST(BatterySpec, SizedForValidatesInputs) {
-  EXPECT_THROW(BatterySpec::sized_for(0.0, kMinute), std::invalid_argument);
-  EXPECT_THROW(BatterySpec::sized_for(100.0, 0), std::invalid_argument);
+  EXPECT_THROW(BatterySpec::sized_for(Watts{0.0}, kMinute),
+               std::invalid_argument);
+  EXPECT_THROW(BatterySpec::sized_for(Watts{100.0}, 0), std::invalid_argument);
 }
 
 TEST(Battery, StartsFull) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
   EXPECT_TRUE(b.full());
   EXPECT_FALSE(b.empty());
   EXPECT_DOUBLE_EQ(b.soc(), 1.0);
-  EXPECT_DOUBLE_EQ(b.stored(), 6000.0);
+  EXPECT_DOUBLE_EQ(b.stored().value(), 6000.0);
 }
 
 TEST(Battery, DischargeDeliversRequestedWhenAble) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
-  const Watts delivered = b.discharge(50.0, kSecond);
-  EXPECT_DOUBLE_EQ(delivered, 50.0);
-  EXPECT_DOUBLE_EQ(b.stored(), 6000.0 - 50.0);
-  EXPECT_DOUBLE_EQ(b.total_discharged(), 50.0);
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
+  const Watts delivered = b.discharge(Watts{50.0}, kSecond);
+  EXPECT_DOUBLE_EQ(delivered.value(), 50.0);
+  EXPECT_DOUBLE_EQ(b.stored().value(), 6000.0 - 50.0);
+  EXPECT_DOUBLE_EQ(b.total_discharged().value(), 50.0);
   EXPECT_EQ(b.discharge_events(), 1u);
 }
 
 TEST(Battery, DischargeCappedByCRate) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));  // max 100 W
-  EXPECT_DOUBLE_EQ(b.discharge(250.0, kSecond), 100.0);
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));  // max 100 W
+  EXPECT_DOUBLE_EQ(b.discharge(Watts{250.0}, kSecond).value(),
+                   100.0);
 }
 
 TEST(Battery, DischargeCappedByRemainingEnergy) {
   BatterySpec spec;
-  spec.capacity = 10.0;  // joules
-  spec.max_discharge = 1'000.0;
+  spec.capacity = Joules{10.0};
+  spec.max_discharge = Watts{1'000.0};
   Battery b(spec);
   // 10 J over 1 s supports at most 10 W.
-  EXPECT_DOUBLE_EQ(b.discharge(50.0, kSecond), 10.0);
+  EXPECT_DOUBLE_EQ(b.discharge(Watts{50.0}, kSecond).value(), 10.0);
   EXPECT_TRUE(b.empty());
-  EXPECT_DOUBLE_EQ(b.discharge(50.0, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(b.discharge(Watts{50.0}, kSecond).value(), 0.0);
 }
 
 TEST(Battery, SustainsRatedLoadForRatedDuration) {
-  Battery b(BatterySpec::sized_for(400.0, 2 * kMinute));
+  Battery b(BatterySpec::sized_for(Watts{400.0}, 2 * kMinute));
   int slots = 0;
-  while (b.discharge(400.0, kSecond) >= 399.999) ++slots;
+  while (b.discharge(Watts{400.0}, kSecond) >= Watts{399.999}) {
+    ++slots;
+  }
   // Should have sustained (within one slot of) the full 120 seconds.
   EXPECT_GE(slots, 119);
   EXPECT_LE(slots, 120);
 }
 
 TEST(Battery, ZeroRequestDeliversNothing) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
-  EXPECT_DOUBLE_EQ(b.discharge(0.0, kSecond), 0.0);
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
+  EXPECT_DOUBLE_EQ(b.discharge(Watts{0.0}, kSecond).value(), 0.0);
   EXPECT_EQ(b.discharge_events(), 0u);
 }
 
 TEST(Battery, ChargeRespectsRateLimit) {
-  auto spec = BatterySpec::sized_for(100.0, kMinute, 0.25);  // 25 W charge
+  // 25 W charge rate.
+  auto spec = BatterySpec::sized_for(Watts{100.0}, kMinute, 0.25);
   Battery b(spec);
-  b.discharge(100.0, 10 * kSecond);  // take out 1000 J
-  const Watts drawn = b.charge(80.0, kSecond);
-  EXPECT_DOUBLE_EQ(drawn, 25.0);
+  b.discharge(Watts{100.0}, 10 * kSecond);  // take out 1000 J
+  const Watts drawn = b.charge(Watts{80.0}, kSecond);
+  EXPECT_DOUBLE_EQ(drawn.value(), 25.0);
 }
 
 TEST(Battery, ChargeAppliesEfficiencyLoss) {
-  auto spec = BatterySpec::sized_for(100.0, kMinute, 0.25);
+  auto spec = BatterySpec::sized_for(Watts{100.0}, kMinute, 0.25);
   spec.charge_efficiency = 0.9;
   Battery b(spec);
-  b.discharge(100.0, 10 * kSecond);
+  b.discharge(Watts{100.0}, 10 * kSecond);
   const Joules before = b.stored();
-  const Watts drawn = b.charge(25.0, kSecond);
-  EXPECT_DOUBLE_EQ(drawn, 25.0);
-  EXPECT_NEAR(b.stored() - before, 25.0 * 0.9, 1e-9);
-  EXPECT_DOUBLE_EQ(b.total_charge_drawn(), 25.0);
+  const Watts drawn = b.charge(Watts{25.0}, kSecond);
+  EXPECT_DOUBLE_EQ(drawn.value(), 25.0);
+  EXPECT_NEAR((b.stored() - before).value(), 25.0 * 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(b.total_charge_drawn().value(), 25.0);
 }
 
 TEST(Battery, ChargeStopsAtCapacity) {
-  auto spec = BatterySpec::sized_for(100.0, kMinute, 1.0);
+  auto spec = BatterySpec::sized_for(Watts{100.0}, kMinute, 1.0);
   spec.charge_efficiency = 1.0;
   Battery b(spec);
-  b.discharge(100.0, kSecond);  // remove 100 J
+  b.discharge(Watts{100.0}, kSecond);  // remove 100 J
   // Offering far more than needed only draws what fits.
-  const Watts drawn = b.charge(100.0, 10 * kSecond);
-  EXPECT_NEAR(drawn * 10.0, 100.0, 1e-9);
+  const Watts drawn = b.charge(Watts{100.0}, 10 * kSecond);
+  EXPECT_NEAR((drawn * 10.0).value(), 100.0, 1e-9);
   EXPECT_TRUE(b.full());
-  EXPECT_DOUBLE_EQ(b.charge(50.0, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(b.charge(Watts{50.0}, kSecond).value(), 0.0);
 }
 
 TEST(Battery, RefillRestoresChargeWithoutTouchingTotals) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
-  b.discharge(100.0, 5 * kSecond);
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
+  b.discharge(Watts{100.0}, 5 * kSecond);
   const Joules discharged = b.total_discharged();
   b.refill();
   EXPECT_TRUE(b.full());
-  EXPECT_DOUBLE_EQ(b.total_discharged(), discharged);
+  EXPECT_DOUBLE_EQ(b.total_discharged().value(),
+                   discharged.value());
 }
 
 TEST(Battery, RoundTripConservesEnergyWithinEfficiency) {
-  auto spec = BatterySpec::sized_for(200.0, kMinute, 1.0);
+  auto spec = BatterySpec::sized_for(Watts{200.0}, kMinute, 1.0);
   spec.charge_efficiency = 0.8;
   Battery b(spec);
   // Cycle: discharge 2000 J, then recharge fully.
-  b.discharge(200.0, 10 * kSecond);
-  Joules drawn_total = 0.0;
+  b.discharge(Watts{200.0}, 10 * kSecond);
+  Joules drawn_total{0.0};
   for (int i = 0; i < 1'000 && !b.full(); ++i) {
-    drawn_total += energy_of(b.charge(200.0, kSecond), kSecond);
+    drawn_total += energy_of(b.charge(Watts{200.0}, kSecond), kSecond);
   }
   EXPECT_TRUE(b.full());
   // To restore 2000 J at 80% efficiency the grid must supply 2500 J.
-  EXPECT_NEAR(drawn_total, 2000.0 / 0.8, 1.0);
+  EXPECT_NEAR(drawn_total.value(), 2000.0 / 0.8, 1.0);
 }
 
 TEST(Battery, RejectsInvalidArguments) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
-  EXPECT_THROW(b.discharge(-1.0, kSecond), std::invalid_argument);
-  EXPECT_THROW(b.discharge(10.0, 0), std::invalid_argument);
-  EXPECT_THROW(b.charge(-1.0, kSecond), std::invalid_argument);
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
+  EXPECT_THROW(b.discharge(Watts{-1.0}, kSecond), std::invalid_argument);
+  EXPECT_THROW(b.discharge(Watts{10.0}, 0), std::invalid_argument);
+  EXPECT_THROW(b.charge(Watts{-1.0}, kSecond), std::invalid_argument);
   BatterySpec bad;
-  bad.capacity = 0.0;
+  bad.capacity = Joules{0.0};
   EXPECT_THROW(Battery{bad}, std::invalid_argument);
 }
 
 TEST(Battery, SocTracksStoredFraction) {
-  Battery b(BatterySpec::sized_for(100.0, kMinute));
-  b.discharge(100.0, 30 * kSecond);  // half the 6000 J capacity
+  Battery b(BatterySpec::sized_for(Watts{100.0}, kMinute));
+  b.discharge(Watts{100.0}, 30 * kSecond);  // half the 6000 J capacity
   EXPECT_NEAR(b.soc(), 0.5, 1e-9);
 }
 

@@ -39,8 +39,8 @@ TEST_F(ClusterTest, BuildsRequestedTopology) {
   config.num_servers = 4;
   auto cluster = make_cluster(config);
   EXPECT_EQ(cluster->num_servers(), 4u);
-  EXPECT_DOUBLE_EQ(cluster->total_nameplate(), 400.0);
-  EXPECT_DOUBLE_EQ(cluster->budget(), 400.0);  // Normal-PB
+  EXPECT_DOUBLE_EQ(cluster->total_nameplate().value(), 400.0);
+  EXPECT_DOUBLE_EQ(cluster->budget().value(), 400.0);  // Normal-PB
   EXPECT_EQ(cluster->battery(), nullptr);
   EXPECT_EQ(cluster->firewall(), nullptr);
 }
@@ -50,7 +50,7 @@ TEST_F(ClusterTest, BudgetLevelsScaleSupply) {
   config.num_servers = 10;
   config.budget_level = power::BudgetLevel::kLow;
   auto cluster = make_cluster(config);
-  EXPECT_DOUBLE_EQ(cluster->budget(), 800.0);
+  EXPECT_DOUBLE_EQ(cluster->budget().value(), 800.0);
 }
 
 TEST_F(ClusterTest, BatteryCreatedWithRequestedRuntime) {
@@ -59,7 +59,8 @@ TEST_F(ClusterTest, BatteryCreatedWithRequestedRuntime) {
   config.battery_runtime = 2 * kMinute;
   auto cluster = make_cluster(config);
   ASSERT_NE(cluster->battery(), nullptr);
-  EXPECT_DOUBLE_EQ(cluster->battery()->spec().capacity, 400.0 * 120.0);
+  EXPECT_DOUBLE_EQ(cluster->battery()->spec().capacity.value(),
+                   400.0 * 120.0);
 }
 
 TEST_F(ClusterTest, IngestDispatchesAndCompletes) {
@@ -112,24 +113,25 @@ TEST_F(ClusterTest, TotalPowerSumsServers) {
   ClusterConfig config;
   config.num_servers = 3;
   auto cluster = make_cluster(config);
-  EXPECT_DOUBLE_EQ(cluster->total_power(), 3 * 38.0);
+  EXPECT_DOUBLE_EQ(cluster->total_power().value(), 3 * 38.0);
   cluster->ingest(request_of(Catalog::kKMeans, engine_.now()));
-  EXPECT_DOUBLE_EQ(cluster->total_power(), 3 * 38.0 + 21.0);
+  EXPECT_DOUBLE_EQ(cluster->total_power().value(), 3 * 38.0 + 21.0);
 }
 
 TEST_F(ClusterTest, LastSlotDemandTracksLoad) {
   auto cluster = make_cluster();
   cluster->run_for(2 * kSecond);
-  EXPECT_NEAR(cluster->last_slot_demand(), 8 * 38.0, 1.0);
+  EXPECT_NEAR(cluster->last_slot_demand().value(), 8 * 38.0, 1.0);
 }
 
 TEST_F(ClusterTest, EnergyAccountAllUtilityWithoutBattery) {
   auto cluster = make_cluster();
   cluster->run_for(10 * kSecond);
   const auto& account = cluster->energy_account();
-  EXPECT_NEAR(account.utility, 8 * 38.0 * 10.0, 1.0);
-  EXPECT_DOUBLE_EQ(account.battery, 0.0);
-  EXPECT_NEAR(account.load_total(), cluster->total_energy(), 1.0);
+  EXPECT_NEAR(account.utility.value(), 8 * 38.0 * 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(account.battery.value(), 0.0);
+  EXPECT_NEAR(account.load_total().value(), cluster->total_energy().value(),
+              1.0);
 }
 
 TEST_F(ClusterTest, SlotStatsCountViolations) {
@@ -146,7 +148,7 @@ TEST_F(ClusterTest, SlotStatsCountViolations) {
                                  cluster->edge_sink());
   cluster->run_for(10 * kSecond);
   EXPECT_GT(cluster->slot_stats().violation_slots, 5u);
-  EXPECT_GT(cluster->slot_stats().worst_overshoot, 10.0);
+  EXPECT_GT(cluster->slot_stats().worst_overshoot, Watts{10.0});
 }
 
 // A scheme that drops every request at admission.

@@ -31,9 +31,10 @@ TEST(Units, SecondConversionsRoundTrip) {
 }
 
 TEST(Units, EnergyOfIntegratesPowerOverTime) {
-  EXPECT_DOUBLE_EQ(energy_of(100.0, kSecond), 100.0);
-  EXPECT_DOUBLE_EQ(energy_of(50.0, 2 * kMinute), 50.0 * 120.0);
-  EXPECT_DOUBLE_EQ(energy_of(0.0, kHour), 0.0);
+  EXPECT_DOUBLE_EQ(energy_of(Watts{100.0}, kSecond).value(), 100.0);
+  EXPECT_DOUBLE_EQ(energy_of(Watts{50.0}, 2 * kMinute).value(),
+                   50.0 * 120.0);
+  EXPECT_DOUBLE_EQ(energy_of(Watts{0.0}, kHour).value(), 0.0);
 }
 
 // ------------------------------------------------------------------- rng

@@ -48,7 +48,7 @@ TEST_F(DpmTest, NoThrottlingWhenAllowanceIsGenerous) {
   make_nodes(3);
   load(0, Catalog::kCollaFilt, 4);
   const auto assignment =
-      solve_throttling(nodes_, ladder_, 1'000.0, ladder_.max_level());
+      solve_throttling(nodes_, ladder_, Watts{1'000.0}, ladder_.max_level());
   for (const auto level : assignment) {
     EXPECT_EQ(level, ladder_.max_level());
   }
@@ -59,8 +59,8 @@ TEST_F(DpmTest, AssignmentFitsAllowanceWhenFeasible) {
   for (std::size_t i = 0; i < 4; ++i) load(i, Catalog::kCollaFilt, 4);
   // Saturated Colla-Filt fleet: 4x100 W; ask for 300 W.
   const auto assignment =
-      solve_throttling(nodes_, ladder_, 300.0, ladder_.max_level());
-  EXPECT_LE(assignment_power(nodes_, assignment), 300.0);
+      solve_throttling(nodes_, ladder_, Watts{300.0}, ladder_.max_level());
+  EXPECT_LE(assignment_power(nodes_, assignment), Watts{300.0});
 }
 
 TEST_F(DpmTest, FloorsWhenAllowanceIsInfeasible) {
@@ -68,7 +68,7 @@ TEST_F(DpmTest, FloorsWhenAllowanceIsInfeasible) {
   load(0, Catalog::kKMeans, 4);
   load(1, Catalog::kKMeans, 4);
   const auto assignment =
-      solve_throttling(nodes_, ladder_, 1.0, ladder_.max_level());
+      solve_throttling(nodes_, ladder_, Watts{1.0}, ladder_.max_level());
   for (const auto level : assignment) {
     EXPECT_EQ(level, ladder_.min_level());
   }
@@ -83,7 +83,7 @@ TEST_F(DpmTest, ThrottlesFrequencySensitiveNodesFirst) {
   load(1, Catalog::kKMeans, 4);
   const Watts full = assignment_power(
       nodes_, ThrottleAssignment(2, ladder_.max_level()));
-  const auto assignment = solve_throttling(nodes_, ladder_, full - 20.0,
+  const auto assignment = solve_throttling(nodes_, ladder_, full - Watts{20.0},
                                            ladder_.max_level());
   EXPECT_LT(assignment[0], ladder_.max_level());
   EXPECT_EQ(assignment[1], ladder_.max_level());
@@ -97,7 +97,7 @@ TEST_F(DpmTest, BeatsOrMatchesUniformOnPerformance) {
   load(1, Catalog::kCollaFilt, 2);
   load(2, Catalog::kKMeans, 4);
   load(3, Catalog::kTextCont, 1);
-  const Watts allowance = 250.0;
+  const Watts allowance{250.0};
   const auto per_node = solve_throttling(nodes_, ladder_, allowance,
                                          ladder_.max_level());
   const auto uniform_level = schemes::find_uniform_level(
@@ -111,8 +111,9 @@ TEST_F(DpmTest, BeatsOrMatchesUniformOnPerformance) {
 TEST_F(DpmTest, MonotoneInAllowance) {
   make_nodes(3);
   for (std::size_t i = 0; i < 3; ++i) load(i, Catalog::kCollaFilt, 4);
-  GHz prev = 0.0;
-  for (Watts allowance : {150.0, 200.0, 250.0, 300.0}) {
+  GHz prev{0.0};
+  for (Watts allowance :
+       {Watts{150.0}, Watts{200.0}, Watts{250.0}, Watts{300.0}}) {
     const auto assignment = solve_throttling(nodes_, ladder_, allowance,
                                              ladder_.max_level());
     const GHz freq = assignment_frequency(ladder_, assignment);
@@ -132,7 +133,7 @@ TEST_F(DpmTest, ApplyAssignmentActuatesEveryNode) {
 
 TEST_F(DpmTest, ValidatesInputs) {
   make_nodes(1);
-  EXPECT_THROW(solve_throttling({}, ladder_, 10.0, 0),
+  EXPECT_THROW(solve_throttling({}, ladder_, Watts{10.0}, 0),
                std::invalid_argument);
   EXPECT_THROW(
       assignment_power(nodes_, ThrottleAssignment(5, 0)),
@@ -146,7 +147,7 @@ TEST(PerNodeDpm, AntiDopeEnforcesBudgetWithHeterogeneousLevels) {
   const auto catalog = Catalog::standard();
   cluster::ClusterConfig cc;
   cc.num_servers = 8;
-  cc.budget_override = 420.0;
+  cc.budget_override = Watts{420.0};
   cc.battery_runtime = 2 * kMinute;
   cluster::Cluster cluster(engine, catalog, cc);
   AntiDopeConfig config;

@@ -53,19 +53,19 @@ TEST_F(RaplTest, UncappedNodeRunsAtMax) {
 TEST_F(RaplTest, CapSelectsHighestFittingLevel) {
   load_kmeans(4);  // 38 idle + 4x21 -> clamped 100 W at max
   server::RaplInterface rapl(node_);
-  rapl.set_cap(90.0);
+  rapl.set_cap(Watts{90.0});
   engine_.run_until(kSecond);
-  EXPECT_LE(node_.estimate_power_at(node_.level()), 90.0);
+  EXPECT_LE(node_.estimate_power_at(node_.level()), Watts{90.0});
   // One level higher must violate the cap (highest fitting level).
   if (node_.level() < ladder_.max_level()) {
-    EXPECT_GT(node_.estimate_power_at(node_.level() + 1), 90.0);
+    EXPECT_GT(node_.estimate_power_at(node_.level() + 1), Watts{90.0});
   }
 }
 
 TEST_F(RaplTest, CapBelowIdleFloorsAtMinLevel) {
   load_kmeans(4);
   server::RaplInterface rapl(node_);
-  rapl.set_cap(10.0);  // below even idle power: RAPL can't power off
+  rapl.set_cap(Watts{10.0});  // below even idle power: RAPL can't power off
   engine_.run_until(kSecond);
   EXPECT_EQ(node_.level(), ladder_.min_level());
 }
@@ -73,7 +73,7 @@ TEST_F(RaplTest, CapBelowIdleFloorsAtMinLevel) {
 TEST_F(RaplTest, ClearCapRestoresMax) {
   load_kmeans(4);
   server::RaplInterface rapl(node_);
-  rapl.set_cap(80.0);
+  rapl.set_cap(Watts{80.0});
   engine_.run_until(kSecond);
   ASSERT_LT(node_.level(), ladder_.max_level());
   rapl.clear_cap();
@@ -84,7 +84,7 @@ TEST_F(RaplTest, ClearCapRestoresMax) {
 
 TEST_F(RaplTest, EnforceReactsToLoadChanges) {
   server::RaplInterface rapl(node_);
-  rapl.set_cap(60.0);
+  rapl.set_cap(Watts{60.0});
   engine_.run_until(kSecond);
   EXPECT_EQ(node_.level(), ladder_.max_level());  // idle fits easily
   load_kmeans(2);  // 38 + 42 = 80 > 60
@@ -95,42 +95,43 @@ TEST_F(RaplTest, EnforceReactsToLoadChanges) {
 
 TEST_F(RaplTest, RejectsNonPositiveCap) {
   server::RaplInterface rapl(node_);
-  EXPECT_THROW(rapl.set_cap(0.0), std::invalid_argument);
+  EXPECT_THROW(rapl.set_cap(Watts{0.0}), std::invalid_argument);
 }
 
 // --------------------------------------------------------- battery reserve
 
 TEST(BatteryReserve, ShavingStopsAtReserveFloor) {
-  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  auto spec = battery::BatterySpec::sized_for(Watts{100.0}, kMinute);
   spec.reserve_fraction = 0.25;
   battery::Battery b(spec);
   // Drain by shaving: must stop at 25% SoC.
-  for (int i = 0; i < 600; ++i) b.discharge(100.0, kSecond);
+  for (int i = 0; i < 600; ++i) b.discharge(Watts{100.0}, kSecond);
   EXPECT_NEAR(b.soc(), 0.25, 1e-9);
-  EXPECT_DOUBLE_EQ(b.discharge(100.0, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(b.discharge(Watts{100.0}, kSecond).value(), 0.0);
 }
 
 TEST(BatteryReserve, EmergencyDischargeTapsTheReserve) {
-  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  auto spec = battery::BatterySpec::sized_for(Watts{100.0}, kMinute);
   spec.reserve_fraction = 0.25;
   battery::Battery b(spec);
-  for (int i = 0; i < 600; ++i) b.discharge(100.0, kSecond);
+  for (int i = 0; i < 600; ++i) b.discharge(Watts{100.0}, kSecond);
   ASSERT_NEAR(b.soc(), 0.25, 1e-9);
-  EXPECT_GT(b.discharge(100.0, kSecond, /*emergency=*/true), 0.0);
+  EXPECT_GT(b.discharge(Watts{100.0}, kSecond, /*emergency=*/true),
+            Watts{0.0});
   EXPECT_LT(b.soc(), 0.25);
 }
 
 TEST(BatteryReserve, ShavableReportsHeadroomAboveReserve) {
-  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  auto spec = battery::BatterySpec::sized_for(Watts{100.0}, kMinute);
   spec.reserve_fraction = 0.5;
   battery::Battery b(spec);
-  EXPECT_DOUBLE_EQ(b.shavable(), 3000.0);  // half of the 6000 J capacity
-  b.discharge(100.0, 10 * kSecond);
-  EXPECT_DOUBLE_EQ(b.shavable(), 2000.0);
+  EXPECT_DOUBLE_EQ(b.shavable().value(), 3000.0);  // half of 6000 J
+  b.discharge(Watts{100.0}, 10 * kSecond);
+  EXPECT_DOUBLE_EQ(b.shavable().value(), 2000.0);
 }
 
 TEST(BatteryReserve, ValidatesReserveFraction) {
-  auto spec = battery::BatterySpec::sized_for(100.0, kMinute);
+  auto spec = battery::BatterySpec::sized_for(Watts{100.0}, kMinute);
   spec.reserve_fraction = 1.0;
   EXPECT_THROW(battery::Battery{spec}, std::invalid_argument);
 }
@@ -156,8 +157,8 @@ TEST_F(HealthTest, IdleClusterIsHealthy) {
   ASSERT_EQ(report.nodes.size(), 4u);
   EXPECT_EQ(report.count(cluster::NodeHealth::kHealthy), 4u);
   EXPECT_FALSE(report.any_critical());
-  EXPECT_NEAR(report.total_power, 4 * 38.0, 1e-9);
-  EXPECT_GT(report.headroom, 0.0);
+  EXPECT_NEAR(report.total_power.value(), 4 * 38.0, 1e-9);
+  EXPECT_GT(report.headroom, Watts{0.0});
   EXPECT_DOUBLE_EQ(report.battery_soc, 1.0);
 }
 
@@ -193,10 +194,10 @@ TEST_F(HealthTest, FlagsOverloadedAndCriticalNodes) {
 
 TEST_F(HealthTest, HeadroomGoesNegativeOverBudget) {
   cluster::ClusterConfig tight = config_;
-  tight.budget_override = 100.0;  // below the 152 W idle floor
+  tight.budget_override = Watts{100.0};  // below the 152 W idle floor
   cluster::Cluster cluster(engine_, catalog_, tight);
   cluster::HealthChecker checker(cluster);
-  EXPECT_LT(checker.inspect().headroom, 0.0);
+  EXPECT_LT(checker.inspect().headroom, Watts{0.0});
 }
 
 TEST_F(HealthTest, ValidatesConfig) {
@@ -210,10 +211,10 @@ TEST_F(HealthTest, ValidatesConfig) {
 
 TEST(OnlineClassifier, LearnsHeavyTypeFromIngestedSamples) {
   auto classifier = antidope::OnlineClassifier::untrained(4);
-  for (int i = 0; i < 20; ++i) classifier.ingest(2, 18.0);
+  for (int i = 0; i < 20; ++i) classifier.ingest(2, Watts{18.0});
   EXPECT_TRUE(classifier.suspicious(2));
   EXPECT_FALSE(classifier.suspicious(0));
-  EXPECT_NEAR(classifier.estimate(2), 18.0, 1e-9);
+  EXPECT_NEAR(classifier.estimate(2).value(), 18.0, 1e-9);
   EXPECT_EQ(classifier.reclassifications(), 1u);
 }
 
@@ -221,24 +222,25 @@ TEST(OnlineClassifier, RequiresMinimumEvidence) {
   antidope::OnlineClassifierConfig config;
   config.min_observations = 50;
   auto classifier = antidope::OnlineClassifier::untrained(2, config);
-  for (int i = 0; i < 49; ++i) classifier.ingest(0, 30.0);
+  for (int i = 0; i < 49; ++i) classifier.ingest(0, Watts{30.0});
   EXPECT_FALSE(classifier.suspicious(0));
-  classifier.ingest(0, 30.0);
+  classifier.ingest(0, Watts{30.0});
   EXPECT_TRUE(classifier.suspicious(0));
 }
 
 TEST(OnlineClassifier, HysteresisPreventsFlapping) {
   antidope::OnlineClassifierConfig config;
-  config.suspect_threshold = 10.0;
+  config.suspect_threshold = Watts{10.0};
   config.hysteresis = 0.2;  // releases below 8 W
   config.alpha = 1.0;       // track the last sample exactly
   config.min_observations = 1;
   auto classifier = antidope::OnlineClassifier::untrained(1, config);
-  classifier.ingest(0, 12.0);
+  classifier.ingest(0, Watts{12.0});
   EXPECT_TRUE(classifier.suspicious(0));
-  classifier.ingest(0, 9.0);  // inside the hysteresis band: stays suspect
+  // Inside the hysteresis band: stays suspect.
+  classifier.ingest(0, Watts{9.0});
   EXPECT_TRUE(classifier.suspicious(0));
-  classifier.ingest(0, 7.0);  // below the release point
+  classifier.ingest(0, Watts{7.0});  // below the release point
   EXPECT_FALSE(classifier.suspicious(0));
 }
 
@@ -269,7 +271,7 @@ TEST(OnlineClassifier, ObserveAttributesNodePowerToActiveTypes) {
       catalog.size(), config);
   for (int i = 0; i < 10; ++i) classifier.observe(node);
   // Two K-means at 21 W each: the attributed share is ~21 W.
-  EXPECT_NEAR(classifier.estimate(Catalog::kKMeans), 21.0, 1.0);
+  EXPECT_NEAR(classifier.estimate(Catalog::kKMeans).value(), 21.0, 1.0);
   EXPECT_TRUE(classifier.suspicious(Catalog::kKMeans));
 }
 
@@ -277,8 +279,8 @@ TEST(OnlineClassifier, ValidatesInputs) {
   EXPECT_THROW(antidope::OnlineClassifier::untrained(0),
                std::invalid_argument);
   auto classifier = antidope::OnlineClassifier::untrained(2);
-  EXPECT_THROW(classifier.ingest(5, 1.0), std::invalid_argument);
-  EXPECT_THROW(classifier.ingest(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(classifier.ingest(5, Watts{1.0}), std::invalid_argument);
+  EXPECT_THROW(classifier.ingest(0, Watts{-1.0}), std::invalid_argument);
 }
 
 // -------------------------------------- online learning inside Anti-DOPE
@@ -405,7 +407,7 @@ TEST(RaplCapping, ThrottlesOnlyHotNodes) {
   const auto catalog = Catalog::standard();
   cluster::ClusterConfig cc;
   cc.num_servers = 4;
-  cc.budget_override = 250.0;
+  cc.budget_override = Watts{250.0};
   cluster::Cluster cluster(engine, catalog, cc);
   auto scheme_ptr = std::make_unique<schemes::RaplCappingScheme>();
   auto* scheme = scheme_ptr.get();
@@ -432,7 +434,7 @@ TEST(RaplCapping, ReleasesCapsWhenLoadSubsides) {
   const auto catalog = Catalog::standard();
   cluster::ClusterConfig cc;
   cc.num_servers = 4;
-  cc.budget_override = 280.0;
+  cc.budget_override = Watts{280.0};
   cluster::Cluster cluster(engine, catalog, cc);
   auto scheme_ptr = std::make_unique<schemes::RaplCappingScheme>();
   cluster.install_scheme(std::move(scheme_ptr));

@@ -34,7 +34,7 @@ TEST(PowerClassifier, ClassCeilingsAscend) {
   const auto classifier = PowerClassifier::from_catalog(catalog, 3);
   EXPECT_LT(classifier.class_ceiling(0), classifier.class_ceiling(1));
   EXPECT_LT(classifier.class_ceiling(1), classifier.class_ceiling(2));
-  EXPECT_DOUBLE_EQ(classifier.class_ceiling(2), 21.0);  // K-means
+  EXPECT_DOUBLE_EQ(classifier.class_ceiling(2).value(), 21.0);  // K-means
 }
 
 TEST(PowerClassifier, MembersPartitionTheCatalog) {
@@ -48,7 +48,8 @@ TEST(PowerClassifier, MembersPartitionTheCatalog) {
 }
 
 TEST(PowerClassifier, EqualPowersShareAClass) {
-  const PowerClassifier classifier({5.0, 5.0, 5.0, 20.0}, 2);
+  const PowerClassifier classifier(
+      {Watts{5.0}, Watts{5.0}, Watts{5.0}, Watts{20.0}}, 2);
   EXPECT_EQ(classifier.class_of(0), classifier.class_of(1));
   EXPECT_EQ(classifier.class_of(1), classifier.class_of(2));
   EXPECT_NE(classifier.class_of(0), classifier.class_of(3));
@@ -71,19 +72,20 @@ TEST(PowerClassifier, FitsBudgetImplementsEq1) {
   // 10 K-means-class requests at full frequency: 10 * 21 W = 210 W.
   std::vector<std::size_t> q(3, 0);
   q[2] = 10;
-  EXPECT_TRUE(classifier.fits_budget(q, 1.0, 215.0, catalog));
-  EXPECT_FALSE(classifier.fits_budget(q, 1.0, 205.0, catalog));
+  EXPECT_TRUE(classifier.fits_budget(q, 1.0, Watts{215.0}, catalog));
+  EXPECT_FALSE(classifier.fits_budget(q, 1.0, Watts{205.0}, catalog));
   // Throttling helps, but K-means' low beta limits the saving: at
   // rel = 0.5 each request still draws 21·(0.35·0.125 + 0.65) ≈ 14.6 W.
-  EXPECT_FALSE(classifier.fits_budget(q, 0.5, 140.0, catalog));
-  EXPECT_TRUE(classifier.fits_budget(q, 0.5, 150.0, catalog));
+  EXPECT_FALSE(classifier.fits_budget(q, 0.5, Watts{140.0}, catalog));
+  EXPECT_TRUE(classifier.fits_budget(q, 0.5, Watts{150.0}, catalog));
 }
 
 TEST(PowerClassifier, Validates) {
   EXPECT_THROW(PowerClassifier({}, 1), std::invalid_argument);
-  EXPECT_THROW(PowerClassifier({1.0}, 2), std::invalid_argument);
-  EXPECT_THROW(PowerClassifier({1.0, -1.0}, 1), std::invalid_argument);
-  const PowerClassifier ok({1.0, 2.0}, 2);
+  EXPECT_THROW(PowerClassifier({Watts{1.0}}, 2), std::invalid_argument);
+  EXPECT_THROW(PowerClassifier({Watts{1.0}, Watts{-1.0}}, 1),
+               std::invalid_argument);
+  const PowerClassifier ok({Watts{1.0}, Watts{2.0}}, 2);
   EXPECT_THROW(ok.class_of(9), std::invalid_argument);
   EXPECT_THROW(ok.class_ceiling(5), std::invalid_argument);
 }
@@ -96,7 +98,7 @@ struct GradedRig {
   std::unique_ptr<cluster::Cluster> cluster;
   GradedAntiDopeScheme* scheme = nullptr;
 
-  explicit GradedRig(Watts budget_override = 0.0) {
+  explicit GradedRig(Watts budget_override = Watts{0.0}) {
     cluster::ClusterConfig cc;
     cc.num_servers = 10;
     cc.budget_level = power::BudgetLevel::kLow;
@@ -166,7 +168,7 @@ TEST(GradedAntiDope, MidClassFloodSparesTopClassUsers) {
 }
 
 TEST(GradedAntiDope, ThrottlesHeaviestPoolFirstUnderDeficit) {
-  GradedRig rig(/*budget_override=*/470.0);
+  GradedRig rig(/*budget_override=*/Watts{470.0});
   // Saturate the top-class pool.
   workload::GeneratorConfig attack;
   attack.mixture = workload::Mixture::single(Catalog::kCollaFilt);

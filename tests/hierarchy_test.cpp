@@ -18,10 +18,10 @@ using workload::Catalog;
 
 TEST(PowerTopology, UniformBuildsRacksAndRatings) {
   const auto topology =
-      power::PowerTopology::uniform(8, 4, 100.0, 0.85, 0.80);
+      power::PowerTopology::uniform(8, 4, Watts{100.0}, 0.85, 0.80);
   ASSERT_EQ(topology.pdus.size(), 2u);
-  EXPECT_DOUBLE_EQ(topology.pdus[0].rating, 340.0);
-  EXPECT_DOUBLE_EQ(topology.facility_rating, 640.0);
+  EXPECT_DOUBLE_EQ(topology.pdus[0].rating.value(), 340.0);
+  EXPECT_DOUBLE_EQ(topology.facility_rating.value(), 640.0);
   EXPECT_EQ(topology.pdus[0].servers,
             (std::vector<std::size_t>{0, 1, 2, 3}));
   topology.validate(8);
@@ -30,33 +30,34 @@ TEST(PowerTopology, UniformBuildsRacksAndRatings) {
 
 TEST(PowerTopology, UnevenLastRack) {
   const auto topology =
-      power::PowerTopology::uniform(10, 4, 100.0, 0.9, 0.9);
+      power::PowerTopology::uniform(10, 4, Watts{100.0}, 0.9, 0.9);
   ASSERT_EQ(topology.pdus.size(), 3u);
   EXPECT_EQ(topology.pdus[2].servers.size(), 2u);
-  EXPECT_DOUBLE_EQ(topology.pdus[2].rating, 180.0);
+  EXPECT_DOUBLE_EQ(topology.pdus[2].rating.value(), 180.0);
   topology.validate(10);
 }
 
 TEST(PowerTopology, ValidateCatchesStructuralErrors) {
-  auto topology = power::PowerTopology::uniform(4, 2, 100.0, 0.9, 0.9);
+  auto topology = power::PowerTopology::uniform(4, 2, Watts{100.0}, 0.9, 0.9);
   EXPECT_THROW(topology.validate(5), std::invalid_argument);  // orphan
   topology.pdus[0].servers.push_back(3);  // fed twice
   EXPECT_THROW(topology.validate(4), std::invalid_argument);
-  EXPECT_THROW(power::PowerTopology::uniform(0, 2, 100.0, 0.9, 0.9),
+  EXPECT_THROW(power::PowerTopology::uniform(0, 2, Watts{100.0}, 0.9, 0.9),
                std::invalid_argument);
-  EXPECT_THROW(power::PowerTopology::uniform(4, 2, 100.0, 1.5, 0.9),
+  EXPECT_THROW(power::PowerTopology::uniform(4, 2, Watts{100.0}, 1.5, 0.9),
                std::invalid_argument);
 }
 
 TEST(EvaluateHierarchy, AggregatesPerLevel) {
   const auto topology =
-      power::PowerTopology::uniform(4, 2, 100.0, 0.85, 0.80);
+      power::PowerTopology::uniform(4, 2, Watts{100.0}, 0.85, 0.80);
   const auto load =
-      power::evaluate_hierarchy(topology, {80.0, 90.0, 30.0, 30.0});
-  EXPECT_DOUBLE_EQ(load.facility.load, 230.0);
-  EXPECT_DOUBLE_EQ(load.pdus[0].load, 170.0);
-  EXPECT_DOUBLE_EQ(load.pdus[1].load, 60.0);
-  EXPECT_DOUBLE_EQ(load.pdus[0].rating, 170.0);
+      power::evaluate_hierarchy(
+      topology, {Watts{80.0}, Watts{90.0}, Watts{30.0}, Watts{30.0}});
+  EXPECT_DOUBLE_EQ(load.facility.load.value(), 230.0);
+  EXPECT_DOUBLE_EQ(load.pdus[0].load.value(), 170.0);
+  EXPECT_DOUBLE_EQ(load.pdus[1].load.value(), 60.0);
+  EXPECT_DOUBLE_EQ(load.pdus[0].rating.value(), 170.0);
   EXPECT_FALSE(load.pdus[0].violated());  // exactly at the rating
   EXPECT_FALSE(load.facility.violated());
   EXPECT_EQ(load.violations(), 0u);
@@ -64,10 +65,11 @@ TEST(EvaluateHierarchy, AggregatesPerLevel) {
 
 TEST(EvaluateHierarchy, DetectsRackOnlyViolation) {
   const auto topology =
-      power::PowerTopology::uniform(4, 2, 100.0, 0.85, 0.80);
+      power::PowerTopology::uniform(4, 2, Watts{100.0}, 0.85, 0.80);
   // Rack 0 over its 170 W PDU; facility total (260) under the 320 feed.
   const auto load =
-      power::evaluate_hierarchy(topology, {100.0, 100.0, 30.0, 30.0});
+      power::evaluate_hierarchy(
+      topology, {Watts{100.0}, Watts{100.0}, Watts{30.0}, Watts{30.0}});
   EXPECT_TRUE(load.pdus[0].violated());
   EXPECT_FALSE(load.facility.violated());
   EXPECT_TRUE(load.rack_only_violation());
@@ -89,7 +91,7 @@ struct HierRig {
     cc.lb_policy = net::LbPolicy::kSourceHash;      // concentration!
     cluster = std::make_unique<cluster::Cluster>(engine, catalog, cc);
     auto topology =
-        power::PowerTopology::uniform(8, 4, 100.0, 0.85, 1.00);
+        power::PowerTopology::uniform(8, 4, Watts{100.0}, 0.85, 1.00);
     auto s = std::make_unique<schemes::HierarchicalCappingScheme>(
         std::move(topology));
     scheme = s.get();
@@ -191,7 +193,7 @@ TEST(HierarchicalCapping, RejectsMismatchedTopology) {
   cluster::ClusterConfig cc;
   cc.num_servers = 4;
   cluster::Cluster cluster(engine, catalog, cc);
-  auto topology = power::PowerTopology::uniform(8, 4, 100.0, 0.9, 0.9);
+  auto topology = power::PowerTopology::uniform(8, 4, Watts{100.0}, 0.9, 0.9);
   auto scheme = std::make_unique<schemes::HierarchicalCappingScheme>(
       std::move(topology));
   EXPECT_THROW(cluster.install_scheme(std::move(scheme)),

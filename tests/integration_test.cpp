@@ -122,7 +122,7 @@ TEST(Integration, ShavingDrainsBatteryUnderSustainedDope) {
   const auto r = run_scenario(config);
   ASSERT_FALSE(r.battery_soc_timeline.empty());
   EXPECT_LT(r.battery_soc_timeline.back().value, 0.5);
-  EXPECT_GT(r.battery_discharged, 10'000.0);
+  EXPECT_GT(r.battery_discharged, Joules{10'000.0});
 }
 
 TEST(Integration, AntiDopeSipsBatteryUnderSustainedDope) {
@@ -142,8 +142,7 @@ TEST(Integration, EnforcingSchemesKeepUtilityDrawWithinBudget) {
     const auto r = run_scenario(config);
     // Mean utility power over the run must respect the feed (small slack
     // for convergence transients in the first slots).
-    const double seconds = to_seconds(config.duration);
-    const Watts mean_utility = r.energy.utility_total() / seconds;
+    const Watts mean_utility = r.energy.utility_total() / config.duration;
     EXPECT_LE(mean_utility, r.budget * 1.05) << r.scheme;
     // The utility feed should be clean for the battery/selective schemes.
     if (scheme == SchemeKind::kShaving || scheme == SchemeKind::kAntiDope) {
@@ -177,7 +176,7 @@ TEST(Integration, ResultsAreDeterministic) {
       base_scenario(SchemeKind::kAntiDope, power::BudgetLevel::kMedium));
   EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
   EXPECT_DOUBLE_EQ(a.p90_ms, b.p90_ms);
-  EXPECT_DOUBLE_EQ(a.mean_power, b.mean_power);
+  EXPECT_DOUBLE_EQ(a.mean_power.value(), b.mean_power.value());
   EXPECT_EQ(a.slot_stats.violation_slots, b.slot_stats.violation_slots);
 }
 

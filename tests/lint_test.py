@@ -147,6 +147,62 @@ class FloatEqRule(unittest.TestCase):
             "tests/sample_test.cpp")
         self.assertNotIn("float-eq", rules_of(findings))
 
+    def test_sizeof_comparison_is_clean(self):
+        # sizeof yields an integer; static_assert layout checks on the
+        # Quantity types (common/units.hpp) must not trip the rule.
+        findings = lint_snippet(
+            "#pragma once\n"
+            "static_assert(sizeof(Watts) == sizeof(double));\n",
+            "src/mod/sample.hpp")
+        self.assertNotIn("float-eq", rules_of(findings))
+
+
+class RawPhysicalDoubleRule(unittest.TestCase):
+    def test_flags_unit_suffixed_members_and_params(self):
+        for decl in (
+            "double power_w = 0.0;",
+            "double idle_joules;",
+            "double cap_wh = 0.0;",
+            "double clock_ghz = 2.4;",
+            "void set(double budget_w);",
+            "double drained_j() const;",
+        ):
+            findings = lint_snippet(
+                f"#pragma once\nstruct S {{ {decl} }};\n",
+                "src/mod/sample.hpp")
+            self.assertIn("raw-physical-double", rules_of(findings), decl)
+
+    def test_quantity_types_are_clean(self):
+        findings = lint_snippet(
+            "#pragma once\n"
+            "struct S { dope::Watts power_w{0.0}; "
+            "dope::Joules drained_j{0.0}; };\n",
+            "src/mod/sample.hpp")
+        self.assertNotIn("raw-physical-double", rules_of(findings))
+
+    def test_dimensionless_doubles_are_clean(self):
+        findings = lint_snippet(
+            "#pragma once\n"
+            "struct S { double headroom_margin = 0.02; double soc; };\n",
+            "src/mod/sample.hpp")
+        self.assertNotIn("raw-physical-double", rules_of(findings))
+
+    def test_cpp_files_are_exempt(self):
+        findings = lint_snippet(
+            "void emit() { double power_w = p.value(); write(power_w); }\n",
+            "src/mod/sample.cpp")
+        self.assertNotIn("raw-physical-double", rules_of(findings))
+
+    def test_suppression_is_honoured(self):
+        findings = lint_snippet(
+            "#pragma once\n"
+            "struct Row {\n"
+            "  // dope-lint: allow(raw-physical-double) — JSON schema\n"
+            "  double power_w;\n"
+            "};\n",
+            "src/mod/sample.hpp")
+        self.assertNotIn("raw-physical-double", rules_of(findings))
+
 
 class IncludeHygieneRule(unittest.TestCase):
     def test_header_missing_pragma_once(self):

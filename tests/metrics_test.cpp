@@ -138,22 +138,22 @@ TEST(TimelineRecorder, ValidatesArguments) {
 
 TEST(EnergyAccount, SlotAccumulationBySource) {
   EnergyAccount account;
-  account.add_slot(300.0, 50.0, 20.0, kSecond);
-  account.add_slot(300.0, 0.0, 0.0, kSecond);
-  EXPECT_DOUBLE_EQ(account.utility, 600.0);
-  EXPECT_DOUBLE_EQ(account.battery, 50.0);
-  EXPECT_DOUBLE_EQ(account.recharge, 20.0);
-  EXPECT_DOUBLE_EQ(account.load_total(), 650.0);
-  EXPECT_DOUBLE_EQ(account.utility_total(), 620.0);
+  account.add_slot(Watts{300.0}, Watts{50.0}, Watts{20.0}, kSecond);
+  account.add_slot(Watts{300.0}, Watts{0.0}, Watts{0.0}, kSecond);
+  EXPECT_DOUBLE_EQ(account.utility.value(), 600.0);
+  EXPECT_DOUBLE_EQ(account.battery.value(), 50.0);
+  EXPECT_DOUBLE_EQ(account.recharge.value(), 20.0);
+  EXPECT_DOUBLE_EQ(account.load_total().value(), 650.0);
+  EXPECT_DOUBLE_EQ(account.utility_total().value(), 620.0);
 }
 
 TEST(EnergyAccount, JouleAccumulation) {
   EnergyAccount account;
-  account.add_joules(100.0, 10.0, 5.0);
-  account.add_joules(1.0, 2.0, 3.0);
-  EXPECT_DOUBLE_EQ(account.utility, 101.0);
-  EXPECT_DOUBLE_EQ(account.battery, 12.0);
-  EXPECT_DOUBLE_EQ(account.recharge, 8.0);
+  account.add_joules(Joules{100.0}, Joules{10.0}, Joules{5.0});
+  account.add_joules(Joules{1.0}, Joules{2.0}, Joules{3.0});
+  EXPECT_DOUBLE_EQ(account.utility.value(), 101.0);
+  EXPECT_DOUBLE_EQ(account.battery.value(), 12.0);
+  EXPECT_DOUBLE_EQ(account.recharge.value(), 8.0);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+# Negative-compilation driver for the Quantity<Dim> dimension system.
+#
+# Invoked by ctest (see tests/CMakeLists.txt, units_negative_compile) as
+#   cmake -DCXX=... -DSRC=... -DINC=... -P run_cases.cmake
+#
+# For each DOPE_NC_* macro in units_illformed.cpp the driver try-compiles
+# the file (syntax-only; nothing is linked or written) and FAILS if the
+# compiler *accepts* it — each case is a watts/joules mix-up the type
+# system must reject. A no-macro positive-control compile runs first so
+# a broken include path or flag can never masquerade as "all cases
+# rejected".
+
+if(NOT CXX OR NOT SRC OR NOT INC)
+  message(FATAL_ERROR "usage: cmake -DCXX=<compiler> -DSRC=<units_illformed.cpp> "
+                      "-DINC=<src include dir> -P run_cases.cmake")
+endif()
+
+set(cases
+    DOPE_NC_ADD_WATTS_JOULES
+    DOPE_NC_IMPLICIT_FROM_DOUBLE
+    DOPE_NC_IMPLICIT_TO_DOUBLE
+    DOPE_NC_POWER_WHERE_ENERGY
+    DOPE_NC_ADD_JOULES_WATT_HOURS
+    DOPE_NC_COMPARE_WATTS_JOULES
+    DOPE_NC_COMPOUND_MIXED
+    DOPE_NC_ASSIGN_RAW_DOUBLE)
+
+# Positive control: the legal algebra must build, or the harness itself
+# is broken and every "rejection" below would be meaningless.
+execute_process(
+  COMMAND "${CXX}" -std=c++20 -fsyntax-only "-I${INC}" "${SRC}"
+  RESULT_VARIABLE control_rv
+  ERROR_VARIABLE control_err)
+if(NOT control_rv EQUAL 0)
+  message(FATAL_ERROR
+          "positive control failed to compile — harness broken:\n"
+          "${control_err}")
+endif()
+
+set(accepted "")
+foreach(case IN LISTS cases)
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -fsyntax-only "-D${case}" "-I${INC}" "${SRC}"
+    RESULT_VARIABLE rv
+    ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    list(APPEND accepted "${case}")
+    message(SEND_ERROR "ACCEPTED (must be ill-formed): ${case}")
+  else()
+    message(STATUS "rejected as required: ${case}")
+  endif()
+endforeach()
+
+if(accepted)
+  message(FATAL_ERROR "dimension-mixing cases compiled: ${accepted}")
+endif()
+list(LENGTH cases n)
+message(STATUS "units_negative_compile: all ${n} ill-formed cases rejected")

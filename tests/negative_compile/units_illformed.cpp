@@ -1,0 +1,68 @@
+// Negative-compilation cases for the strong quantity types.
+//
+// Each DOPE_NC_* macro selects one deliberately ill-formed snippet; the
+// units_negative_compile ctest (run_cases.cmake) compiles this file once
+// per macro and fails if any snippet is *accepted*. Compiled with no
+// macro defined, the file is the positive control: the legal algebra
+// around each trap must still build, so a red case can only mean the
+// type system rejected the mix-up — not that the harness broke.
+
+#include "common/units.hpp"
+
+namespace {
+
+using dope::GHz;
+using dope::Joules;
+using dope::WattHours;
+using dope::Watts;
+
+#if defined(DOPE_NC_ADD_WATTS_JOULES)
+// Power plus energy has no dimension: Eq. 1 sums powers, never mixes.
+Joules bad() { return Watts{100.0} + Joules{50.0}; }
+#elif defined(DOPE_NC_IMPLICIT_FROM_DOUBLE)
+// Raw doubles must enter through the explicit constructor.
+Watts bad() { return 100.0; }
+#elif defined(DOPE_NC_IMPLICIT_TO_DOUBLE)
+// ...and leave only through .value().
+double bad() { return Watts{100.0}; }
+#elif defined(DOPE_NC_POWER_WHERE_ENERGY)
+// Passing power where energy is expected — the battery-SoC bug class.
+Joules sink(Joules e) { return e; }
+Joules bad() { return sink(Watts{100.0}); }
+#elif defined(DOPE_NC_ADD_JOULES_WATT_HOURS)
+// Same dimension, different scale: the 3600x trap needs to_joules().
+Joules bad() { return Joules{100.0} + WattHours{1.0}; }
+#elif defined(DOPE_NC_COMPARE_WATTS_JOULES)
+// Cross-dimension comparison is meaningless.
+bool bad() { return Watts{100.0} < Joules{100.0}; }
+#elif defined(DOPE_NC_COMPOUND_MIXED)
+// Compound assignment cannot change dimension either.
+Watts bad() {
+  Watts p{10.0};
+  p += GHz{2.4};
+  return p;
+}
+#elif defined(DOPE_NC_ASSIGN_RAW_DOUBLE)
+// No operator= from a raw double: re-wrap explicitly.
+Watts bad() {
+  Watts p{10.0};
+  p = 20.0;
+  return p;
+}
+#else
+// Positive control: the legal counterpart of every trap above.
+Joules fine() {
+  Watts p = Watts{100.0} + Watts{50.0};
+  p += GHz{2.4}.value() * Watts{1.0};
+  p = Watts{20.0};
+  const double ratio = p / Watts{2.0};
+  const bool hotter = p > Watts{90.0};
+  Joules e = dope::energy_of(p, dope::kSecond) +
+             dope::to_joules(WattHours{1.0});
+  return hotter ? e * ratio : e;
+}
+#endif
+
+}  // namespace
+
+int main() { return 0; }

@@ -434,7 +434,7 @@ TEST(Spans, JsonlRecordsCarrySchemaFields) {
   span.begin = 100;
   span.source_id = 1'000'001;
   span.url_class = 2;
-  span.power_w = 21.0;
+  span.power_w = Watts{21.0};
   span.server = 1;
   span.slot = 0;
   tracer.begin(span);
@@ -606,7 +606,7 @@ TEST(Forensics, ZeroRequestRunProducesEmptyRollup) {
   const auto forensics =
       Forensics::build(*hub.spans(), hub.trace(), scenario_config.duration);
   EXPECT_TRUE(forensics.sources().empty());
-  EXPECT_EQ(forensics.total_joules(), 0.0);
+  EXPECT_EQ(forensics.total_joules().value(), 0.0);
   EXPECT_TRUE(forensics.top_by_joules(5).empty());
   std::ostringstream json;
   forensics.write_json(json);

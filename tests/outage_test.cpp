@@ -18,9 +18,9 @@ using workload::Catalog;
 // ----------------------------------------------------------------- breaker
 
 TEST(CircuitBreaker, StaysClosedUnderRatedLoad) {
-  power::CircuitBreaker breaker({.rated = 100.0});
+  power::CircuitBreaker breaker({.rated = Watts{100.0}});
   for (int i = 0; i < 1'000; ++i) {
-    EXPECT_FALSE(breaker.observe(100.0, kSecond));
+    EXPECT_FALSE(breaker.observe(Watts{100.0}, kSecond));
   }
   EXPECT_FALSE(breaker.tripped());
   EXPECT_DOUBLE_EQ(breaker.heat(), 0.0);
@@ -28,8 +28,8 @@ TEST(CircuitBreaker, StaysClosedUnderRatedLoad) {
 
 TEST(CircuitBreaker, MagneticTripIsImmediate) {
   power::CircuitBreaker breaker(
-      {.rated = 100.0, .instant_trip_multiple = 2.0});
-  EXPECT_TRUE(breaker.observe(200.0, kMillisecond));
+      {.rated = Watts{100.0}, .instant_trip_multiple = 2.0});
+  EXPECT_TRUE(breaker.observe(Watts{200.0}, kMillisecond));
   EXPECT_TRUE(breaker.tripped());
   EXPECT_EQ(breaker.trips(), 1u);
 }
@@ -38,7 +38,7 @@ TEST(CircuitBreaker, ThermalTripFollowsInverseTimeCurve) {
   // heat rate = ratio^2 - 1. At 141% load: rate ~1/s -> ~30 s to trip.
   // At 120%: rate 0.44/s -> ~68 s. Deeper overload trips sooner.
   const auto time_to_trip = [](Watts load) {
-    power::CircuitBreaker breaker({.rated = 100.0,
+    power::CircuitBreaker breaker({.rated = Watts{100.0},
                                    .instant_trip_multiple = 3.0,
                                    .thermal_capacity = 30.0});
     int seconds = 0;
@@ -48,22 +48,22 @@ TEST(CircuitBreaker, ThermalTripFollowsInverseTimeCurve) {
     }
     return seconds;
   };
-  const int at_141 = time_to_trip(141.4);
-  const int at_120 = time_to_trip(120.0);
+  const int at_141 = time_to_trip(Watts{141.4});
+  const int at_120 = time_to_trip(Watts{120.0});
   EXPECT_NEAR(at_141, 30, 2);
   EXPECT_NEAR(at_120, 68, 4);
   EXPECT_LT(at_141, at_120);
 }
 
 TEST(CircuitBreaker, CoolsWhenLoadSubsides) {
-  power::CircuitBreaker breaker({.rated = 100.0,
+  power::CircuitBreaker breaker({.rated = Watts{100.0},
                                  .thermal_capacity = 30.0,
                                  .cooling_rate = 0.5});
   // Build up some heat, then cool.
-  for (int i = 0; i < 10; ++i) breaker.observe(141.4, kSecond);
+  for (int i = 0; i < 10; ++i) breaker.observe(Watts{141.4}, kSecond);
   const double hot = breaker.heat();
   ASSERT_GT(hot, 5.0);
-  for (int i = 0; i < 30; ++i) breaker.observe(50.0, kSecond);
+  for (int i = 0; i < 30; ++i) breaker.observe(Watts{50.0}, kSecond);
   EXPECT_LT(breaker.heat(), hot);
   EXPECT_FALSE(breaker.tripped());
 }
@@ -71,15 +71,16 @@ TEST(CircuitBreaker, CoolsWhenLoadSubsides) {
 TEST(CircuitBreaker, ShortSpikesRideThrough) {
   // A 2 s spike at 150% must NOT trip a 30 s-capacity breaker — this is
   // the thermal tolerance oversubscription relies on.
-  power::CircuitBreaker breaker({.rated = 100.0, .thermal_capacity = 30.0});
-  breaker.observe(150.0, 2 * kSecond);
+  power::CircuitBreaker breaker(
+      {.rated = Watts{100.0}, .thermal_capacity = 30.0});
+  breaker.observe(Watts{150.0}, 2 * kSecond);
   EXPECT_FALSE(breaker.tripped());
 }
 
 TEST(CircuitBreaker, ResetClearsStateButKeepsTripCount) {
   power::CircuitBreaker breaker(
-      {.rated = 100.0, .instant_trip_multiple = 1.5});
-  ASSERT_TRUE(breaker.observe(200.0, kSecond));
+      {.rated = Watts{100.0}, .instant_trip_multiple = 1.5});
+  ASSERT_TRUE(breaker.observe(Watts{200.0}, kSecond));
   breaker.reset();
   EXPECT_FALSE(breaker.tripped());
   EXPECT_DOUBLE_EQ(breaker.heat(), 0.0);
@@ -87,10 +88,11 @@ TEST(CircuitBreaker, ResetClearsStateButKeepsTripCount) {
 }
 
 TEST(CircuitBreaker, ValidatesSpec) {
-  EXPECT_THROW(power::CircuitBreaker({.rated = 0.0}),
+  EXPECT_THROW(power::CircuitBreaker({.rated = Watts{0.0}}),
                std::invalid_argument);
   EXPECT_THROW(
-      power::CircuitBreaker({.rated = 10.0, .instant_trip_multiple = 1.0}),
+      power::CircuitBreaker(
+          {.rated = Watts{10.0}, .instant_trip_multiple = 1.0}),
       std::invalid_argument);
 }
 
@@ -116,7 +118,7 @@ TEST(PowerOff, LosesInFlightWorkAndDropsToZeroPower) {
   node.power_off();
   EXPECT_TRUE(node.powered_off());
   EXPECT_FALSE(node.accepting());
-  EXPECT_DOUBLE_EQ(node.current_power(), 0.0);
+  EXPECT_DOUBLE_EQ(node.current_power().value(), 0.0);
   EXPECT_EQ(node.active_count(), 0u);
   EXPECT_EQ(node.queue_length(), 0u);
   ASSERT_EQ(records.size(), 6u);
@@ -155,7 +157,7 @@ TEST(PowerOff, EnergyIsZeroWhileDark) {
   engine.run_until(kSecond);  // 38 J of idle
   node.power_off();
   engine.run_until(11 * kSecond);  // 10 s dark
-  EXPECT_NEAR(node.energy(), 38.0, 0.1);
+  EXPECT_NEAR(node.energy().value(), 38.0, 0.1);
 }
 
 // ------------------------------------------------------- cluster outages
@@ -164,7 +166,7 @@ cluster::ClusterConfig breaker_cluster(scenario::SchemeKind) {
   cluster::ClusterConfig cc;
   cc.num_servers = 8;
   cc.budget_level = power::BudgetLevel::kLow;
-  cc.breaker = power::BreakerSpec{.rated = 640.0,
+  cc.breaker = power::BreakerSpec{.rated = Watts{640.0},
                                   .instant_trip_multiple = 2.0,
                                   .thermal_capacity = 10.0,
                                   .cooling_rate = 0.1};

@@ -15,9 +15,10 @@ namespace {
 TEST(DvfsLadder, DefaultMatchesPaperTestbed) {
   const auto ladder = DvfsLadder::make();
   EXPECT_EQ(ladder.levels(), 13u);  // 1.2 .. 2.4 GHz at 0.1 steps
-  EXPECT_DOUBLE_EQ(ladder.min_frequency(), 1.2);
-  EXPECT_DOUBLE_EQ(ladder.max_frequency(), 2.4);
-  EXPECT_NEAR(ladder.frequency(1) - ladder.frequency(0), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(ladder.min_frequency().value(), 1.2);
+  EXPECT_DOUBLE_EQ(ladder.max_frequency().value(), 2.4);
+  EXPECT_NEAR((ladder.frequency(1) - ladder.frequency(0)).value(),
+              0.1, 1e-9);
 }
 
 TEST(DvfsLadder, FrequenciesAscend) {
@@ -29,11 +30,11 @@ TEST(DvfsLadder, FrequenciesAscend) {
 
 TEST(DvfsLadder, LevelForClampsAndRoundsDown) {
   const auto ladder = DvfsLadder::make();
-  EXPECT_EQ(ladder.level_for(0.5), 0u);
-  EXPECT_EQ(ladder.level_for(99.0), ladder.max_level());
+  EXPECT_EQ(ladder.level_for(GHz{0.5}), 0u);
+  EXPECT_EQ(ladder.level_for(GHz{99.0}), ladder.max_level());
   // 1.25 GHz is not an operating point; the highest point <= f is 1.2.
-  EXPECT_EQ(ladder.level_for(1.25), 0u);
-  EXPECT_EQ(ladder.level_for(2.4), ladder.max_level());
+  EXPECT_EQ(ladder.level_for(GHz{1.25}), 0u);
+  EXPECT_EQ(ladder.level_for(GHz{2.4}), ladder.max_level());
 }
 
 TEST(DvfsLadder, RelativeIsFractionOfMax) {
@@ -51,42 +52,47 @@ TEST(DvfsLadder, ClampedHandlesNegativeAndOverflow) {
 
 TEST(DvfsLadder, ExplicitListValidated) {
   EXPECT_THROW(DvfsLadder({}), std::invalid_argument);
-  EXPECT_THROW(DvfsLadder({2.0, 1.0}), std::invalid_argument);
-  const DvfsLadder single({1.0});
+  EXPECT_THROW(DvfsLadder({GHz{2.0}, GHz{1.0}}),
+               std::invalid_argument);
+  const DvfsLadder single({GHz{1.0}});
   EXPECT_EQ(single.levels(), 1u);
   EXPECT_EQ(single.max_level(), 0u);
 }
 
 TEST(DvfsLadder, RejectsBadMakeParameters) {
-  EXPECT_THROW(DvfsLadder::make(0.0, 1.0, 0.1), std::invalid_argument);
-  EXPECT_THROW(DvfsLadder::make(2.0, 1.0, 0.1), std::invalid_argument);
-  EXPECT_THROW(DvfsLadder::make(1.0, 2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(DvfsLadder::make(GHz{0.0}, GHz{1.0}, GHz{0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(DvfsLadder::make(GHz{2.0}, GHz{1.0}, GHz{0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(DvfsLadder::make(GHz{1.0}, GHz{2.0}, GHz{0.0}),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------------------- power model
 
 TEST(ActivePower, FullSensitivityFollowsCubicLaw) {
-  const RequestPowerProfile profile{16.0, 1.0};
-  EXPECT_DOUBLE_EQ(active_power(profile, 1.0), 16.0);
-  EXPECT_NEAR(active_power(profile, 0.5), 16.0 * 0.125, 1e-9);
+  const RequestPowerProfile profile{Watts{16.0}, 1.0};
+  EXPECT_DOUBLE_EQ(active_power(profile, 1.0).value(), 16.0);
+  EXPECT_NEAR(active_power(profile, 0.5).value(), 16.0 * 0.125,
+              1e-9);
 }
 
 TEST(ActivePower, ZeroSensitivityIsFlat) {
-  const RequestPowerProfile profile{18.0, 0.0};
-  EXPECT_DOUBLE_EQ(active_power(profile, 1.0), 18.0);
-  EXPECT_DOUBLE_EQ(active_power(profile, 0.5), 18.0);
+  const RequestPowerProfile profile{Watts{18.0}, 0.0};
+  EXPECT_DOUBLE_EQ(active_power(profile, 1.0).value(), 18.0);
+  EXPECT_DOUBLE_EQ(active_power(profile, 0.5).value(), 18.0);
 }
 
 TEST(ActivePower, PartialSensitivityInterpolates) {
-  const RequestPowerProfile profile{10.0, 0.4};
-  const double at_half = active_power(profile, 0.5);
+  const RequestPowerProfile profile{Watts{10.0}, 0.4};
+  const double at_half = active_power(profile, 0.5).value();
   EXPECT_NEAR(at_half, 10.0 * (0.4 * 0.125 + 0.6), 1e-9);
   EXPECT_LT(at_half, 10.0);
   EXPECT_GT(at_half, 10.0 * 0.125);
 }
 
 TEST(ActivePower, RejectsOutOfRangeFrequency) {
-  const RequestPowerProfile profile{10.0, 0.5};
+  const RequestPowerProfile profile{Watts{10.0}, 0.5};
   EXPECT_THROW(active_power(profile, 0.0), std::invalid_argument);
   EXPECT_THROW(active_power(profile, 1.1), std::invalid_argument);
 }
@@ -99,9 +105,11 @@ class ServerPowerModelTest : public ::testing::Test {
 };
 
 TEST_F(ServerPowerModelTest, IdlePowerAtExtremes) {
-  EXPECT_DOUBLE_EQ(model_.idle_power(ladder_.max_level()), 38.0);
+  EXPECT_DOUBLE_EQ(model_.idle_power(ladder_.max_level()).value(),
+                   38.0);
   const double rel = 1.2 / 2.4;
-  EXPECT_NEAR(model_.idle_power(0), 30.0 + 8.0 * rel * rel * rel, 1e-9);
+  EXPECT_NEAR(model_.idle_power(0).value(),
+              30.0 + 8.0 * rel * rel * rel, 1e-9);
 }
 
 TEST_F(ServerPowerModelTest, IdlePowerMonotoneInLevel) {
@@ -111,31 +119,32 @@ TEST_F(ServerPowerModelTest, IdlePowerMonotoneInLevel) {
 }
 
 TEST_F(ServerPowerModelTest, ClampRespectsNameplate) {
-  EXPECT_DOUBLE_EQ(model_.clamp(150.0), 100.0);
-  EXPECT_DOUBLE_EQ(model_.clamp(80.0), 80.0);
+  EXPECT_DOUBLE_EQ(model_.clamp(Watts{150.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(model_.clamp(Watts{80.0}).value(), 80.0);
 }
 
 TEST_F(ServerPowerModelTest, SaturatedPowerNearNameplateForHeavyType) {
   // 15 W/request, 4 cores -> 38 + 60 = 98 W, just under nameplate.
-  const RequestPowerProfile heavy{15.0, 0.8};
-  EXPECT_NEAR(model_.saturated_power(heavy, ladder_.max_level()), 98.0,
-              1e-9);
+  const RequestPowerProfile heavy{Watts{15.0}, 0.8};
+  EXPECT_NEAR(model_.saturated_power(heavy, ladder_.max_level()).value(),
+              98.0, 1e-9);
 }
 
 TEST_F(ServerPowerModelTest, SaturatedPowerClampedForSuperHeavyType) {
-  const RequestPowerProfile monster{30.0, 0.8};
-  EXPECT_DOUBLE_EQ(model_.saturated_power(monster, ladder_.max_level()),
-                   100.0);
+  const RequestPowerProfile monster{Watts{30.0}, 0.8};
+  EXPECT_DOUBLE_EQ(
+      model_.saturated_power(monster, ladder_.max_level()).value(),
+      100.0);
 }
 
 TEST_F(ServerPowerModelTest, LowSensitivityTypeResistsThrottling) {
   // The K-means effect (Fig. 6b): power barely falls with frequency.
-  const RequestPowerProfile kmeans{18.0, 0.35};
-  const RequestPowerProfile collafilt{16.0, 0.80};
-  const double kmeans_drop =
+  const RequestPowerProfile kmeans{Watts{18.0}, 0.35};
+  const RequestPowerProfile collafilt{Watts{16.0}, 0.80};
+  const Watts kmeans_drop =
       model_.request_power(kmeans, ladder_.max_level()) -
       model_.request_power(kmeans, 0);
-  const double colla_drop =
+  const Watts colla_drop =
       model_.request_power(collafilt, ladder_.max_level()) -
       model_.request_power(collafilt, 0);
   EXPECT_LT(kmeans_drop, colla_drop);
@@ -143,7 +152,7 @@ TEST_F(ServerPowerModelTest, LowSensitivityTypeResistsThrottling) {
 
 TEST_F(ServerPowerModelTest, RejectsInvalidSpec) {
   ServerPowerSpec bad = spec_;
-  bad.nameplate = 0.0;
+  bad.nameplate = Watts{0.0};
   EXPECT_THROW(ServerPowerModel(bad, ladder_), std::invalid_argument);
   bad = spec_;
   bad.cores = 0;
@@ -165,9 +174,9 @@ TEST(Provisioning, NamesMatchPaper) {
 }
 
 TEST(Provisioning, BudgetScalesWithNameplate) {
-  const auto b = PowerBudget::for_level(BudgetLevel::kMedium, 800.0);
-  EXPECT_DOUBLE_EQ(b.supply, 680.0);
-  EXPECT_THROW(PowerBudget::for_level(BudgetLevel::kLow, 0.0),
+  const auto b = PowerBudget::for_level(BudgetLevel::kMedium, Watts{800.0});
+  EXPECT_DOUBLE_EQ(b.supply.value(), 680.0);
+  EXPECT_THROW(PowerBudget::for_level(BudgetLevel::kLow, Watts{0.0}),
                std::invalid_argument);
 }
 

@@ -48,11 +48,12 @@ TEST_P(SchemeGrid, EnergyConservation) {
   // Load energy == utility + battery contributions, exactly.
   const auto r = run();
   const Joules total = r.energy.load_total();
-  EXPECT_NEAR(total, r.energy.utility + r.energy.battery,
-              1e-6 * std::max(1.0, total));
-  EXPECT_GE(r.energy.utility, 0.0);
-  EXPECT_GE(r.energy.battery, 0.0);
-  EXPECT_GE(r.energy.recharge, 0.0);
+  EXPECT_NEAR(total.value(),
+              (r.energy.utility + r.energy.battery).value(),
+              1e-6 * std::max(1.0, total.value()));
+  EXPECT_GE(r.energy.utility, Joules{0.0});
+  EXPECT_GE(r.energy.battery, Joules{0.0});
+  EXPECT_GE(r.energy.recharge, Joules{0.0});
 }
 
 TEST_P(SchemeGrid, MeanPowerMatchesEnergyIntegral) {
@@ -60,16 +61,16 @@ TEST_P(SchemeGrid, MeanPowerMatchesEnergyIntegral) {
   // closely (sampling at 500 ms vs. event-exact integration).
   const auto r = run();
   const auto [scheme, budget, rate] = GetParam();
-  const double seconds = to_seconds(sweep_config(scheme, budget, rate)
-                                        .duration);
-  const Watts from_energy = r.energy.load_total() / seconds;
-  EXPECT_NEAR(r.mean_power, from_energy,
-              0.05 * std::max(10.0, from_energy));
+  const Watts from_energy =
+      r.energy.load_total() /
+      sweep_config(scheme, budget, rate).duration;
+  EXPECT_NEAR(r.mean_power.value(), from_energy.value(),
+              0.05 * std::max(10.0, from_energy.value()));
 }
 
 TEST_P(SchemeGrid, PowerNeverExceedsAggregateNameplate) {
   const auto r = run();
-  EXPECT_LE(r.peak_power, 8 * 100.0 + 1e-9);
+  EXPECT_LE(r.peak_power, Watts{8 * 100.0 + 1e-9});
   for (const auto& s : r.power_timeline) {
     ASSERT_GE(s.value, 0.0);
     ASSERT_LE(s.value, 800.0 + 1e-9);
@@ -114,8 +115,8 @@ TEST_P(SchemeGrid, Deterministic) {
   const auto b = run_scenario(sweep_config(scheme, budget, rate));
   EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
   EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
-  EXPECT_DOUBLE_EQ(a.mean_power, b.mean_power);
-  EXPECT_DOUBLE_EQ(a.energy.utility, b.energy.utility);
+  EXPECT_DOUBLE_EQ(a.mean_power.value(), b.mean_power.value());
+  EXPECT_DOUBLE_EQ(a.energy.utility.value(), b.energy.utility.value());
   EXPECT_EQ(a.normal_counts.terminal(), b.normal_counts.terminal());
 }
 
@@ -156,7 +157,7 @@ TEST_P(RateSweep, PowerGrowsWithOfferedLoad) {
   lo.attack_rps = rate / 4.0;
   const auto r_hi = run_scenario(hi);
   const auto r_lo = run_scenario(lo);
-  EXPECT_GE(r_hi.mean_power, r_lo.mean_power - 3.0);
+  EXPECT_GE(r_hi.mean_power, r_lo.mean_power - Watts{3.0});
 }
 
 TEST_P(RateSweep, ThroughputSaturatesAtCapacity) {
@@ -198,8 +199,8 @@ TEST(BudgetMonotonicity, UtilityEnergyBoundedByBudgetEnvelope) {
     const auto config =
         sweep_config(scheme, power::BudgetLevel::kLow, 400.0);
     const auto r = run_scenario(config);
-    const double seconds = to_seconds(config.duration);
-    EXPECT_LE(r.energy.utility_total(), r.budget * seconds * 1.10)
+    EXPECT_LE(r.energy.utility_total(),
+              energy_of(r.budget, config.duration) * 1.10)
         << scheme_name(scheme);
   }
 }

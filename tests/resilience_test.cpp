@@ -60,7 +60,8 @@ TEST(Resilience, PowerDropsByTheDeadNodeShare) {
   rig.cluster->run_for(kSecond);
   const Watts before = rig.cluster->total_power();
   rig.cluster->server(2).power_off();
-  EXPECT_NEAR(rig.cluster->total_power(), before - 38.0, 1e-9);
+  EXPECT_NEAR(rig.cluster->total_power().value(),
+              (before - Watts{38.0}).value(), 1e-9);
 }
 
 TEST(Resilience, NodeRejoinsAfterRepair) {
@@ -108,8 +109,8 @@ TEST(Resilience, SchemeSurvivesNodeFailureMidEnforcement) {
   // (The flood is not ground-truth-tagged here, so it counts as normal.)
   const auto& counts = rig.cluster->request_metrics().normal_counts();
   EXPECT_GT(counts.completed, 1'000u);
-  EXPECT_NEAR(rig.cluster->energy_account().load_total(),
-              rig.cluster->total_energy(), 1.0);
+  EXPECT_NEAR(rig.cluster->energy_account().load_total().value(),
+              rig.cluster->total_energy().value(), 1.0);
 }
 
 TEST(Resilience, EnergyAccountingSurvivesOutagesAndRecovery) {
@@ -120,8 +121,8 @@ TEST(Resilience, EnergyAccountingSurvivesOutagesAndRecovery) {
   rig.cluster->run_for(10 * kSecond);
   rig.cluster->server(0).power_on(kSecond);
   rig.cluster->run_for(10 * kSecond);
-  EXPECT_NEAR(rig.cluster->energy_account().load_total(),
-              rig.cluster->total_energy(), 1.0);
+  EXPECT_NEAR(rig.cluster->energy_account().load_total().value(),
+              rig.cluster->total_energy().value(), 1.0);
 }
 
 }  // namespace

@@ -33,11 +33,11 @@ TEST(SchemeFactory, MakesEveryScheme) {
 
 TEST(RunScenario, PlumbsBudgetOverride) {
   ScenarioConfig config;
-  config.budget_override = 123.0;
+  config.budget_override = Watts{123.0};
   config.duration = kSecond;
   config.normal_rps = 1.0;
   const auto r = run_scenario(config);
-  EXPECT_DOUBLE_EQ(r.budget, 123.0);
+  EXPECT_DOUBLE_EQ(r.budget.value(), 123.0);
 }
 
 TEST(RunScenario, AttackWindowHonoured) {
@@ -131,9 +131,9 @@ TEST(Scale, LargeClusterKeepsInvariants) {
   config.attack_agents = 128;
   config.duration = 2 * kMinute;
   const auto r = run_scenario(config);
-  EXPECT_LE(r.peak_power, 64 * 100.0 + 1e-6);
-  EXPECT_NEAR(r.energy.load_total(), r.energy.utility + r.energy.battery,
-              1.0);
+  EXPECT_LE(r.peak_power, Watts{64 * 100.0 + 1e-6});
+  EXPECT_NEAR(r.energy.load_total().value(),
+              (r.energy.utility + r.energy.battery).value(), 1.0);
   EXPECT_GT(r.availability, 0.9);
   EXPECT_LE(r.p90_ms, 100.0);
   EXPECT_GT(r.normal_counts.completed, 100'000u);
@@ -172,7 +172,8 @@ TEST(CliSweep, ThreadsFlagSmoke) {
   EXPECT_EQ(threaded[1].scheme, "Anti-DOPE");
   for (std::size_t i = 0; i < threaded.size(); ++i) {
     EXPECT_DOUBLE_EQ(threaded[i].mean_ms, serial[i].mean_ms);
-    EXPECT_DOUBLE_EQ(threaded[i].peak_power, serial[i].peak_power);
+    EXPECT_DOUBLE_EQ(threaded[i].peak_power.value(),
+                     serial[i].peak_power.value());
   }
 }
 

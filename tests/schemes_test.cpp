@@ -47,7 +47,7 @@ TEST(SchemeUtil, UniformEstimateIsMonotoneInLevel) {
   rig.cluster->run_for(2 * kSecond);
   auto nodes = rig.cluster->servers();
   const auto& ladder = rig.cluster->ladder();
-  Watts prev = -1.0;
+  Watts prev{-1.0};
   for (power::DvfsLevel l = 0; l < ladder.levels(); ++l) {
     const Watts p = estimate_power_at_uniform(nodes, l);
     EXPECT_GE(p, prev);
@@ -77,7 +77,7 @@ TEST(SchemeUtil, FindUniformLevelFloorsAtMin) {
   rig.cluster->run_for(2 * kSecond);
   auto nodes = rig.cluster->servers();
   const auto& ladder = rig.cluster->ladder();
-  EXPECT_EQ(find_uniform_level(nodes, ladder, 0.0, ladder.max_level()),
+  EXPECT_EQ(find_uniform_level(nodes, ladder, Watts{0.0}, ladder.max_level()),
             ladder.min_level());
 }
 
@@ -186,7 +186,7 @@ TEST(Shaving, BatteryAbsorbsPeakBeforeDvfs) {
   rig.offer(workload::Mixture::single(Catalog::kKMeans), 700.0);
   rig.cluster->run_for(20 * kSecond);
   // Battery is discharging...
-  EXPECT_GT(rig.cluster->battery()->total_discharged(), 0.0);
+  EXPECT_GT(rig.cluster->battery()->total_discharged(), Joules{0.0});
   // ...and (early in the attack) frequencies are still untouched.
   for (auto* n : rig.cluster->servers()) {
     EXPECT_EQ(n->level(), rig.cluster->ladder().max_level());
@@ -197,7 +197,7 @@ TEST(Shaving, LongPeakDrainsBatteryThenThrottles) {
   auto config = battery_config();
   // Tight budget: the saturated cluster runs a ~250 W deficit, so the
   // 2-minute battery empties well inside the run.
-  config.budget_override = 550.0;
+  config.budget_override = Watts{550.0};
   Rig rig(config);
   rig.cluster->install_scheme(std::make_unique<ShavingScheme>());
   rig.offer(workload::Mixture::single(Catalog::kKMeans), 700.0);
@@ -276,7 +276,7 @@ TEST(Shaving, RespectsBatteryReserveFloor) {
   // over earlier than with the full battery available.
   auto config = battery_config();
   config.battery_reserve_fraction = 0.4;
-  config.budget_override = 550.0;
+  config.budget_override = Watts{550.0};
   Rig rig(config);
   rig.cluster->install_scheme(std::make_unique<ShavingScheme>());
   rig.offer(workload::Mixture::single(Catalog::kKMeans), 700.0);

@@ -45,7 +45,7 @@ TEST_F(ServerNodeTest, StartsIdleAtMaxFrequency) {
   EXPECT_EQ(node->level(), ladder_.max_level());
   EXPECT_EQ(node->active_count(), 0u);
   EXPECT_EQ(node->queue_length(), 0u);
-  EXPECT_DOUBLE_EQ(node->current_power(), 38.0);  // idle at f_max
+  EXPECT_DOUBLE_EQ(node->current_power().value(), 38.0);  // idle at f_max
   EXPECT_TRUE(node->accepting());
 }
 
@@ -69,15 +69,15 @@ TEST_F(ServerNodeTest, PowerRisesWithActiveRequests) {
   const Watts one = node->current_power();
   node->submit(request(Catalog::kCollaFilt));
   const Watts two = node->current_power();
-  EXPECT_NEAR(one - idle, 19.0, 1e-9);
-  EXPECT_NEAR(two - one, 19.0, 1e-9);
+  EXPECT_NEAR((one - idle).value(), 19.0, 1e-9);
+  EXPECT_NEAR((two - one).value(), 19.0, 1e-9);
 }
 
 TEST_F(ServerNodeTest, PowerClampedAtNameplate) {
   auto node = make_node();
   for (int i = 0; i < 4; ++i) node->submit(request(Catalog::kKMeans));
   // 38 idle + 4*21 = 122, clamped to the 100 W nameplate.
-  EXPECT_DOUBLE_EQ(node->current_power(), 100.0);
+  EXPECT_DOUBLE_EQ(node->current_power().value(), 100.0);
 }
 
 TEST_F(ServerNodeTest, QueueingBeyondCoresIsFcfs) {
@@ -171,24 +171,24 @@ TEST_F(ServerNodeTest, SupersededActuationAppliesNewestTarget) {
 TEST_F(ServerNodeTest, EnergyIntegratesIdlePowerExactly) {
   auto node = make_node();
   engine_.run_until(10 * kSecond);
-  EXPECT_NEAR(node->energy(), 38.0 * 10.0, 1e-6);
+  EXPECT_NEAR(node->energy().value(), 38.0 * 10.0, 1e-6);
 }
 
 TEST_F(ServerNodeTest, EnergyAccountsForServiceWork) {
   auto node = make_node();
   node->submit(request(Catalog::kCollaFilt));  // 19 W for 80 ms
   engine_.run_until(kSecond);
-  const Joules expected = 38.0 * 1.0 + 19.0 * 0.080;
-  EXPECT_NEAR(node->energy(), expected, 0.05);
+  const Joules expected{38.0 * 1.0 + 19.0 * 0.080};
+  EXPECT_NEAR(node->energy().value(), expected.value(), 0.05);
 }
 
 TEST_F(ServerNodeTest, EstimatePowerAtMatchesCurrentLevel) {
   auto node = make_node();
   node->submit(request(Catalog::kKMeans));
-  EXPECT_DOUBLE_EQ(node->estimate_power_at(node->level()),
-                   node->current_power());
+  EXPECT_DOUBLE_EQ(node->estimate_power_at(node->level()).value(),
+                   node->current_power().value());
   // Lower levels estimate lower (or equal, given clamping) power.
-  Watts prev = -1.0;
+  Watts prev{-1.0};
   for (power::DvfsLevel l = 0; l < ladder_.levels(); ++l) {
     const Watts p = node->estimate_power_at(l);
     EXPECT_GE(p, prev);
@@ -202,7 +202,7 @@ TEST_F(ServerNodeTest, ThrottledKMeansPowerBarelyDrops) {
   node->submit(request(Catalog::kKMeans));
   const Watts at_max = node->estimate_power_at(ladder_.max_level());
   const Watts at_min = node->estimate_power_at(0);
-  const double kmeans_drop = (at_max - at_min) / (at_max - 0.0);
+  const double kmeans_drop = (at_max - at_min) / at_max;
   EXPECT_LT(kmeans_drop, 0.35);
 }
 

@@ -115,7 +115,7 @@ TEST(SpanScenario, SpanTreeIsCausallyConsistent) {
     if (span.kind == SpanKind::kService) {
       EXPECT_GE(span.server, 0);
       EXPECT_GE(span.slot, 0);
-      EXPECT_GT(span.power_w, 0.0);
+      EXPECT_GT(span.power_w, Watts{0.0});
     }
     if (!span.open()) {
       EXPECT_GE(span.end, span.begin);
@@ -154,7 +154,7 @@ TEST(SpanForensics, TopSuspectsAreGroundTruthAttackers) {
     EXPECT_TRUE(suspects.suspicious(source.dominant_class))
         << "class " << source.dominant_class;
     EXPECT_GT(source.requests, 0u);
-    EXPECT_GT(source.joules, 0.0);
+    EXPECT_GT(source.joules, Joules{0.0});
     EXPECT_GT(source.occupancy_ms, 0.0);
   }
 }
@@ -199,16 +199,16 @@ TEST(SpanForensics, JoulesReconcileWithEnergyAccount) {
 
   const auto forensics =
       Forensics::build(*hub.spans(), hub.trace(), config.duration);
-  EXPECT_GT(forensics.total_joules(), 0.0);
+  EXPECT_GT(forensics.total_joules(), Joules{0.0});
 
   const power::ServerPowerModel model(power::ServerPowerSpec{},
                                       power::DvfsLadder::make());
-  const Joules idle = static_cast<double>(config.num_servers) *
-                      model.idle_power(model.ladder().max_level()) *
-                      to_seconds(config.duration);
+  const Joules idle{static_cast<double>(config.num_servers) *
+                    model.idle_power(model.ladder().max_level()).value() *
+                    to_seconds(config.duration)};
   const Joules expected = idle + forensics.total_joules();
-  EXPECT_NEAR(result.energy.load_total(), expected,
-              1e-3 * result.energy.load_total());
+  EXPECT_NEAR(result.energy.load_total().value(), expected.value(),
+              1e-3 * result.energy.load_total().value());
 }
 
 // ------------------------------------------------ exports

@@ -121,7 +121,8 @@ TEST(Runner, MatchesSerialRunScenario) {
         scenario::run_scenario(materialize(grid, sweep.runs[i].point));
     ASSERT_TRUE(sweep.runs[i].ok);
     EXPECT_DOUBLE_EQ(sweep.runs[i].result.mean_ms, serial.mean_ms);
-    EXPECT_DOUBLE_EQ(sweep.runs[i].result.mean_power, serial.mean_power);
+    EXPECT_DOUBLE_EQ(sweep.runs[i].result.mean_power.value(),
+                     serial.mean_power.value());
   }
 }
 

@@ -1,0 +1,166 @@
+// Tier-0 contract tests for the strong quantity types (common/units.hpp).
+//
+// The dimension algebra is asserted at compile time — a wrong result
+// type here is a build failure, not a red test — while the runtime
+// sections check the arithmetic the types carry and the documented
+// conversion boundaries (seconds/millis, joules <-> watt-hours). The
+// ill-formed half of the contract (Watts + Joules must not compile)
+// lives in tests/negative_compile/, driven by the units_negative_compile
+// ctest.
+
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace dope {
+namespace {
+
+// ---- compile-time: layout. The wrapper must cost nothing. ----
+
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Joules) == sizeof(double));
+static_assert(sizeof(GHz) == sizeof(double));
+static_assert(sizeof(WattHours) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Watts>);
+static_assert(std::is_trivially_default_constructible_v<Watts>);
+static_assert(std::is_standard_layout_v<Watts>);
+
+// ---- compile-time: construction is explicit both ways. ----
+
+static_assert(!std::is_convertible_v<double, Watts>);
+static_assert(!std::is_convertible_v<Watts, double>);
+static_assert(!std::is_convertible_v<Watts, Joules>);
+static_assert(!std::is_convertible_v<Joules, WattHours>);
+static_assert(std::is_constructible_v<Watts, double>);
+
+// ---- compile-time: dimension algebra. ----
+
+template <class A, class B>
+inline constexpr bool same = std::is_same_v<A, B>;
+
+// Same-dimension sums and differences keep the dimension.
+static_assert(same<decltype(std::declval<Watts>() + std::declval<Watts>()),
+                   Watts>);
+static_assert(same<decltype(std::declval<Joules>() - std::declval<Joules>()),
+                   Joules>);
+
+// Scaling by a raw double keeps the dimension, either side.
+static_assert(same<decltype(std::declval<Watts>() * 2.0), Watts>);
+static_assert(same<decltype(2.0 * std::declval<Watts>()), Watts>);
+static_assert(same<decltype(std::declval<GHz>() / 2.0), GHz>);
+
+// Power x time is energy; energy over time is power.
+static_assert(same<decltype(std::declval<Watts>() * Duration{}), Joules>);
+static_assert(same<decltype(Duration{} * std::declval<Watts>()), Joules>);
+static_assert(same<decltype(std::declval<Joules>() / Duration{}), Watts>);
+static_assert(
+    same<decltype(energy_of(std::declval<Watts>(), Duration{})), Joules>);
+
+// Same-dimension ratios collapse to plain double.
+static_assert(same<decltype(std::declval<Watts>() / std::declval<Watts>()),
+                   double>);
+static_assert(same<decltype(std::declval<Joules>() / std::declval<Joules>()),
+                   double>);
+static_assert(same<decltype(std::declval<GHz>() / std::declval<GHz>()),
+                   double>);
+
+// Mixed products/quotients derive exponent sums/differences.
+static_assert(same<decltype(std::declval<Watts>() * std::declval<Joules>()),
+                   Quantity<units::Dim<2, 1, 0, 0>>>);
+static_assert(same<decltype(std::declval<Joules>() / std::declval<Watts>()),
+                   Quantity<units::Dim<0, -1, 0, 0>>>);
+
+// Joules and watt-hours live on distinct axes: their ratio is NOT
+// dimensionless, so the 3600x scale cannot cancel silently.
+static_assert(
+    !same<decltype(std::declval<Joules>() / std::declval<WattHours>()),
+          double>);
+
+// Conversions cross the axis explicitly.
+static_assert(same<decltype(to_watt_hours(std::declval<Joules>())),
+                   WattHours>);
+static_assert(same<decltype(to_joules(std::declval<WattHours>())), Joules>);
+
+// The algebra is constexpr end to end.
+static_assert((Watts{2.0} + Watts{3.0}).value() == 5.0);
+static_assert(Watts{100.0} * kSecond == Joules{100.0});
+static_assert(Joules{50.0} / kSecond == Watts{50.0});
+static_assert(Watts{90.0} / Watts{45.0} == 2.0);
+static_assert(to_joules(WattHours{1.0}) == Joules{3600.0});
+
+// ---- runtime: arithmetic carried by the wrapper. ----
+
+TEST(Units, CompoundAssignmentMatchesRawDoubleMath) {
+  Watts p{10.0};
+  p += Watts{5.0};
+  EXPECT_DOUBLE_EQ(p.value(), 15.0);
+  p -= Watts{2.5};
+  EXPECT_DOUBLE_EQ(p.value(), 12.5);
+  p *= 2.0;
+  EXPECT_DOUBLE_EQ(p.value(), 25.0);
+  p /= 5.0;
+  EXPECT_DOUBLE_EQ(p.value(), 5.0);
+}
+
+TEST(Units, UnaryAndAbs) {
+  EXPECT_DOUBLE_EQ((-Watts{3.0}).value(), -3.0);
+  EXPECT_DOUBLE_EQ((+Watts{3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(abs(Watts{-7.0}).value(), 7.0);
+  EXPECT_DOUBLE_EQ(abs(Watts{7.0}).value(), 7.0);
+}
+
+TEST(Units, ComparisonsOrderByMagnitude) {
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_GE(Joules{2.0}, Joules{2.0});
+  EXPECT_NE(GHz{1.2}, GHz{2.4});
+}
+
+TEST(Units, EnergyOfIntegratesConstantPower) {
+  EXPECT_DOUBLE_EQ(energy_of(Watts{100.0}, kSecond).value(), 100.0);
+  EXPECT_DOUBLE_EQ(energy_of(Watts{100.0}, kMinute).value(), 6'000.0);
+  EXPECT_DOUBLE_EQ(energy_of(Watts{0.0}, kHour).value(), 0.0);
+  // p * d and d * p are the same integral.
+  EXPECT_DOUBLE_EQ((Watts{38.0} * seconds(0.5)).value(), 19.0);
+  EXPECT_DOUBLE_EQ((seconds(0.5) * Watts{38.0}).value(), 19.0);
+}
+
+TEST(Units, AveragePowerInvertsTheIntegral) {
+  const Joules e = energy_of(Watts{250.0}, 2 * kMinute);
+  EXPECT_DOUBLE_EQ((e / (2 * kMinute)).value(), 250.0);
+}
+
+// ---- runtime: conversion boundaries. ----
+
+TEST(Units, DurationConversionsRoundTrip) {
+  EXPECT_EQ(seconds(1.0), kSecond);
+  EXPECT_EQ(seconds(0.001), kMillisecond);
+  EXPECT_EQ(millis(1.0), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1'000.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(12.75)), 12.75);
+  EXPECT_DOUBLE_EQ(to_millis(millis(8.5)), 8.5);
+}
+
+TEST(Units, WattHoursRoundTripThroughJoules) {
+  EXPECT_DOUBLE_EQ(to_joules(WattHours{1.0}).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(to_watt_hours(Joules{3600.0}).value(), 1.0);
+  const Joules e{123'456.0};
+  EXPECT_DOUBLE_EQ(to_joules(to_watt_hours(e)).value(), e.value());
+  // A 2-minute battery sized for 400 W, in the spec's unit.
+  EXPECT_DOUBLE_EQ(
+      to_watt_hours(energy_of(Watts{400.0}, 2 * kMinute)).value(),
+      400.0 * 2.0 / 60.0);
+}
+
+TEST(Units, ValueIsTheOnlyEscapeHatch) {
+  // .value() returns exactly the stored payload — the export boundary
+  // writes the same bytes the old raw-double code did.
+  const Watts p{441.65};
+  EXPECT_EQ(p.value(), 441.65);
+}
+
+}  // namespace
+}  // namespace dope

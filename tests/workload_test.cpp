@@ -43,7 +43,7 @@ TEST(Catalog, KMeansHasHighestPerRequestPower) {
   // Paper Fig. 5b: "the query requesting for K-means consumes most power
   // per request".
   const auto catalog = Catalog::standard();
-  const double kmeans = catalog.type(Catalog::kKMeans).power.p0;
+  const Watts kmeans = catalog.type(Catalog::kKMeans).power.p0;
   for (RequestTypeId t = 0; t < catalog.size(); ++t) {
     if (t == Catalog::kKMeans) continue;
     EXPECT_GE(kmeans, catalog.type(t).power.p0);
@@ -53,9 +53,9 @@ TEST(Catalog, KMeansHasHighestPerRequestPower) {
 TEST(Catalog, VolumeTypesHaveNegligiblePower) {
   // Paper Fig. 5: volume-based DoS traffic has low power intensity.
   const auto catalog = Catalog::standard();
-  EXPECT_LT(catalog.type(Catalog::kSynPacket).power.p0, 2.0);
-  EXPECT_LT(catalog.type(Catalog::kUdpPacket).power.p0, 2.0);
-  EXPECT_GT(catalog.type(Catalog::kCollaFilt).power.p0, 10.0);
+  EXPECT_LT(catalog.type(Catalog::kSynPacket).power.p0, Watts{2.0});
+  EXPECT_LT(catalog.type(Catalog::kUdpPacket).power.p0, Watts{2.0});
+  EXPECT_GT(catalog.type(Catalog::kCollaFilt).power.p0, Watts{10.0});
 }
 
 TEST(Catalog, ServiceTimeScalesWithFrequencySlowdown) {

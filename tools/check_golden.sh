@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# check_golden — byte-compare dopesim_cli exports against tests/golden/.
+#
+# Runs the CI golden scenario (Anti-DOPE, Low budget, 400 rps flood,
+# 2-minute battery, seed 42 — the same configuration as
+# tests/determinism_test.cpp) and cmp's every export surface against the
+# pre-refactor captures in tests/golden/. Any refactor that claims
+# "performance/typing changes, results do not" (the event-core rewrite,
+# the Quantity<Dim> units migration) must keep this green: a single
+# changed byte means the arithmetic — not just the types — changed.
+#
+# Usage: tools/check_golden.sh [path/to/dopesim_cli]
+#        (default: build/examples/dopesim_cli relative to the repo root)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cli=${1:-"$root/build/examples/dopesim_cli"}
+golden="$root/tests/golden"
+
+if [[ ! -x "$cli" ]]; then
+  echo "check_golden: no such executable: $cli" >&2
+  echo "  build it with: cmake --build build --target dopesim_cli" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$cli" --scheme antidope --budget low --attack-rps 400 --duration-s 60 \
+  --seed 42 --battery-min 2 \
+  --csv "$tmp/out.csv" --power-csv "$tmp/out-power.csv" \
+  --soc-csv "$tmp/out-soc.csv" --metrics-out "$tmp/out-metrics.json" \
+  --trace-out "$tmp/out-trace.jsonl"
+
+gunzip -c "$golden/engine_refactor_trace.jsonl.gz" > "$tmp/golden-trace.jsonl"
+
+status=0
+compare() {
+  if ! cmp "$1" "$2"; then
+    echo "check_golden: MISMATCH: $(basename "$2")" >&2
+    status=1
+  fi
+}
+compare "$tmp/out.csv" "$golden/engine_refactor.csv"
+compare "$tmp/out-power.csv" "$golden/engine_refactor_power.csv"
+compare "$tmp/out-soc.csv" "$golden/engine_refactor_soc.csv"
+compare "$tmp/out-metrics.json" "$golden/engine_refactor_metrics.json"
+compare "$tmp/out-trace.jsonl" "$tmp/golden-trace.jsonl"
+
+if [[ "$status" -ne 0 ]]; then
+  echo "check_golden: exports drifted from tests/golden/ captures" >&2
+  exit 1
+fi
+echo "check_golden: all 5 export surfaces byte-identical"

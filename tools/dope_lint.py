@@ -23,7 +23,19 @@ properties of *this* simulator's contract, not of C++:
                   (watts, joules, SoC, budgets) or float literals.
                   Compare with a tolerance, or restate as <=/>= against
                   zero. Not applied under tests/, where exact equality
-                  is how byte-identical determinism is asserted.
+                  is how byte-identical determinism is asserted, nor to
+                  sizeof(...) comparisons, which are integral.
+  raw-physical-double
+                  A `double` declaration in a header whose name carries
+                  an explicit unit suffix (_w, _watts, _j, _joules, _wh,
+                  _ghz). A unit in the name is a dimension the type
+                  system can carry instead: use dope::Watts / Joules /
+                  WattHours / GHz from common/units.hpp so mixed-unit
+                  arithmetic is rejected at compile time (docs/ANALYSIS.md
+                  Tier 0). Raw doubles are fine at serialization
+                  boundaries — unwrap with .value() in the .cpp, or
+                  suppress with a reason where a header must interop
+                  with an external schema.
   include-hygiene #pragma once in headers, each .cpp includes its own
                   header first, quoted include blocks sorted (mirrors
                   clang-format's SortIncludes), no parent-relative
@@ -60,6 +72,7 @@ RULES = {
     "banned-rng": "non-deterministic or thread-shared RNG",
     "unordered-iter": "iteration over unordered container",
     "float-eq": "exact floating-point comparison on power/energy",
+    "raw-physical-double": "raw double with a unit-suffixed name in a header",
     "include-hygiene": "include hygiene violation",
     "hot-path-std-function": "std::function in the per-event hot path",
 }
@@ -106,6 +119,17 @@ FLOAT_EQ_RE = re.compile(
 )
 FLOAT_SIDE_RE = re.compile(
     r"(?ix)^(?:%s)$|\b%s\b" % (FLOAT_LITERAL, FLOAT_KEYWORD)
+)
+
+# A double whose declared name spells out a unit. `double power_w` in a
+# header is a Quantity (dope::Watts) the author wrote by hand.
+RAW_PHYS_DOUBLE_RE = re.compile(
+    r"""(?x)
+    \bdouble\s+(?P<name>
+        \w+_(?:w|watts|j|joules|wh|watt_hours|ghz)
+      | watts | joules | ghz | watt_hours
+    )\b
+    """
 )
 
 STD_FUNCTION_RE = re.compile(
@@ -241,6 +265,8 @@ def check_float_eq(f: FileCheck, findings: list[Finding]) -> None:
     for i, line in enumerate(f.code, start=1):
         for m in FLOAT_EQ_RE.finditer(line):
             lhs, rhs = m.group("lhs"), m.group("rhs")
+            if lhs.startswith("sizeof(") or rhs.startswith("sizeof("):
+                continue  # sizeof is integral, not a float comparison
             if FLOAT_SIDE_RE.search(lhs) or FLOAT_SIDE_RE.search(rhs):
                 if not f.allowed("float-eq", i):
                     findings.append(Finding(
@@ -249,6 +275,21 @@ def check_float_eq(f: FileCheck, findings: list[Finding]) -> None:
                         "on a power/energy value — use a tolerance or "
                         "an inequality"))
                 break  # one finding per line is enough
+
+
+def check_raw_physical_double(f: FileCheck,
+                              findings: list[Finding]) -> None:
+    if not f.path.endswith((".hpp", ".h")):
+        return  # .cpp internals may unwrap to double freely
+    for i, line in enumerate(f.code, start=1):
+        m = RAW_PHYS_DOUBLE_RE.search(line)
+        if m and not f.allowed("raw-physical-double", i):
+            findings.append(Finding(
+                f.path, i, "raw-physical-double",
+                f"raw double '{m.group('name')}' carries a unit in its "
+                "name — use dope::Watts / Joules / WattHours / GHz "
+                "(common/units.hpp) so the dimension is checked at "
+                "compile time (see docs/ANALYSIS.md, Tier 0)"))
 
 
 def check_hot_path_std_function(f: FileCheck,
@@ -351,6 +392,7 @@ def lint_tree(root: str, paths: list[str]) -> list[Finding]:
             "per-run dope::Rng seeded from the scenario", findings)
         check_unordered_iter(f, unordered_names, findings)
         check_float_eq(f, findings)
+        check_raw_physical_double(f, findings)
         check_hot_path_std_function(f, findings)
         check_include_hygiene(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
