@@ -44,6 +44,17 @@ cluster
   --breaker-watts W    protect the utility feed with a breaker rated W
   --slot-ms MS         management slot (default 1000)
 
+site (multi-zone; see docs/SITE.md)
+  --zones N            zone count (default 1 = classic single cluster;
+                       >= 2 puts N identical zones behind a global LB,
+                       each with --servers servers and its own scheme)
+  --glb POLICY         weighted | least-loaded | affinity (default
+                       weighted)
+  --divider KIND       static | demand | headroom — how the facility
+                       budget is split across zones (default static)
+  --attack-zone Z      concentrate attack traffic on zone Z's front
+                       door instead of the global LB
+
 scheme
   --scheme NAME        none | capping | shaving | token | antidope
                        (default antidope)
@@ -188,6 +199,34 @@ int main(int argc, char** argv) {
       config.breaker = breaker;
     } else if (flag == "--slot-ms") {
       config.slot = millis(number_arg(flag, next()));
+    } else if (flag == "--zones") {
+      config.num_zones =
+          static_cast<std::size_t>(number_arg(flag, next()));
+      if (config.num_zones < 1) fail("--zones needs at least 1");
+    } else if (flag == "--glb") {
+      const std::string name = next();
+      if (name == "weighted") {
+        config.glb_policy = site::GlobalLbPolicy::kWeighted;
+      } else if (name == "least-loaded") {
+        config.glb_policy = site::GlobalLbPolicy::kLeastLoaded;
+      } else if (name == "affinity") {
+        config.glb_policy = site::GlobalLbPolicy::kZoneAffinity;
+      } else {
+        fail("unknown GLB policy: " + name);
+      }
+    } else if (flag == "--divider") {
+      const std::string name = next();
+      if (name == "static") {
+        config.site_divider = site::DividerKind::kStatic;
+      } else if (name == "demand") {
+        config.site_divider = site::DividerKind::kDemandProportional;
+      } else if (name == "headroom") {
+        config.site_divider = site::DividerKind::kHeadroomAware;
+      } else {
+        fail("unknown divider: " + name);
+      }
+    } else if (flag == "--attack-zone") {
+      config.attack_zone = static_cast<int>(number_arg(flag, next()));
     } else if (flag == "--scheme") {
       const auto it = schemes.find(next());
       if (it == schemes.end()) fail("unknown scheme");
@@ -351,6 +390,24 @@ int main(int argc, char** argv) {
             static_cast<long long>(r.slot_stats.utility_violation_slots));
   table.row("outages", static_cast<long long>(r.slot_stats.outages));
   table.print(std::cout);
+
+  if (!r.zones.empty()) {
+    std::cout << "\n== zones (" << site::glb_policy_name(config.glb_policy)
+              << " GLB, " << site::divider_name(config.site_divider)
+              << " divider) ==\n";
+    TextTable zone_table({"zone", "budget (W)", "availability",
+                          "violation slots", "min level",
+                          "mean freq (GHz)"});
+    for (std::size_t z = 0; z < r.zones.size(); ++z) {
+      const auto& zone = r.zones[z];
+      zone_table.row(static_cast<long long>(z), zone.budget.value(),
+                     zone.availability,
+                     static_cast<long long>(zone.violation_slots),
+                     static_cast<long long>(zone.min_level_seen),
+                     zone.final_mean_frequency.value());
+    }
+    zone_table.print(std::cout);
+  }
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);

@@ -25,8 +25,8 @@ AntiDopeScheme::AntiDopeScheme(AntiDopeConfig config)
 }
 
 void AntiDopeScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
-  auto nodes = cluster.servers();
+  ControlStage::attach(cluster);
+  auto nodes = cluster.data().servers();
   DOPE_REQUIRE(nodes.size() >= 2,
                "Anti-DOPE needs at least two servers to form pools");
 
@@ -70,6 +70,20 @@ void AntiDopeScheme::attach(cluster::Cluster& cluster) {
   }
 }
 
+void AntiDopeScheme::detach() {
+  // Every pointer below reaches into the old cluster's fleet or hub;
+  // dropping them here is what makes re-attaching to a second cluster
+  // safe (the pools and router are rebuilt in attach).
+  router_.reset();
+  classifier_.reset();
+  suspect_nodes_.clear();
+  innocent_nodes_.clear();
+  hub_ = nullptr;
+  obs_tl_iterations_ = nullptr;
+  obs_throttle_slots_ = nullptr;
+  ControlStage::detach();
+}
+
 void AntiDopeScheme::trace_throttle(Time now, Watts deficit,
                                     const char* mode,
                                     const SolveStats* stats) const {
@@ -102,14 +116,14 @@ void AntiDopeScheme::on_slot(Time now, Duration slot) {
   if (classifier_) {
     // Fold this slot's node telemetry into the online belief and keep the
     // router's classification current.
-    for (auto* node : cluster_->servers()) classifier_->observe(*node);
+    for (auto* node : cluster_->data().servers()) classifier_->observe(*node);
     router_->update_suspects(classifier_->suspects());
   }
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->total_power();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->data().total_power();
   const auto& ladder = cluster_->ladder();
   battery::Battery* battery =
-      config_.use_battery ? cluster_->battery() : nullptr;
+      config_.use_battery ? cluster_->power().battery() : nullptr;
 
   last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;

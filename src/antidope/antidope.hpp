@@ -69,6 +69,7 @@ class AntiDopeScheme final : public cluster::PowerScheme {
 
   std::string name() const override { return "Anti-DOPE"; }
   void attach(cluster::Cluster& cluster) override;
+  void detach() override;
   net::Backend* route(const workload::Request& request) override;
   void on_slot(Time now, Duration slot) override;
 

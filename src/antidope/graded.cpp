@@ -21,11 +21,11 @@ GradedAntiDopeScheme::GradedAntiDopeScheme(GradedConfig config)
 }
 
 void GradedAntiDopeScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
+  ControlStage::attach(cluster);
   classifier_ = std::make_unique<PowerClassifier>(
       PowerClassifier::from_catalog(cluster.catalog(),
                                     config_.num_classes));
-  auto nodes = cluster.servers();
+  auto nodes = cluster.data().servers();
   DOPE_REQUIRE(nodes.size() >= config_.num_classes,
                "need at least one server per class");
 
@@ -70,13 +70,19 @@ net::Backend* GradedAntiDopeScheme::route(
   return b;
 }
 
+void GradedAntiDopeScheme::detach() {
+  pools_.clear();
+  classifier_.reset();
+  ControlStage::detach();
+}
+
 void GradedAntiDopeScheme::on_slot(Time now, Duration slot) {
   (void)now;
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->total_power();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->data().total_power();
   const auto& ladder = cluster_->ladder();
   battery::Battery* battery =
-      config_.use_battery ? cluster_->battery() : nullptr;
+      config_.use_battery ? cluster_->power().battery() : nullptr;
 
   last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;

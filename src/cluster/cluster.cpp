@@ -1,6 +1,6 @@
 #include "cluster/cluster.hpp"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/audit.hpp"
@@ -8,9 +8,6 @@
 
 namespace dope::cluster {
 
-namespace {
-
-/// Stable label for a terminal outcome (metrics label / trace payload).
 const char* outcome_label(workload::RequestOutcome outcome) {
   switch (outcome) {
     case workload::RequestOutcome::kCompleted: return "completed";
@@ -24,59 +21,23 @@ const char* outcome_label(workload::RequestOutcome outcome) {
   return "?";
 }
 
-}  // namespace
-
 Cluster::Cluster(sim::Engine& engine, const workload::Catalog& catalog,
                  ClusterConfig config)
     : engine_(engine),
       catalog_(catalog),
-      config_(std::move(config)),
-      budget_(config_.budget_override > Watts{0.0}
-                  ? power::PowerBudget{config_.budget_override}
-                  : power::PowerBudget::for_level(
-                        config_.budget_level,
-                        config_.server_spec.nameplate *
-                            static_cast<double>(config_.num_servers))) {
-  DOPE_REQUIRE(config_.num_servers > 0, "cluster needs at least one server");
-  DOPE_REQUIRE(config_.slot > 0, "management slot must be positive");
-
-  auto sink = [this](const workload::RequestRecord& r) { on_record(r); };
-  nodes_.reserve(config_.num_servers);
-  for (std::size_t i = 0; i < config_.num_servers; ++i) {
-    nodes_.push_back(std::make_unique<server::ServerNode>(
-        engine_, static_cast<int>(i), catalog_,
-        power::ServerPowerModel(config_.server_spec, config_.ladder),
-        config_.server_config, sink));
-  }
-
-  if (config_.network_switch.has_value()) {
-    switch_.emplace(*config_.network_switch);
-  }
-  if (config_.firewall.has_value()) {
-    firewall_.emplace(engine_, *config_.firewall);
-  }
-
-  std::vector<net::Backend*> pool;
-  pool.reserve(nodes_.size());
-  for (auto& n : nodes_) pool.push_back(n.get());
-  balancer_ =
-      std::make_unique<net::LoadBalancer>(config_.lb_policy, std::move(pool));
-
-  if (config_.battery_runtime > 0) {
-    auto spec = battery::BatterySpec::sized_for(total_nameplate(),
-                                                config_.battery_runtime);
-    spec.reserve_fraction = config_.battery_reserve_fraction;
-    battery_.emplace(spec);
-  }
-
-  if (config_.breaker.has_value()) {
-    breaker_.emplace(*config_.breaker);
-  }
-
+      config_((validate(config), std::move(config))),
+      data_(*this, config_),
+      power_(*this, data_, config_),
+      control_(*this) {
   bind_obs();
 
   slot_task_ =
       engine_.every(config_.slot, [this] { management_slot(); });
+}
+
+void Cluster::validate(const ClusterConfig& config) {
+  DOPE_REQUIRE(config.num_servers > 0, "cluster needs at least one server");
+  DOPE_REQUIRE(config.slot > 0, "management slot must be positive");
 }
 
 void Cluster::bind_obs() {
@@ -84,144 +45,31 @@ void Cluster::bind_obs() {
   if (hub_ == nullptr) return;
   auto& reg = hub_->registry();
   for (int i = 0; i < 7; ++i) {
-    obs_outcome_[i] = &reg.counter(
-        "requests.outcome",
-        {{"outcome",
-          outcome_label(static_cast<workload::RequestOutcome>(i))}});
+    obs::Labels labels{
+        {"outcome", outcome_label(static_cast<workload::RequestOutcome>(i))}};
+    if (config_.zone >= 0) {
+      labels.emplace_back("zone", std::to_string(config_.zone));
+    }
+    obs_outcome_[i] = &reg.counter("requests.outcome", labels);
   }
-  obs_forwarded_scheme_ =
-      &reg.counter("net.forwarded", {{"pool", "scheme"}});
-  obs_forwarded_default_ =
-      &reg.counter("net.forwarded", {{"pool", "default"}});
-  obs_violation_slots_ = &reg.counter("cluster.violation_slots");
-  obs_utility_violation_slots_ =
-      &reg.counter("cluster.utility_violation_slots");
-  obs_battery_discharge_slots_ = &reg.counter("battery.discharge_slots");
-  obs_outage_count_ = &reg.counter("cluster.outages");
-  obs_slot_demand_ = &reg.gauge("cluster.slot_demand_w");
-  obs_utility_ = &reg.gauge("cluster.utility_w");
-  if (battery_) obs_battery_soc_ = &reg.gauge("battery.soc");
-  if (breaker_) obs_breaker_heat_ = &reg.gauge("breaker.heat");
-  obs_overshoot_ = &reg.histo("cluster.overshoot_w");
-  balancer_->bind_obs(hub_, "default");
+  // Registration order mirrors the pre-plane monolith so the metrics
+  // JSON (creation-ordered) stays byte-identical: outcome counters, edge
+  // forwarding counters, electrical instruments, then the balancer.
+  data_.bind_obs(hub_);
+  power_.bind_obs(hub_);
+  data_.bind_balancer_obs(hub_);
   spans_ = hub_->spans();
-  balancer_->bind_spans(&engine_, spans_, "default");
-}
-
-void Cluster::trace_forwarded(const workload::Request& request, int server,
-                              const char* pool) {
-  obs::TraceEvent e;
-  e.t = engine_.now();
-  e.type = obs::EventType::kRequestForwarded;
-  e.source = "edge";
-  e.num.emplace_back("server", server);
-  e.num.emplace_back("url_class", request.type);
-  e.num.emplace_back("source_id", request.source);
-  e.str.emplace_back("pool", pool);
-  hub_->event(std::move(e));
-}
-
-void Cluster::trace_dropped(const workload::Request& request,
-                            const char* reason) {
-  obs::TraceEvent e;
-  e.t = engine_.now();
-  e.type = obs::EventType::kRequestDropped;
-  e.source = "edge";
-  e.num.emplace_back("url_class", request.type);
-  e.num.emplace_back("source_id", request.source);
-  e.str.emplace_back("reason", reason);
-  hub_->event(std::move(e));
 }
 
 Cluster::~Cluster() { slot_task_.stop(); }
 
 void Cluster::install_scheme(std::unique_ptr<PowerScheme> scheme) {
   DOPE_REQUIRE(scheme != nullptr, "scheme must not be null");
-  scheme_ = std::move(scheme);
-  scheme_->attach(*this);
-}
-
-void Cluster::ingest(workload::Request&& request) {
-  if (spans_ != nullptr) {
-    // Root span: opens at edge arrival, closes in on_record with the
-    // terminal outcome. Child spans (firewall, LB, queue, service) all
-    // point back at this id.
-    obs::Span span;
-    span.id = obs::span_id_for(request.id, obs::SpanKind::kRequest);
-    span.kind = obs::SpanKind::kRequest;
-    span.begin = engine_.now();
-    span.source_id = request.source;
-    span.url_class = request.type;
-    span.label = request.ground_truth_attack ? "attack" : "normal";
-    spans_->begin(std::move(span));
-  }
-  // The wire comes first: a saturated switch drops packets before any
-  // defense or server sees them (network-layer DoS).
-  if (switch_ && !switch_->forward(engine_.now())) {
-    drop(std::move(request), workload::RequestOutcome::kDroppedNetwork);
-    return;
-  }
-  if (firewall_ && !firewall_->admit(request)) {
-    drop(std::move(request), workload::RequestOutcome::kBlockedByFirewall);
-    return;
-  }
-  if (scheme_ && !scheme_->admit(request)) {
-    drop(std::move(request), workload::RequestOutcome::kDroppedByLimit);
-    return;
-  }
-  net::Backend* target = scheme_ ? scheme_->route(request) : nullptr;
-  if (target != nullptr) {
-    if (hub_ != nullptr) {
-      obs_forwarded_scheme_->inc();
-      trace_forwarded(request, target->backend_id(), "scheme");
-    }
-    target->submit(std::move(request));
-    return;
-  }
-  net::Backend* backend = balancer_->select(request);
-  if (backend == nullptr) {
-    // No backend accepted; surfaces as a queue-full rejection at the edge.
-    drop(std::move(request), workload::RequestOutcome::kRejectedQueueFull);
-    return;
-  }
-  if (hub_ != nullptr) {
-    obs_forwarded_default_->inc();
-    trace_forwarded(request, backend->backend_id(), "default");
-  }
-  backend->submit(std::move(request));
+  control_.install(std::move(scheme));
 }
 
 workload::RequestSink Cluster::edge_sink() {
   return [this](workload::Request&& r) { ingest(std::move(r)); };
-}
-
-std::vector<server::ServerNode*> Cluster::servers() {
-  std::vector<server::ServerNode*> out;
-  out.reserve(nodes_.size());
-  for (auto& n : nodes_) out.push_back(n.get());
-  return out;
-}
-
-server::ServerNode& Cluster::server(std::size_t i) {
-  DOPE_REQUIRE(i < nodes_.size(), "server index out of range");
-  return *nodes_[i];
-}
-
-Watts Cluster::total_nameplate() const {
-  return config_.server_spec.nameplate *
-         static_cast<double>(config_.num_servers);
-}
-
-Watts Cluster::total_power() const {
-  Watts p{0.0};
-  for (const auto& n : nodes_) p += n->current_power();
-  return p;
-}
-
-Joules Cluster::total_energy() const {
-  Joules e{0.0};
-  for (const auto& n : nodes_) e += n->energy();
-  return e;
 }
 
 void Cluster::add_record_listener(workload::RecordSink listener) {
@@ -251,160 +99,13 @@ void Cluster::on_record(const workload::RequestRecord& record) {
   for (auto& l : listeners_) l(record);
 }
 
-void Cluster::drop(workload::Request&& request,
-                   workload::RequestOutcome outcome) {
-  if (hub_ != nullptr) trace_dropped(request, outcome_label(outcome));
-  workload::RequestRecord record;
-  record.request = std::move(request);
-  record.outcome = outcome;
-  record.finish = engine_.now();
-  record.latency = 0;
-  record.server = -1;
-  on_record(record);
-}
-
 void Cluster::management_slot() {
   const Time now = engine_.now();
-  const Duration slot = config_.slot;
-
-  // Average demand over the slot that just finished, from exact energy.
-  const Joules load_energy = total_energy();
-  const Joules slot_energy = load_energy - prev_load_energy_;
-  prev_load_energy_ = load_energy;
-  last_slot_demand_ = slot_energy / slot;
-
-  ++slot_stats_.slots;
-  const Watts overshoot = last_slot_demand_ - budget_.supply;
-  if (overshoot > Watts{1e-9}) {
-    ++slot_stats_.violation_slots;
-    slot_stats_.worst_overshoot =
-        std::max(slot_stats_.worst_overshoot, overshoot);
-  }
-  if (hub_ != nullptr) {
-    obs_slot_demand_->set(last_slot_demand_.value());
-    if (overshoot > Watts{1e-9}) {
-      obs_violation_slots_->inc();
-      obs_overshoot_->observe(overshoot.value());
-      obs::TraceEvent e;
-      e.t = now;
-      e.type = obs::EventType::kBudgetViolation;
-      e.source = "cluster";
-      e.num.emplace_back("demand_w", last_slot_demand_.value());
-      e.num.emplace_back("budget_w", budget_.supply.value());
-      e.num.emplace_back("overshoot_w", overshoot.value());
-      hub_->event(std::move(e));
-    }
-  }
-
-  // Energy source attribution for the finished slot: whatever the battery
-  // delivered (or drew for recharge) since the previous boundary shifts
-  // between the utility and battery columns. This must happen *before*
-  // the scheme acts so that a discharge reserved at the start of a slot
-  // is credited to that slot, not the one before it.
-  Joules battery_delta{0.0};
-  Joules recharge_delta{0.0};
-  if (battery_) {
-    battery_delta = battery_->total_discharged() - prev_battery_discharged_;
-    prev_battery_discharged_ = battery_->total_discharged();
-    recharge_delta =
-        battery_->total_charge_drawn() - prev_battery_charge_drawn_;
-    prev_battery_charge_drawn_ = battery_->total_charge_drawn();
-  }
-  const Joules utility_j =
-      std::max(Joules{0.0}, slot_energy - battery_delta);
-  if constexpr (audit::kEnabled) {
-    // Per-slot power conservation: what the servers drew is covered by
-    // the utility feed plus the battery, and nothing went negative.
-    audit::check_power_conservation(hub_, now, slot_energy, utility_j,
-                                    battery_delta);
-    audit::check_non_negative(hub_, now, "battery.recharge_j",
-                              recharge_delta.value());
-    if (battery_) {
-      audit::check_battery_soc(hub_, now, battery_->stored(),
-                               battery_->spec().capacity);
-    }
-  }
-  energy_account_.add_joules(utility_j, battery_delta, recharge_delta);
-  const Watts utility_power = (utility_j + recharge_delta) / slot;
-  if (utility_power > budget_.supply + Watts{1e-9}) {
-    ++slot_stats_.utility_violation_slots;
-    if (hub_ != nullptr) obs_utility_violation_slots_->inc();
-  }
-  if (hub_ != nullptr) {
-    obs_utility_->set(utility_power.value());
-    if (battery_delta > Joules{0.0}) {
-      obs_battery_discharge_slots_->inc();
-      obs::TraceEvent e;
-      e.t = now;
-      e.type = obs::EventType::kBatteryDischarge;
-      e.source = "battery";
-      e.num.emplace_back("joules", battery_delta.value());
-      e.num.emplace_back("watts", (battery_delta / slot).value());
-      e.num.emplace_back("soc", battery_->soc());
-      hub_->event(std::move(e));
-    }
-    if (recharge_delta > Joules{0.0}) {
-      obs::TraceEvent e;
-      e.t = now;
-      e.type = obs::EventType::kBatteryCharge;
-      e.source = "battery";
-      e.num.emplace_back("joules", recharge_delta.value());
-      e.num.emplace_back("soc", battery_->soc());
-      hub_->event(std::move(e));
-    }
-    if (battery_) obs_battery_soc_->set(battery_->soc());
-  }
-
-  // Breaker protection on the utility feed. A trip blacks out the whole
-  // cluster (the paper's Fig. 1 unplanned-outage scenario); power returns
-  // after the recovery delay and servers reboot.
-  if (breaker_ && !in_outage_ &&
-      breaker_->observe(utility_power, slot)) {
-    in_outage_ = true;
-    outage_started_ = now;
-    ++slot_stats_.outages;
-    if (hub_ != nullptr) {
-      obs_outage_count_->inc();
-      obs::TraceEvent e;
-      e.t = now;
-      e.type = obs::EventType::kBreakerTrip;
-      e.source = "breaker";
-      e.num.emplace_back("utility_w", utility_power.value());
-      e.num.emplace_back("rated_w", breaker_->spec().rated.value());
-      e.num.emplace_back("trips", breaker_->trips());
-      hub_->event(std::move(e));
-    }
-    for (auto& node : nodes_) node->power_off();
-    engine_.schedule_after(config_.outage_recovery, [this] {
-      breaker_->reset();
-      in_outage_ = false;
-      slot_stats_.downtime += engine_.now() - outage_started_;
-      if (hub_ != nullptr) {
-        obs::TraceEvent e;
-        e.t = engine_.now();
-        e.type = obs::EventType::kOutageEnd;
-        e.source = "breaker";
-        e.num.emplace_back(
-            "downtime_s", to_seconds(engine_.now() - outage_started_));
-        hub_->event(std::move(e));
-      }
-      for (auto& node : nodes_) node->power_on(config_.reboot_time);
-    });
-  }
-  if (hub_ != nullptr && breaker_) obs_breaker_heat_->set(breaker_->heat());
-
-  // Feed the watchdog one windowed sample of each cluster signal; rules
-  // installed on the hub (e.g. "budget violated K slots in a row") fire
-  // from these.
-  if (hub_ != nullptr) {
-    auto& dog = hub_->watchdog();
-    dog.observe(kSignalSlotDemand, now, last_slot_demand_.value());
-    dog.observe(kSignalUtility, now, utility_power.value());
-    if (battery_) dog.observe(kSignalBatterySoc, now, battery_->soc());
-    if (breaker_) dog.observe(kSignalBreakerHeat, now, breaker_->heat());
-  }
-
-  if (scheme_) scheme_->on_slot(now, slot);
+  // Measurement before policy: the power plane settles the finished
+  // slot's books (and may trip the breaker), then every control stage
+  // acts on what it measured, in installation order.
+  power_.run_slot(now);
+  control_.on_slot(now, config_.slot);
 }
 
 }  // namespace dope::cluster

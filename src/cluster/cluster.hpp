@@ -1,14 +1,25 @@
-// Cluster assembly: servers + edge (firewall, NLB) + battery + power
-// manager, wired onto one simulation engine.
+// Cluster assembly: three composable planes wired onto one simulation
+// engine.
 //
-// The request path is
+//   data plane     (cluster/data_plane.hpp)   switch -> firewall -> LB ->
+//                                             server pool; the request path
+//   power plane    (cluster/power_plane.hpp)  provisioning, breaker,
+//                                             battery, energy accounting
+//   control plane  (cluster/control_plane.hpp) ordered pipeline of
+//                                             ControlStages (schemes,
+//                                             autoscaler, health checks)
 //
-//   generator -> ingest() -> firewall -> scheme.admit() -> scheme.route()
-//             -> (default LB if the scheme declines) -> server queue
+// The Cluster itself is the composition root: it owns the three planes,
+// the request metrics, and the management-slot periodic that drives
+// `power.run_slot` followed by `control.on_slot`. Schemes and tests reach
+// the planes through `data()` / `power()` / `control()`; the legacy
+// accessors (`servers()`, `budget()`, `battery()`, ...) delegate and are
+// kept so the narrow-interface refactor stays source-compatible.
 //
-// and the management path is a periodic slot loop that measures demand,
-// invokes the installed `PowerScheme`, and accounts energy by source
-// (utility vs. battery) from exact integrals.
+// Inside a `site::Site` each zone is one Cluster with `config.zone >= 0`;
+// zone-labelled metrics, trace fields, and watchdog signal suffixes are
+// emitted only then, so a standalone cluster's exports are byte-identical
+// to the pre-plane layout.
 #pragma once
 
 #include <memory>
@@ -16,7 +27,10 @@
 #include <vector>
 
 #include "battery/battery.hpp"
-#include "cluster/scheme.hpp"
+#include "cluster/control_plane.hpp"
+#include "cluster/data_plane.hpp"
+#include "cluster/power_plane.hpp"
+#include "cluster/stage.hpp"
 #include "common/units.hpp"
 #include "metrics/energy.hpp"
 #include "metrics/request_metrics.hpp"
@@ -64,26 +78,16 @@ struct ClusterConfig {
   Duration outage_recovery = 30 * kSecond;
   /// Per-server reboot time after power returns.
   Duration reboot_time = 10 * kSecond;
-  /// Default NLB policy when the scheme does not route.
+  /// Default NLB policy when no control stage routes.
   net::LbPolicy lb_policy = net::LbPolicy::kLeastLoaded;
+  /// Zone index inside a `site::Site`; -1 for a standalone cluster.
+  /// When >= 0 every metric, trace event, span, and watchdog signal the
+  /// cluster emits carries the zone.
+  int zone = -1;
 };
 
-/// Per-slot management telemetry.
-struct SlotStats {
-  std::uint64_t slots = 0;
-  /// Slots whose *average* demand exceeded the budget (power violations
-  /// that made it past the management plane).
-  std::uint64_t violation_slots = 0;
-  /// Slots where the *utility feed* (demand minus battery discharge)
-  /// exceeded the budget — the violations that actually trip breakers.
-  std::uint64_t utility_violation_slots = 0;
-  /// Worst single-slot overshoot above the budget (watts).
-  Watts worst_overshoot{0.0};
-  /// Unplanned outages (breaker trips).
-  std::uint64_t outages = 0;
-  /// Total time the cluster spent dark.
-  Duration downtime = 0;
-};
+/// Stable label for a terminal outcome (metrics label / trace payload).
+const char* outcome_label(workload::RequestOutcome outcome);
 
 /// A power-constrained server cluster under test.
 class Cluster {
@@ -95,13 +99,26 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Installs the power-management scheme (replacing any previous one).
+  // --- planes ---
+  DataPlane& data() { return data_; }
+  const DataPlane& data() const { return data_; }
+  PowerPlane& power() { return power_; }
+  const PowerPlane& power() const { return power_; }
+  ControlPlane& control() { return control_; }
+  const ControlPlane& control() const { return control_; }
+
+  /// Installs `scheme` as the *only* control stage (replacing any
+  /// existing stack). Equivalent to `control().install(...)`.
   void install_scheme(std::unique_ptr<PowerScheme> scheme);
-  PowerScheme* scheme() { return scheme_.get(); }
+  /// First stage of the control pipeline (nullptr when empty); kept for
+  /// single-scheme callers. Multi-stage users go through `control()`.
+  PowerScheme* scheme() { return control_.front(); }
 
   // --- request path ---
   /// Edge entry point for generated traffic.
-  void ingest(workload::Request&& request);
+  void ingest(workload::Request&& request) {
+    data_.ingest(std::move(request));
+  }
   /// Sink adapter for TrafficGenerator (cluster must outlive it).
   workload::RequestSink edge_sink();
 
@@ -110,77 +127,79 @@ class Cluster {
   const workload::Catalog& catalog() const { return catalog_; }
   const ClusterConfig& config() const { return config_; }
   const power::DvfsLadder& ladder() const { return config_.ladder; }
-  std::vector<server::ServerNode*> servers();
-  server::ServerNode& server(std::size_t i);
-  std::size_t num_servers() const { return nodes_.size(); }
+  /// Zone index inside a Site; -1 standalone.
+  int zone() const { return config_.zone; }
+  std::vector<server::ServerNode*> servers() { return data_.servers(); }
+  server::ServerNode& server(std::size_t i) { return data_.server(i); }
+  std::size_t num_servers() const { return data_.num_servers(); }
 
   /// Aggregate nameplate rating (watts).
-  Watts total_nameplate() const;
+  Watts total_nameplate() const { return power_.total_nameplate(); }
   /// Facility power budget (watts).
-  Watts budget() const { return budget_.supply; }
+  Watts budget() const { return power_.budget(); }
   /// Instantaneous aggregate power right now.
-  Watts total_power() const;
+  Watts total_power() const { return data_.total_power(); }
   /// Average aggregate power over the last completed slot.
-  Watts last_slot_demand() const { return last_slot_demand_; }
+  Watts last_slot_demand() const { return power_.last_slot_demand(); }
   /// Exact aggregate energy consumed by all servers so far.
-  Joules total_energy() const;
+  Joules total_energy() const { return data_.total_energy(); }
 
-  battery::Battery* battery() { return battery_ ? &*battery_ : nullptr; }
-  net::Firewall* firewall() { return firewall_ ? &*firewall_ : nullptr; }
-  net::Switch* network_switch() {
-    return switch_ ? &*switch_ : nullptr;
-  }
-  power::CircuitBreaker* breaker() {
-    return breaker_ ? &*breaker_ : nullptr;
-  }
+  battery::Battery* battery() { return power_.battery(); }
+  net::Firewall* firewall() { return data_.firewall(); }
+  net::Switch* network_switch() { return data_.network_switch(); }
+  power::CircuitBreaker* breaker() { return power_.breaker(); }
   /// True while a breaker trip has the cluster dark.
-  bool in_outage() const { return in_outage_; }
-  net::LoadBalancer& default_balancer() { return *balancer_; }
+  bool in_outage() const { return power_.in_outage(); }
+  net::LoadBalancer& default_balancer() {
+    return data_.default_balancer();
+  }
 
   // --- metrics ---
   metrics::RequestMetrics& request_metrics() { return request_metrics_; }
   const metrics::EnergyAccount& energy_account() const {
-    return energy_account_;
+    return power_.energy_account();
   }
-  const SlotStats& slot_stats() const { return slot_stats_; }
+  const SlotStats& slot_stats() const { return power_.slot_stats(); }
 
   /// Registers an extra observer of terminal request records (e.g. the
   /// adaptive attacker's feedback probe).
   void add_record_listener(workload::RecordSink listener);
 
+  /// Terminal-record sink: closes the root span, bumps outcome counters,
+  /// folds the record into the metrics, and fans out to listeners. The
+  /// data plane and server nodes call this; it is public so a Site's
+  /// per-zone sinks can chain through it.
+  void on_record(const workload::RequestRecord& record);
+
   /// Convenience: advances the shared engine by `d`.
   void run_for(Duration d);
 
   /// Signal names the cluster feeds to an attached watchdog, one sample
-  /// per management slot (see docs/OBSERVABILITY.md).
+  /// per management slot (see docs/OBSERVABILITY.md). Inside a Site each
+  /// zone suffixes these with ".zone<N>".
   static constexpr const char* kSignalSlotDemand = "cluster.slot_demand_w";
   static constexpr const char* kSignalUtility = "cluster.utility_w";
   static constexpr const char* kSignalBatterySoc = "battery.soc";
   static constexpr const char* kSignalBreakerHeat = "breaker.heat";
 
  private:
-  void on_record(const workload::RequestRecord& record);
+  /// Config-validation gate; throws std::invalid_argument before any
+  /// plane is built (num_servers == 0, non-positive slot, ...).
+  static void validate(const ClusterConfig& config);
   void management_slot();
-  void drop(workload::Request&& request, workload::RequestOutcome outcome);
   void bind_obs();
-  void trace_forwarded(const workload::Request& request, int server,
-                       const char* pool);
-  void trace_dropped(const workload::Request& request, const char* reason);
 
   sim::Engine& engine_;
   const workload::Catalog& catalog_;
   ClusterConfig config_;
-  power::PowerBudget budget_;
 
-  std::vector<std::unique_ptr<server::ServerNode>> nodes_;
-  std::optional<net::Switch> switch_;
-  std::optional<net::Firewall> firewall_;
-  std::unique_ptr<net::LoadBalancer> balancer_;
-  std::optional<battery::Battery> battery_;
-  std::optional<power::CircuitBreaker> breaker_;
-  bool in_outage_ = false;
-  Time outage_started_ = 0;
-  std::unique_ptr<PowerScheme> scheme_;
+  // Plane construction order is load-bearing: the data plane builds the
+  // fleet and edge first (nodes, switch, firewall, balancer), then the
+  // power plane sizes its battery/breaker against the fleet, then the
+  // control plane starts empty. Golden exports depend on this order.
+  DataPlane data_;
+  PowerPlane power_;
+  ControlPlane control_;
 
   metrics::RequestMetrics request_metrics_;
   std::vector<workload::RecordSink> listeners_;
@@ -189,25 +208,8 @@ class Cluster {
   obs::Hub* hub_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;
   obs::Counter* obs_outcome_[7] = {};
-  obs::Counter* obs_forwarded_scheme_ = nullptr;
-  obs::Counter* obs_forwarded_default_ = nullptr;
-  obs::Counter* obs_violation_slots_ = nullptr;
-  obs::Counter* obs_utility_violation_slots_ = nullptr;
-  obs::Counter* obs_battery_discharge_slots_ = nullptr;
-  obs::Counter* obs_outage_count_ = nullptr;
-  obs::Gauge* obs_slot_demand_ = nullptr;
-  obs::Gauge* obs_utility_ = nullptr;
-  obs::Gauge* obs_battery_soc_ = nullptr;
-  obs::Gauge* obs_breaker_heat_ = nullptr;
-  obs::Histo* obs_overshoot_ = nullptr;
 
   sim::PeriodicHandle slot_task_;
-  metrics::EnergyAccount energy_account_;
-  SlotStats slot_stats_;
-  Joules prev_load_energy_{0.0};
-  Joules prev_battery_discharged_{0.0};
-  Joules prev_battery_charge_drawn_{0.0};
-  Watts last_slot_demand_{0.0};
 };
 
 }  // namespace dope::cluster

@@ -1,58 +1,6 @@
-// Power-management scheme interface (Table 2).
-//
-// A scheme plugs into the cluster at three points:
-//   - `admit`: pre-routing admission control (the Token baseline sheds
-//     packets here);
-//   - `route`: custom request-to-server routing (Anti-DOPE's power-driven
-//     forwarding overrides this); returning nullptr falls back to the
-//     cluster's default load balancer;
-//   - `on_slot`: the per-slot enforcement step — compare demand against
-//     the budget and actuate DVFS and/or the battery.
-//
-// Schemes see only what a real power manager sees: aggregate and per-node
-// power, DVFS controls, battery state, and request *types* (URL classes).
-// They must never read `Request::ground_truth_attack`.
+// Power-management scheme interface — now an alias for the control-plane
+// stage interface (see cluster/stage.hpp). Kept so historical includes
+// and the `PowerScheme` spelling keep compiling.
 #pragma once
 
-#include <string>
-
-#include "common/units.hpp"
-#include "net/backend.hpp"
-#include "workload/request.hpp"
-
-namespace dope::cluster {
-
-class Cluster;
-
-/// Abstract peak-power management policy.
-class PowerScheme {
- public:
-  virtual ~PowerScheme() = default;
-
-  /// Display name ("Capping", "Shaving", "Token", "Anti-DOPE").
-  virtual std::string name() const = 0;
-
-  /// Called once when installed into a cluster; the cluster outlives the
-  /// scheme's use of it.
-  virtual void attach(Cluster& cluster) { cluster_ = &cluster; }
-
-  /// Admission control before routing; false drops the request.
-  virtual bool admit(const workload::Request& request) {
-    (void)request;
-    return true;
-  }
-
-  /// Custom routing; nullptr delegates to the default load balancer.
-  virtual net::Backend* route(const workload::Request& request) {
-    (void)request;
-    return nullptr;
-  }
-
-  /// Per-slot budget enforcement. `now` is the slot boundary time.
-  virtual void on_slot(Time now, Duration slot) = 0;
-
- protected:
-  Cluster* cluster_ = nullptr;
-};
-
-}  // namespace dope::cluster
+#include "cluster/stage.hpp"

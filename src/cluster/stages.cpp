@@ -1,0 +1,78 @@
+#include "cluster/stages.hpp"
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "obs/hub.hpp"
+
+namespace dope::cluster {
+
+// ------------------------------------------------------- AutoScalerStage
+
+AutoScalerStage::AutoScalerStage(AutoScalerConfig config)
+    : config_(config) {}
+
+void AutoScalerStage::attach(Cluster& cluster) {
+  ControlStage::attach(cluster);
+  scaler_ = std::make_unique<AutoScaler>(cluster, config_,
+                                         AutoScaler::ManualTick{});
+  next_tick_ = cluster.engine().now() + config_.period;
+}
+
+void AutoScalerStage::detach() {
+  scaler_.reset();
+  ControlStage::detach();
+}
+
+void AutoScalerStage::on_slot(Time now, Duration slot) {
+  (void)slot;
+  while (now >= next_tick_) {
+    scaler_->tick();
+    next_tick_ += config_.period;
+  }
+}
+
+// ------------------------------------------------------ HealthCheckStage
+
+HealthCheckStage::HealthCheckStage(HealthCheckerConfig config)
+    : config_(config) {}
+
+void HealthCheckStage::attach(Cluster& cluster) {
+  ControlStage::attach(cluster);
+  checker_.emplace(cluster, config_);
+  if (obs::Hub* hub = cluster.engine().obs(); hub != nullptr) {
+    auto& reg = hub->registry();
+    obs::Labels labels;
+    if (cluster.zone() >= 0) {
+      labels.emplace_back("zone", std::to_string(cluster.zone()));
+    }
+    obs_critical_ = &reg.gauge("health.critical_nodes", labels);
+    obs_overloaded_ = &reg.gauge("health.overloaded_nodes", labels);
+    obs_saturated_ = &reg.gauge("health.power_saturated_nodes", labels);
+  }
+}
+
+void HealthCheckStage::detach() {
+  checker_.reset();
+  last_ = HealthReport{};
+  obs_critical_ = nullptr;
+  obs_overloaded_ = nullptr;
+  obs_saturated_ = nullptr;
+  ControlStage::detach();
+}
+
+void HealthCheckStage::on_slot(Time now, Duration slot) {
+  (void)now;
+  (void)slot;
+  last_ = checker_->inspect();
+  if (obs_critical_ != nullptr) {
+    obs_critical_->set(
+        static_cast<double>(last_.count(NodeHealth::kCritical)));
+    obs_overloaded_->set(
+        static_cast<double>(last_.count(NodeHealth::kOverloaded)));
+    obs_saturated_->set(
+        static_cast<double>(last_.count(NodeHealth::kPowerSaturated)));
+  }
+}
+
+}  // namespace dope::cluster

@@ -1,0 +1,73 @@
+// Stage adapters: the auto-scaler and health checker as control stages.
+//
+// Both controllers predate the control plane and can still be used
+// standalone (AutoScaler self-schedules a periodic; HealthChecker is
+// called ad hoc). These adapters let them ride the ordered slot pipeline
+// instead, so a stack like
+//
+//   control.push_stage(AutoScalerStage{...});
+//   control.push_stage(AntiDopeScheme{...});
+//
+// runs scaling decisions strictly *before* power enforcement at every
+// slot boundary — deterministic relative ordering that two independent
+// engine periodics cannot guarantee across refactors.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cluster/autoscaler.hpp"
+#include "cluster/health.hpp"
+#include "cluster/stage.hpp"
+
+namespace dope::obs {
+class Gauge;
+}  // namespace dope::obs
+
+namespace dope::cluster {
+
+/// AutoScaler driven from the control plane's slot pipeline. Ticks at
+/// the configured period, aligned to slot boundaries (a period that is
+/// not a slot multiple ticks on the first boundary at or after it).
+class AutoScalerStage final : public ControlStage {
+ public:
+  explicit AutoScalerStage(AutoScalerConfig config = {});
+
+  std::string name() const override { return "AutoScaler"; }
+  void attach(Cluster& cluster) override;
+  void detach() override;
+  void on_slot(Time now, Duration slot) override;
+
+  /// The wrapped controller; valid only while attached.
+  AutoScaler& scaler() { return *scaler_; }
+
+ private:
+  AutoScalerConfig config_;
+  std::unique_ptr<AutoScaler> scaler_;
+  Time next_tick_ = 0;
+};
+
+/// Per-slot health inspection; keeps the latest report available to the
+/// stages after it in the pipeline (and to tests/operators).
+class HealthCheckStage final : public ControlStage {
+ public:
+  explicit HealthCheckStage(HealthCheckerConfig config = {});
+
+  std::string name() const override { return "HealthCheck"; }
+  void attach(Cluster& cluster) override;
+  void detach() override;
+  void on_slot(Time now, Duration slot) override;
+
+  /// Most recent per-slot report (empty nodes vector before first slot).
+  const HealthReport& last_report() const { return last_; }
+
+ private:
+  HealthCheckerConfig config_;
+  std::optional<HealthChecker> checker_;
+  HealthReport last_;
+  obs::Gauge* obs_critical_ = nullptr;
+  obs::Gauge* obs_overloaded_ = nullptr;
+  obs::Gauge* obs_saturated_ = nullptr;
+};
+
+}  // namespace dope::cluster

@@ -76,6 +76,10 @@ std::string FuzzCase::label() const {
     out << "calm";
   }
   out << "/" << static_cast<long long>(to_seconds(config.duration)) << "s";
+  if (config.num_zones > 1) {
+    out << "/" << config.num_zones << "z-"
+        << site::divider_name(config.site_divider);
+  }
   return out.str();
 }
 
@@ -92,7 +96,11 @@ Watts expected_budget(const scenario::ScenarioConfig& config) {
   if (config.budget_override > Watts{0.0}) return config.budget_override;
   const Watts nameplate = power::ServerPowerSpec{}.nameplate *
                           static_cast<double>(config.num_servers);
-  return power::PowerBudget::for_level(config.budget, nameplate).supply;
+  const Watts per_zone =
+      power::PowerBudget::for_level(config.budget, nameplate).supply;
+  // A multi-zone site's facility budget defaults to the sum of the
+  // zones' level-derived budgets (identical zones here).
+  return per_zone * static_cast<double>(config.num_zones);
 }
 
 ScenarioSampler::ScenarioSampler(Domain domain) : domain_(std::move(domain)) {
@@ -221,6 +229,36 @@ FuzzCase ScenarioSampler::sample(std::uint64_t case_seed) const {
                          2 * config.duration / 3);
       outage.down = sample_seconds(rng, 3 * kSecond, 20 * kSecond);
       config.node_outages.push_back(outage);
+    }
+  }
+
+  // --- multi-zone sites (sampled last: single-zone cases keep the
+  // exact draw sequence — and therefore the exact case — they had
+  // before sites existed) ---
+  if (domain_.max_zones > 1 && rng.chance(domain_.p_site)) {
+    config.num_zones = static_cast<std::size_t>(rng.uniform_int(
+        2, static_cast<std::int64_t>(domain_.max_zones)));
+    const site::GlobalLbPolicy policies[] = {
+        site::GlobalLbPolicy::kWeighted, site::GlobalLbPolicy::kLeastLoaded,
+        site::GlobalLbPolicy::kZoneAffinity};
+    config.glb_policy =
+        policies[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    const site::DividerKind dividers[] = {
+        site::DividerKind::kStatic, site::DividerKind::kDemandProportional,
+        site::DividerKind::kHeadroomAware};
+    config.site_divider =
+        dividers[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    if (rng.chance(0.5)) {
+      config.zone_weights.reserve(config.num_zones);
+      for (std::size_t z = 0; z < config.num_zones; ++z) {
+        config.zone_weights.push_back(rng.uniform(0.5, 2.0));
+      }
+    }
+    // Half of attacking site cases concentrate the flood on one zone —
+    // the DOPE shape the dividers exist to contain.
+    if (config.attack_rps > 0.0 && rng.chance(0.5)) {
+      config.attack_zone = static_cast<int>(rng.uniform_int(
+          0, static_cast<std::int64_t>(config.num_zones) - 1));
     }
   }
 

@@ -64,6 +64,14 @@ struct Domain {
   // --- mid-run chaos ---
   double p_node_outage = 0.3;
   std::size_t max_node_outages = 2;
+
+  // --- multi-zone sites (docs/SITE.md) ---
+  /// Chance a case is a multi-zone `site::Site` instead of a single
+  /// cluster; when it hits, the zone count is drawn from
+  /// [2, max_zones] along with a GLB policy, a budget divider, random
+  /// zone weights, and (half the time) a zone-concentrated attack.
+  double p_site = 0.3;
+  std::size_t max_zones = 3;
 };
 
 /// One sampled point of the domain. `config` carries the full scenario

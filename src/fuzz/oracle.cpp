@@ -90,10 +90,12 @@ class Judge {
       flag("power_integral", scheme, detail.str());
     }
 
-    // Power stays inside [0, aggregate nameplate].
+    // Power stays inside [0, aggregate nameplate] (site-wide: every
+    // zone's fleet counts).
     const Watts nameplate =
         power::ServerPowerSpec{}.nameplate *
-        static_cast<double>(config.num_servers);
+        static_cast<double>(config.num_servers) *
+        static_cast<double>(config.num_zones);
     if (r.peak_power > nameplate + Watts{1e-6}) {
       detail << "peak " << r.peak_power.value() << " W above nameplate "
              << nameplate.value() << " W";
@@ -186,6 +188,56 @@ class Judge {
              << " attack outcomes in an attack-free case";
       flag("phantom_attack", scheme, detail.str());
     }
+
+    // Multi-zone runs: the per-zone breakdown must be present, every
+    // zone's slice sane, and the site-level books must equal the sum of
+    // the zones' books (energy cannot appear or vanish between layers).
+    if (config.num_zones > 1) {
+      if (r.zones.size() != config.num_zones) {
+        detail << r.zones.size() << " zone breakdowns for "
+               << config.num_zones << " zones";
+        flag("zone_breakdown", scheme, detail.str());
+        return;
+      }
+      Joules zone_load{0.0};
+      Watts zone_budgets{0.0};
+      for (std::size_t z = 0; z < r.zones.size(); ++z) {
+        const auto& zone = r.zones[z];
+        zone_load += zone.load_energy;
+        zone_budgets += zone.budget;
+        if (zone.availability < -1e-9 ||
+            zone.availability > 1.0 + 1e-9 ||
+            zone.load_energy < Joules{-1e-9} ||
+            zone.budget < site::kMinZoneBudget - Watts{1e-9} ||
+            zone.violation_slots > r.slot_stats.slots) {
+          detail << "zone " << z << ": availability="
+                 << zone.availability << ", load="
+                 << zone.load_energy.value() << " J, budget="
+                 << zone.budget.value() << " W, violations="
+                 << zone.violation_slots;
+          flag("zone_range", scheme, detail.str());
+          break;
+        }
+      }
+      // Site-level energy conservation: zones sum to the site books.
+      const double site_scale = std::max(1.0, load.value());
+      if (abs(zone_load - load) > Joules{1e-6 * site_scale}) {
+        detail << "zone load sum " << zone_load.value()
+               << " J vs site load " << load.value() << " J";
+        flag("site_energy_conservation", scheme, detail.str());
+      }
+      // The divider hands out the whole facility budget (floors may
+      // push the sum slightly above it, never below).
+      const Watts facility = expected_budget(config);
+      if (zone_budgets < facility - Watts{1e-6} ||
+          zone_budgets > facility +
+                             site::kMinZoneBudget *
+                                 static_cast<double>(config.num_zones)) {
+        detail << "zone budget sum " << zone_budgets.value()
+               << " W vs facility " << facility.value() << " W";
+        flag("zone_budget_sum", scheme, detail.str());
+      }
+    }
   }
 
   /// Properties of the scheme run relative to the uncapped reference.
@@ -236,6 +288,33 @@ class Judge {
                << options_.admitted_energy_multiple << " allowed)";
         flag("admitted_energy", scheme, detail.str());
       }
+
+      // Per-zone differential: the same bound zone by zone. A scheme
+      // that respects the site total while conjuring energy inside one
+      // zone (and hiding it in another) fails here, not above. Skipped
+      // under the least-loaded GLB: its routing feeds back on service
+      // latency, so a scheme legitimately shifts traffic between zones
+      // relative to the uncapped reference.
+      if (scheme_config.glb_policy != site::GlobalLbPolicy::kLeastLoaded &&
+          r.zones.size() == reference.result.zones.size()) {
+        for (std::size_t z = 0; z < r.zones.size(); ++z) {
+          const Joules zone_limit =
+              reference.result.zones[z].load_energy *
+                  options_.admitted_energy_multiple +
+              Joules{1.0};
+          if (!loosely_le(r.zones[z].load_energy.value(),
+                          zone_limit.value(), zone_limit.value())) {
+            detail << "zone " << z << " load "
+                   << r.zones[z].load_energy.value()
+                   << " J vs uncapped reference "
+                   << reference.result.zones[z].load_energy.value()
+                   << " J (x" << options_.admitted_energy_multiple
+                   << " allowed)";
+            flag("zone_admitted_energy", scheme, detail.str());
+            break;
+          }
+        }
+      }
     }
   }
 
@@ -269,6 +348,15 @@ class Judge {
     same = same &&
            a.slot_stats.violation_slots == b.slot_stats.violation_slots;
     same = same && a.slot_stats.outages == b.slot_stats.outages;
+    same = same && a.zones.size() == b.zones.size();
+    for (std::size_t z = 0; same && z < a.zones.size(); ++z) {
+      // dope-lint: allow(float-eq) — bit-exact determinism contract
+      same = same && a.zones[z].load_energy == b.zones[z].load_energy;
+      // dope-lint: allow(float-eq) — bit-exact determinism contract
+      same = same && a.zones[z].budget == b.zones[z].budget;
+      same = same &&
+             a.zones[z].violation_slots == b.zones[z].violation_slots;
+    }
     if (!same) {
       detail << "rerun diverged: mean_ms " << a.mean_ms << " vs "
              << b.mean_ms << ", utility " << a.energy.utility.value()

@@ -305,6 +305,24 @@ power::BudgetLevel parse_budget_token(const std::string& token) {
   fail("unknown budget level \"" + token + "\"");
 }
 
+site::GlobalLbPolicy parse_glb_token(const std::string& token) {
+  for (const auto policy :
+       {site::GlobalLbPolicy::kWeighted, site::GlobalLbPolicy::kLeastLoaded,
+        site::GlobalLbPolicy::kZoneAffinity}) {
+    if (site::glb_policy_name(policy) == token) return policy;
+  }
+  fail("unknown GLB policy \"" + token + "\"");
+}
+
+site::DividerKind parse_divider_token(const std::string& token) {
+  for (const auto kind :
+       {site::DividerKind::kStatic, site::DividerKind::kDemandProportional,
+        site::DividerKind::kHeadroomAware}) {
+    if (site::divider_name(kind) == token) return kind;
+  }
+  fail("unknown divider \"" + token + "\"");
+}
+
 scenario::SchemeKind parse_scheme_token(const std::string& token) {
   for (const auto kind :
        {scenario::SchemeKind::kNone, scenario::SchemeKind::kCapping,
@@ -421,6 +439,17 @@ void write_repro(std::ostream& out, const Repro& repro) {
         << ", \"down_us\": " << outage.down << "}";
   }
   out << "],\n";
+  out << "    \"site\": {\"num_zones\": " << c.num_zones << ", \"glb\": \""
+      << site::glb_policy_name(c.glb_policy) << "\", \"divider\": \""
+      << site::divider_name(c.site_divider)
+      << "\", \"attack_zone\": " << c.attack_zone
+      << ", \"reapportion_period_us\": " << c.reapportion_period
+      << ", \"zone_weights\": [";
+  for (std::size_t i = 0; i < c.zone_weights.size(); ++i) {
+    if (i > 0) out << ", ";
+    write_number(out, c.zone_weights[i]);
+  }
+  out << "]},\n";
   out << "    \"duration_us\": " << c.duration << ",\n";
   out << "    \"power_sample_interval_us\": " << c.power_sample_interval
       << ",\n";
@@ -518,6 +547,24 @@ Repro read_repro(std::istream& in) {
     outage.at = as_i64(require(item, "at_us"), "at_us");
     outage.down = as_i64(require(item, "down_us"), "down_us");
     c.node_outages.push_back(outage);
+  }
+  // Site block: absent in pre-site repro files, which are single-zone
+  // by construction.
+  if (const JsonValue* site = config.find("site");
+      site != nullptr && site->kind != JsonValue::Kind::kNull) {
+    c.num_zones = static_cast<std::size_t>(
+        as_i64(require(*site, "num_zones"), "num_zones"));
+    c.glb_policy =
+        parse_glb_token(as_string(require(*site, "glb"), "glb"));
+    c.site_divider =
+        parse_divider_token(as_string(require(*site, "divider"), "divider"));
+    c.attack_zone = static_cast<int>(
+        as_i64(require(*site, "attack_zone"), "attack_zone"));
+    c.reapportion_period = as_i64(
+        require(*site, "reapportion_period_us"), "reapportion_period_us");
+    for (const auto& item : require(*site, "zone_weights").items) {
+      c.zone_weights.push_back(as_double(item, "zone_weights[]"));
+    }
   }
   c.duration = as_i64(require(config, "duration_us"), "duration_us");
   c.power_sample_interval = as_i64(

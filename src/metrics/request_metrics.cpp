@@ -35,6 +35,7 @@ void RequestMetrics::record(const workload::RequestRecord& record) {
   if (record.outcome == workload::RequestOutcome::kCompleted) {
     Percentiles& latency = attack ? attack_latency_ : normal_latency_;
     latency.add(to_millis(record.latency));
+    ++completed_by_zone_[record.server.zone];
   }
 }
 

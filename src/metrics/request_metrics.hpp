@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -60,11 +61,19 @@ class RequestMetrics {
     return normal_counts_.terminal() + attack_counts_.terminal();
   }
 
+  /// Completed requests keyed by the serving zone (`ServerRef::kNoZone`
+  /// for a standalone cluster). Ordered for deterministic iteration;
+  /// site-level recorders see every zone a record came from.
+  const std::map<std::int32_t, std::uint64_t>& completed_by_zone() const {
+    return completed_by_zone_;
+  }
+
  private:
   OutcomeCounts normal_counts_;
   OutcomeCounts attack_counts_;
   Percentiles normal_latency_;
   Percentiles attack_latency_;
+  std::map<std::int32_t, std::uint64_t> completed_by_zone_;
 };
 
 }  // namespace dope::metrics

@@ -1,6 +1,7 @@
 #include "net/firewall.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -10,8 +11,8 @@
 
 namespace dope::net {
 
-Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
-    : engine_(engine), config_(config) {
+Firewall::Firewall(sim::Engine& engine, FirewallConfig config, int zone)
+    : engine_(engine), config_(config), zone_(zone) {
   DOPE_REQUIRE(config_.threshold_rps > 0, "threshold must be positive");
   DOPE_REQUIRE(config_.check_interval > 0, "check interval must be positive");
   DOPE_REQUIRE(config_.required_strikes >= 1, "need at least one strike");
@@ -19,9 +20,11 @@ Firewall::Firewall(sim::Engine& engine, FirewallConfig config)
   hub_ = engine_.obs();
   if (hub_ != nullptr) {
     auto& reg = hub_->registry();
-    obs_admitted_ = &reg.counter("net.fw_admitted");
-    obs_blocked_ = &reg.counter("net.fw_blocked");
-    obs_bans_ = &reg.counter("net.fw_bans");
+    obs::Labels labels;
+    if (zone_ >= 0) labels.emplace_back("zone", std::to_string(zone_));
+    obs_admitted_ = &reg.counter("net.fw_admitted", labels);
+    obs_blocked_ = &reg.counter("net.fw_blocked", labels);
+    obs_bans_ = &reg.counter("net.fw_bans", labels);
     spans_ = hub_->spans();
   }
   poller_ = engine_.every(config_.check_interval, [this] { poll(); });
@@ -38,6 +41,7 @@ bool Firewall::admit(const workload::Request& request) {
     span.kind = obs::SpanKind::kFirewall;
     span.source_id = request.source;
     span.url_class = request.type;
+    span.zone = zone_;
     span.outcome = banned ? "blocked" : "pass";
     spans_->instant(std::move(span), engine_.now());
   }
@@ -94,6 +98,7 @@ void Firewall::poll() {
           e.source = "firewall";
           e.num.emplace_back("source_id", source);
           e.num.emplace_back("rate_rps", rate);
+          if (zone_ >= 0) e.num.emplace_back("zone", zone_);
           hub_->event(std::move(e));
         }
       }

@@ -43,7 +43,9 @@ struct FirewallConfig {
 /// Stateful per-source rate-threshold firewall.
 class Firewall {
  public:
-  Firewall(sim::Engine& engine, FirewallConfig config);
+  /// `zone` stamps the firewall's metrics labels, trace events, and
+  /// verdict spans; -1 (standalone cluster) suppresses it entirely.
+  Firewall(sim::Engine& engine, FirewallConfig config, int zone = -1);
   ~Firewall();
 
   Firewall(const Firewall&) = delete;
@@ -72,6 +74,7 @@ class Firewall {
 
   sim::Engine& engine_;
   FirewallConfig config_;
+  int zone_;
   sim::PeriodicHandle poller_;
   obs::Hub* hub_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;

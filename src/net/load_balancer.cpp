@@ -1,6 +1,7 @@
 #include "net/load_balancer.hpp"
 
 #include <limits>
+#include <string>
 
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
@@ -17,20 +18,21 @@ LoadBalancer::LoadBalancer(LbPolicy policy, std::vector<Backend*> pool,
   }
 }
 
-void LoadBalancer::bind_obs(obs::Hub* hub, const char* pool) {
+void LoadBalancer::bind_obs(obs::Hub* hub, const char* pool, int zone) {
   if (hub == nullptr) return;
-  obs_selected_ = &hub->registry().counter("net.lb_selected",
-                                           {{"pool", pool}});
-  obs_no_backend_ = &hub->registry().counter("net.lb_no_backend",
-                                             {{"pool", pool}});
+  obs::Labels labels{{"pool", pool}};
+  if (zone >= 0) labels.emplace_back("zone", std::to_string(zone));
+  obs_selected_ = &hub->registry().counter("net.lb_selected", labels);
+  obs_no_backend_ = &hub->registry().counter("net.lb_no_backend", labels);
 }
 
 void LoadBalancer::bind_spans(sim::Engine* engine, obs::SpanTracer* spans,
-                              const char* pool) {
+                              const char* pool, int zone) {
   if (engine == nullptr || spans == nullptr) return;
   span_engine_ = engine;
   spans_ = spans;
   span_pool_ = pool;
+  span_zone_ = zone;
 }
 
 Backend* LoadBalancer::select(const workload::Request& request) {
@@ -46,6 +48,7 @@ Backend* LoadBalancer::select(const workload::Request& request) {
     span.source_id = request.source;
     span.url_class = request.type;
     if (chosen != nullptr) span.server = chosen->backend_id();
+    span.zone = span_zone_;
     span.label = span_pool_;
     span.outcome = chosen != nullptr ? "selected" : "no_backend";
     spans_->instant(std::move(span), span_engine_->now());

@@ -53,15 +53,17 @@ class LoadBalancer {
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// Binds per-pool selection counters into `hub`'s registry (label
-  /// `{"pool": pool}`). Optional; `hub` may be null (no-op). `pool`
-  /// must outlive the balancer (string literals at all call sites).
-  void bind_obs(obs::Hub* hub, const char* pool);
+  /// `{"pool": pool}`, plus `{"zone": N}` when `zone >= 0`). Optional;
+  /// `hub` may be null (no-op). `pool` must outlive the balancer
+  /// (string literals at all call sites).
+  void bind_obs(obs::Hub* hub, const char* pool, int zone = -1);
 
   /// Binds span emission: every `select` records an instant kLbPick span
-  /// labelled with this pool. Optional; `spans` may be null (no-op).
-  /// Span-only — adds no metrics, so the span-off export is unchanged.
+  /// labelled with this pool (zone-stamped when `zone >= 0`). Optional;
+  /// `spans` may be null (no-op). Span-only — adds no metrics, so the
+  /// span-off export is unchanged.
   void bind_spans(sim::Engine* engine, obs::SpanTracer* spans,
-                  const char* pool);
+                  const char* pool, int zone = -1);
 
  private:
   Backend* do_select(const workload::Request& request);
@@ -76,6 +78,7 @@ class LoadBalancer {
   sim::Engine* span_engine_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;
   const char* span_pool_ = "";
+  int span_zone_ = -1;
 };
 
 }  // namespace dope::net

@@ -16,6 +16,7 @@ struct SourceAccum {
   SourceStats stats;
   std::map<std::uint32_t, Joules> class_joules;
   std::map<std::uint32_t, std::uint64_t> class_requests;
+  std::map<std::int32_t, Joules> zone_joules;
 };
 
 }  // namespace
@@ -57,6 +58,9 @@ Forensics Forensics::build(const SpanTracer& spans,
         a.stats.joules += span.power_w * held;
         a.stats.occupancy_ms += to_seconds(held) * 1e3;
         a.class_joules[span.url_class] += span.power_w * held;
+        if (span.zone >= 0) {
+          a.zone_joules[span.zone] += span.power_w * held;
+        }
         const auto lo = std::lower_bound(violations.begin(),
                                          violations.end(), span.begin);
         const auto hi =
@@ -91,6 +95,16 @@ Forensics Forensics::build(const SpanTracer& spans,
           best_n = n;
           a.stats.dominant_class = cls;
         }
+      }
+    }
+    // Dominant zone mirrors the class logic (joules only — a request
+    // that never reached a slot has no zone attribution). std::map
+    // order breaks ties to the lower zone index.
+    Joules best_zone_j{0.0};
+    for (const auto& [zone, j] : a.zone_joules) {
+      if (j > best_zone_j) {
+        best_zone_j = j;
+        a.stats.dominant_zone = zone;
       }
     }
     out.total_joules_ += a.stats.joules;
@@ -128,7 +142,13 @@ void Forensics::write_json(std::ostream& out) const {
     out << ", \"occupancy_ms\": ";
     write_json_number(out, s.occupancy_ms);
     out << ", \"violation_overlaps\": " << s.violation_overlaps
-        << ", \"dominant_class\": " << s.dominant_class << "}";
+        << ", \"dominant_class\": " << s.dominant_class;
+    // Emitted only for zoned (multi-zone) runs, so standalone-cluster
+    // forensics exports stay byte-identical.
+    if (s.dominant_zone >= 0) {
+      out << ", \"dominant_zone\": " << s.dominant_zone;
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
 }

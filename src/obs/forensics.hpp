@@ -40,6 +40,11 @@ struct SourceStats {
   /// URL class carrying the most attributed joules (most requests when
   /// the source never reached a slot); ties break to the lower class id.
   std::uint32_t dominant_class = 0;
+  /// Zone whose service spans carry the most of this source's joules;
+  /// -1 when the source never reached a slot or the run was a
+  /// standalone (zone-less) cluster. Inside a Site this is the "which
+  /// zone is the botnet hammering" attribution.
+  std::int32_t dominant_zone = -1;
 };
 
 /// Per-source rollup over one run's spans.

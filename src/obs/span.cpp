@@ -61,6 +61,7 @@ void write_span_begin_jsonl(std::ostream& out, const Span& span) {
       << ", \"url_class\": " << span.url_class;
   if (span.server >= 0) out << ", \"server\": " << span.server;
   if (span.slot >= 0) out << ", \"slot\": " << span.slot;
+  if (span.zone >= 0) out << ", \"zone\": " << span.zone;
   if (span.power_w > Watts{0.0}) {
     out << ", \"power_w\": ";
     write_json_number(out, span.power_w.value());

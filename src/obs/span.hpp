@@ -66,6 +66,9 @@ struct Span {
   int server = -1;
   /// Slot index on the server (-1 when not in service).
   int slot = -1;
+  /// Zone the span was recorded in (-1 for a standalone cluster; set for
+  /// every span inside a `site::Site`).
+  int zone = -1;
   const char* label = "";
   const char* outcome = "";
 

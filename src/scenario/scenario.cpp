@@ -39,8 +39,303 @@ std::unique_ptr<cluster::PowerScheme> make_scheme(
   return nullptr;
 }
 
+namespace {
+
+/// Multi-zone path: a `site::Site` of identical zones behind the GLB.
+/// Kept fully separate from the single-cluster path below so the
+/// latter's construction/registration order — and therefore its golden
+/// exports — cannot drift.
+ScenarioResult run_site_scenario(const ScenarioConfig& config) {
+  DOPE_REQUIRE(config.zone_weights.empty() ||
+                   config.zone_weights.size() == config.num_zones,
+               "zone_weights must be empty or match num_zones");
+  DOPE_REQUIRE(config.attack_zone < static_cast<int>(config.num_zones),
+               "attack_zone outside the site");
+
+  sim::Engine engine;
+  engine.set_obs(config.obs);  // before any component construction
+  if (config.obs != nullptr && config.trace_cap > 0) {
+    config.obs->trace().set_max_events(config.trace_cap);
+  }
+  const auto catalog = workload::Catalog::standard();
+
+  site::SiteConfig sc;
+  sc.zones.reserve(config.num_zones);
+  for (std::size_t z = 0; z < config.num_zones; ++z) {
+    site::ZoneConfig zone;
+    zone.cluster.num_servers = config.num_servers;
+    zone.cluster.budget_level = config.budget;
+    zone.cluster.battery_runtime = config.battery_runtime;
+    zone.cluster.firewall = config.firewall;
+    zone.cluster.breaker = config.breaker;
+    zone.cluster.slot = config.slot;
+    if (!config.zone_weights.empty()) {
+      zone.weight = config.zone_weights[z];
+    }
+    sc.zones.push_back(std::move(zone));
+  }
+  // A positive override provisions the *facility*, not each zone.
+  sc.facility_budget = config.budget_override;
+  sc.divider = config.site_divider;
+  sc.policy = config.glb_policy;
+  sc.reapportion_period = config.reapportion_period;
+  site::Site site(engine, catalog, sc);
+
+  for (std::size_t z = 0; z < site.num_zones(); ++z) {
+    site.zone(z).install_scheme(
+        make_scheme(config.scheme, config.antidope));
+  }
+
+  if (config.obs != nullptr && config.default_alert_rules) {
+    auto& dog = config.obs->watchdog();
+    for (std::size_t z = 0; z < site.num_zones(); ++z) {
+      const std::string suffix = ".zone" + std::to_string(z);
+      const double share = site.zone_budgets()[z].value();
+      dog.add_rule({.name = "budget-violated" + suffix,
+                    .signal = cluster::Cluster::kSignalSlotDemand + suffix,
+                    .cmp = obs::AlertCmp::kAbove,
+                    .threshold = share,
+                    .consecutive = 5,
+                    .clear_after = 5});
+      dog.add_rule({.name = "utility-over-budget" + suffix,
+                    .signal = cluster::Cluster::kSignalUtility + suffix,
+                    .cmp = obs::AlertCmp::kAbove,
+                    .threshold = share,
+                    .consecutive = 3,
+                    .clear_after = 3});
+      if (site.zone(z).battery() != nullptr) {
+        dog.add_rule({.name = "battery-low" + suffix,
+                      .signal =
+                          cluster::Cluster::kSignalBatterySoc + suffix,
+                      .cmp = obs::AlertCmp::kBelow,
+                      .threshold = 0.25,
+                      .consecutive = 1,
+                      .clear_after = 3});
+      }
+    }
+    if (config.attack_rps > 0.0) {
+      dog.add_rule({.name = "attack-rate",
+                    .signal = kSignalAttackRate,
+                    .cmp = obs::AlertCmp::kAbove,
+                    .threshold = 0.5 * config.attack_rps,
+                    .consecutive = 3,
+                    .clear_after = 3});
+    }
+  }
+
+  // Scripted chaos, with the global server index split into
+  // (zone, server-in-zone).
+  for (const auto& outage : config.node_outages) {
+    DOPE_REQUIRE(
+        outage.server < config.num_servers * site.num_zones(),
+        "node outage names a server outside the site");
+    DOPE_REQUIRE(outage.at >= 0 && outage.down > 0,
+                 "node outage needs a non-negative start and a positive "
+                 "downtime");
+    cluster::Cluster* cl = &site.zone(outage.server / config.num_servers);
+    const std::size_t idx = outage.server % config.num_servers;
+    engine.schedule_at(outage.at, [cl, idx] {
+      cl->server(idx).power_off();
+    });
+    const Duration reboot = cl->config().reboot_time;
+    engine.schedule_at(outage.at + outage.down, [cl, idx, reboot] {
+      if (!cl->in_outage()) cl->server(idx).power_on(reboot);
+    });
+  }
+
+  // Normal traffic enters through the global balancer.
+  std::unique_ptr<workload::TrafficGenerator> normal;
+  if (config.normal_rps > 0.0 || !config.normal_rate_plan.empty()) {
+    workload::GeneratorConfig gen;
+    gen.name = "normal";
+    gen.mixture = config.normal_mixture.value_or(
+        workload::Mixture::alios_normal());
+    gen.rate_rps = config.normal_rps;
+    gen.num_sources = config.normal_sources;
+    gen.source_base = 0;
+    gen.seed = config.seed * 2 + 1;
+    normal = std::make_unique<workload::TrafficGenerator>(
+        engine, catalog, gen, site.edge_sink());
+    if (!config.normal_rate_plan.empty()) {
+      apply_rate_plan(engine, *normal, config.normal_rate_plan);
+    }
+  }
+
+  // Attack traffic: through the GLB, or concentrated on one zone's
+  // regional front door.
+  std::unique_ptr<workload::TrafficGenerator> attack;
+  if (config.attack_rps > 0.0) {
+    workload::GeneratorConfig gen;
+    gen.name = "attack";
+    gen.mixture = config.attack_mixture.value_or(
+        workload::Mixture::single(workload::Catalog::kKMeans));
+    gen.rate_rps = config.attack_rps;
+    gen.num_sources = config.attack_agents;
+    gen.source_base = 1'000'000;
+    gen.start = config.attack_start;
+    gen.stop = config.attack_stop;
+    gen.ground_truth_attack = true;
+    gen.seed = config.seed * 2 + 2;
+    attack = std::make_unique<workload::TrafficGenerator>(
+        engine, catalog, gen,
+        config.attack_zone >= 0
+            ? site.zone_sink(static_cast<std::size_t>(config.attack_zone))
+            : site.edge_sink());
+    if (!config.attack_rate_plan.empty()) {
+      apply_rate_plan(engine, *attack, config.attack_rate_plan);
+    }
+  }
+
+  // Probes: site-wide power, mean SoC over battery-backed zones,
+  // per-zone throttling depth, and the watchdog's attack-rate feed.
+  metrics::TimelineRecorder power_probe(
+      engine, config.power_sample_interval, [&site] {
+        Watts total{0.0};
+        for (std::size_t z = 0; z < site.num_zones(); ++z) {
+          total += site.zone(z).total_power();
+        }
+        return total.value();
+      });
+  bool any_battery = false;
+  for (std::size_t z = 0; z < site.num_zones(); ++z) {
+    if (site.zone(z).battery() != nullptr) any_battery = true;
+  }
+  std::unique_ptr<metrics::TimelineRecorder> soc_probe;
+  if (any_battery) {
+    soc_probe = std::make_unique<metrics::TimelineRecorder>(
+        engine, config.power_sample_interval, [&site] {
+          double soc = 0.0;
+          std::size_t n = 0;
+          for (std::size_t z = 0; z < site.num_zones(); ++z) {
+            if (const auto* b = site.zone(z).battery()) {
+              soc += b->soc();
+              ++n;
+            }
+          }
+          return n == 0 ? 0.0 : soc / static_cast<double>(n);
+        });
+  }
+
+  struct SiteProbe {
+    std::vector<std::size_t> min_level;
+    workload::TrafficGenerator* attack_gen = nullptr;
+    obs::Watchdog* dog = nullptr;
+    double slot_seconds = 1.0;
+    std::uint64_t prev_generated = 0;
+  } probe;
+  probe.min_level.assign(site.num_zones(),
+                         site.zone(0).ladder().max_level());
+  if (config.obs != nullptr && attack != nullptr) {
+    probe.attack_gen = attack.get();
+    probe.dog = &config.obs->watchdog();
+    probe.slot_seconds = to_seconds(config.slot);
+  }
+  auto level_probe = engine.every(config.slot, [&site, &probe, &engine] {
+    for (std::size_t z = 0; z < site.num_zones(); ++z) {
+      for (auto* n : site.zone(z).servers()) {
+        probe.min_level[z] = std::min(probe.min_level[z], n->level());
+      }
+    }
+    if (probe.attack_gen != nullptr) {
+      const std::uint64_t generated = probe.attack_gen->generated();
+      probe.dog->observe(
+          kSignalAttackRate, engine.now(),
+          static_cast<double>(generated - probe.prev_generated) /
+              probe.slot_seconds);
+      probe.prev_generated = generated;
+    }
+  });
+
+  engine.run_until(config.duration);
+  level_probe.stop();
+
+  // --- summarise ---
+  ScenarioResult result;
+  result.scheme = scheme_name(config.scheme);
+  result.budget = site.facility_budget();
+
+  const auto& metrics = site.request_metrics();
+  const auto& latency = metrics.normal_latency_ms();
+  result.mean_ms = latency.mean();
+  result.p50_ms = latency.percentile(50);
+  result.p90_ms = latency.percentile(90);
+  result.p95_ms = latency.percentile(95);
+  result.p99_ms = latency.percentile(99);
+  result.min_ms = latency.min();
+  result.max_ms = latency.max();
+  result.availability = metrics.availability();
+  result.drop_fraction = metrics.drop_fraction();
+  result.normal_counts = metrics.normal_counts();
+  result.attack_counts = metrics.attack_counts();
+  result.attack_mean_ms = metrics.attack_latency_ms().mean();
+
+  result.mean_power = Watts{power_probe.stats().mean()};
+  result.peak_power = Watts{power_probe.stats().max()};
+  result.power_timeline = power_probe.samples();
+  Watts nameplate{0.0};
+  for (std::size_t z = 0; z < site.num_zones(); ++z) {
+    nameplate += site.zone(z).total_nameplate();
+  }
+  result.power_samples_normalized.reserve(power_probe.samples().size());
+  for (const auto& s : power_probe.samples()) {
+    result.power_samples_normalized.push_back(Watts{s.value} / nameplate);
+  }
+  if (soc_probe) {
+    result.battery_soc_timeline = soc_probe->samples();
+  }
+
+  result.energy = site.aggregate_energy();
+  result.zones.reserve(site.num_zones());
+  GHz freq_sum{0.0};
+  std::size_t total_servers = 0;
+  result.min_level_seen = site.zone(0).ladder().max_level();
+  for (std::size_t z = 0; z < site.num_zones(); ++z) {
+    cluster::Cluster& zone = site.zone(z);
+    if (zone.battery() != nullptr) {
+      result.battery_discharged += zone.battery()->total_discharged();
+    }
+    const auto& stats = zone.slot_stats();
+    result.slot_stats.slots =
+        std::max(result.slot_stats.slots, stats.slots);
+    result.slot_stats.violation_slots += stats.violation_slots;
+    result.slot_stats.utility_violation_slots +=
+        stats.utility_violation_slots;
+    result.slot_stats.worst_overshoot = std::max(
+        result.slot_stats.worst_overshoot, stats.worst_overshoot);
+    result.slot_stats.outages += stats.outages;
+    result.slot_stats.downtime += stats.downtime;
+
+    ZoneBreakdown breakdown;
+    breakdown.budget = site.zone_budgets()[z];
+    breakdown.availability = zone.request_metrics().availability();
+    breakdown.normal_counts = zone.request_metrics().normal_counts();
+    breakdown.violation_slots = stats.violation_slots;
+    breakdown.min_level_seen = probe.min_level[z];
+    breakdown.load_energy = zone.energy_account().load_total();
+    GHz zone_freq{0.0};
+    for (auto* n : zone.servers()) {
+      zone_freq += zone.ladder().frequency(n->level());
+    }
+    breakdown.final_mean_frequency =
+        zone_freq / static_cast<double>(zone.num_servers());
+    result.zones.push_back(breakdown);
+
+    freq_sum += zone_freq;
+    total_servers += zone.num_servers();
+    result.min_level_seen =
+        std::min(result.min_level_seen, probe.min_level[z]);
+  }
+  result.final_mean_frequency =
+      freq_sum / static_cast<double>(total_servers);
+  return result;
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   DOPE_REQUIRE(config.duration > 0, "scenario duration must be positive");
+  DOPE_REQUIRE(config.num_zones >= 1, "scenario needs at least one zone");
+  if (config.num_zones > 1) return run_site_scenario(config);
 
   sim::Engine engine;
   engine.set_obs(config.obs);  // before any component construction

@@ -22,6 +22,7 @@
 #include "metrics/timeline.hpp"
 #include "net/firewall.hpp"
 #include "power/provisioning.hpp"
+#include "site/site.hpp"
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 
@@ -87,7 +88,29 @@ struct ScenarioConfig {
   // --- chaos ---
   /// Scripted single-node outages injected mid-run. Each entry must name
   /// a valid server index; events on the same server must not overlap.
+  /// In a multi-zone run the index is global across zones in zone order
+  /// (zone = index / num_servers, server = index % num_servers).
   std::vector<NodeOutage> node_outages;
+
+  // --- multi-zone site (docs/SITE.md) ---
+  /// Zone count. 1 runs the classic single-cluster scenario (exports
+  /// stay byte-identical to the pre-site layout); >= 2 stands up a
+  /// `site::Site` of identical zones — each with `num_servers` servers,
+  /// the cluster settings above, and its own copy of `scheme` — behind
+  /// the global load balancer below.
+  std::size_t num_zones = 1;
+  /// Per-zone GLB/divider weights; empty means all 1.0. When non-empty
+  /// the size must equal `num_zones`.
+  std::vector<double> zone_weights;
+  site::GlobalLbPolicy glb_policy = site::GlobalLbPolicy::kWeighted;
+  /// How the facility budget (`budget_override` when positive, else the
+  /// sum of the zones' level-derived budgets) is split across zones.
+  site::DividerKind site_divider = site::DividerKind::kStatic;
+  Duration reapportion_period = 5 * kSecond;
+  /// When >= 0, attack traffic enters through this zone's regional
+  /// front door instead of the global balancer — the zone-concentrated
+  /// DOPE flood (ignored in single-cluster runs).
+  int attack_zone = -1;
 
   // --- run ---
   Duration duration = 10 * kMinute;  // the paper's observation window
@@ -117,6 +140,20 @@ struct ScenarioConfig {
 /// fed once per management slot by the scenario runner and on every epoch
 /// by the adaptive `attack::DopeAttacker`.
 inline constexpr const char* kSignalAttackRate = "attack.rate_rps";
+
+/// Per-zone slice of a multi-zone run's results.
+struct ZoneBreakdown {
+  /// Final applied budget share (the divider moves these at runtime).
+  Watts budget{0.0};
+  double availability = 1.0;
+  metrics::OutcomeCounts normal_counts;
+  std::uint64_t violation_slots = 0;
+  /// Deepest DVFS throttling any of the zone's servers reached.
+  std::size_t min_level_seen = 0;
+  GHz final_mean_frequency{0.0};
+  /// Energy the zone's IT load consumed (utility + battery).
+  Joules load_energy{0.0};
+};
 
 /// Everything the paper's figures report about one run.
 struct ScenarioResult {
@@ -157,6 +194,9 @@ struct ScenarioResult {
   // minimum level any server reached during the run.
   GHz final_mean_frequency{0.0};
   std::size_t min_level_seen = 0;
+
+  /// Per-zone breakdown, in zone order. Empty for single-cluster runs.
+  std::vector<ZoneBreakdown> zones;
 };
 
 /// Builds, runs, and summarises one scenario.

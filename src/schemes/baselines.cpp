@@ -15,18 +15,23 @@ CappingScheme::CappingScheme(double headroom_margin)
 }
 
 void CappingScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
+  ControlStage::attach(cluster);
   target_ = cluster.ladder().max_level();
   attached_ = true;
+}
+
+void CappingScheme::detach() {
+  attached_ = false;
+  ControlStage::detach();
 }
 
 void CappingScheme::on_slot(Time now, Duration slot) {
   (void)now;
   (void)slot;
   DOPE_ASSERT(attached_);
-  auto nodes = cluster_->servers();
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->total_power();
+  auto nodes = cluster_->data().servers();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->data().total_power();
   const auto& ladder = cluster_->ladder();
 
   if (demand > budget) {
@@ -62,22 +67,23 @@ ShavingScheme::ShavingScheme(double headroom_margin)
 }
 
 void ShavingScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
+  ControlStage::attach(cluster);
   target_ = cluster.ladder().max_level();
-  DOPE_REQUIRE(cluster.battery() != nullptr,
+  battery::Battery* battery = cluster.power().battery();
+  DOPE_REQUIRE(battery != nullptr,
                "ShavingScheme requires a cluster battery");
 }
 
 void ShavingScheme::on_slot(Time now, Duration slot) {
   (void)now;
-  auto nodes = cluster_->servers();
-  const Watts budget = cluster_->budget();
+  auto nodes = cluster_->data().servers();
+  const Watts budget = cluster_->power().budget();
   // Sense the worse of the instantaneous reading and the just-finished
   // slot's average so intra-slot load growth stays off the utility feed.
   const Watts demand =
-      std::max(cluster_->total_power(), cluster_->last_slot_demand());
+      std::max(cluster_->data().total_power(), cluster_->power().last_slot_demand());
   const auto& ladder = cluster_->ladder();
-  battery::Battery& battery = *cluster_->battery();
+  battery::Battery& battery = *cluster_->power().battery();
 
   last_battery_power_ = Watts{0.0};
   const Watts deficit = demand - budget;
@@ -123,16 +129,24 @@ TokenScheme::TokenScheme(double burst_seconds)
 }
 
 void TokenScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
+  ControlStage::attach(cluster);
   // Usable power for request work: budget minus what the cluster burns
   // when fully idle at maximum frequency.
   Watts idle_floor{0.0};
-  for (auto* n : cluster.servers()) {
+  for (auto* n : cluster.data().servers()) {
     idle_floor += n->power_model().idle_power(cluster.ladder().max_level());
   }
-  base_refill_ = std::max(Watts{1.0}, cluster.budget() - idle_floor);
+  base_refill_ = std::max(Watts{1.0}, cluster.power().budget() - idle_floor);
   bucket_ = std::make_unique<net::EnergyTokenBucket>(
       Joules{base_refill_.value() * burst_seconds_}, base_refill_);
+}
+
+void TokenScheme::detach() {
+  // The bucket was sized from the old cluster's idle floor and budget;
+  // attach rebuilds it for the next host.
+  bucket_.reset();
+  refill_scale_ = 1.0;
+  ControlStage::detach();
 }
 
 Joules TokenScheme::request_cost(const workload::Request& request) const {
@@ -154,8 +168,8 @@ void TokenScheme::on_slot(Time now, Duration slot) {
   (void)slot;
   // Feedback trim: if the finished slot still overshot the budget (cost
   // under-estimation), shrink the refill; recover slowly when well under.
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->last_slot_demand();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->power().last_slot_demand();
   if (demand > budget) {
     refill_scale_ = std::max(0.05, refill_scale_ * 0.8);
   } else if (demand < 0.9 * budget && refill_scale_ < 1.0) {

@@ -43,6 +43,7 @@ class CappingScheme final : public cluster::PowerScheme {
 
   std::string name() const override { return "Capping"; }
   void attach(cluster::Cluster& cluster) override;
+  void detach() override;
   void on_slot(Time now, Duration slot) override;
 
  private:
@@ -77,6 +78,7 @@ class TokenScheme final : public cluster::PowerScheme {
 
   std::string name() const override { return "Token"; }
   void attach(cluster::Cluster& cluster) override;
+  void detach() override;
   bool admit(const workload::Request& request) override;
   void on_slot(Time now, Duration slot) override;
 

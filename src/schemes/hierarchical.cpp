@@ -21,9 +21,9 @@ HierarchicalCappingScheme::HierarchicalCappingScheme(
 }
 
 void HierarchicalCappingScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
-  topology_.validate(cluster.num_servers());
-  auto nodes = cluster.servers();
+  ControlStage::attach(cluster);
+  topology_.validate(cluster.data().num_servers());
+  auto nodes = cluster.data().servers();
   rack_nodes_.clear();
   rack_target_.clear();
   for (const auto& pdu : topology_.pdus) {
@@ -43,10 +43,20 @@ void HierarchicalCappingScheme::attach(cluster::Cluster& cluster) {
   }
 }
 
+void HierarchicalCappingScheme::detach() {
+  rack_nodes_.clear();
+  rack_target_.clear();
+  rack_clean_slots_.clear();
+  hub_ = nullptr;
+  obs_facility_violations_ = nullptr;
+  obs_rack_violations_ = nullptr;
+  ControlStage::detach();
+}
+
 void HierarchicalCappingScheme::on_slot(Time now, Duration slot) {
   (void)slot;
   const auto& ladder = cluster_->ladder();
-  auto nodes = cluster_->servers();
+  auto nodes = cluster_->data().servers();
   std::vector<Watts> per_server;
   per_server.reserve(nodes.size());
   for (auto* node : nodes) per_server.push_back(node->current_power());

@@ -13,8 +13,8 @@ OracleScheme::OracleScheme(double isolation_fraction)
 }
 
 void OracleScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
-  auto nodes = cluster.servers();
+  ControlStage::attach(cluster);
+  auto nodes = cluster.data().servers();
   DOPE_REQUIRE(nodes.size() >= 2, "Oracle needs at least two servers");
   const auto k = std::clamp<std::size_t>(
       static_cast<std::size_t>(
@@ -39,11 +39,19 @@ net::Backend* OracleScheme::route(const workload::Request& request) {
   return b != nullptr ? b : isolated_lb_->select(request);
 }
 
+void OracleScheme::detach() {
+  isolated_nodes_.clear();
+  clean_nodes_.clear();
+  isolated_lb_.reset();
+  clean_lb_.reset();
+  ControlStage::detach();
+}
+
 void OracleScheme::on_slot(Time now, Duration slot) {
   (void)now;
   (void)slot;
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->total_power();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->data().total_power();
   const auto& ladder = cluster_->ladder();
   if (demand > budget) {
     const Watts clean_now = estimate_power_at_uniform(

@@ -14,18 +14,24 @@ RaplCappingScheme::RaplCappingScheme(double release_margin)
 }
 
 void RaplCappingScheme::attach(cluster::Cluster& cluster) {
-  PowerScheme::attach(cluster);
+  ControlStage::attach(cluster);
   rapl_.clear();
-  for (auto* node : cluster.servers()) {
+  for (auto* node : cluster.data().servers()) {
     rapl_.push_back(std::make_unique<server::RaplInterface>(*node));
   }
+}
+
+void RaplCappingScheme::detach() {
+  rapl_.clear();
+  capping_ = false;
+  ControlStage::detach();
 }
 
 void RaplCappingScheme::on_slot(Time now, Duration slot) {
   (void)now;
   (void)slot;
-  const Watts budget = cluster_->budget();
-  const Watts demand = cluster_->total_power();
+  const Watts budget = cluster_->power().budget();
+  const Watts demand = cluster_->data().total_power();
 
   if (demand > budget) {
     capping_ = true;

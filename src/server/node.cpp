@@ -13,9 +13,10 @@ namespace dope::server {
 ServerNode::ServerNode(sim::Engine& engine, int id,
                        const workload::Catalog& catalog,
                        power::ServerPowerModel model, ServerConfig config,
-                       workload::RecordSink sink)
+                       workload::RecordSink sink, int zone)
     : engine_(engine),
       id_(id),
+      zone_(zone),
       catalog_(catalog),
       model_(std::move(model)),
       config_(config),
@@ -66,6 +67,7 @@ void ServerNode::span_queue_begin(const workload::Request& request) {
   span.source_id = request.source;
   span.url_class = request.type;
   span.server = id_;
+  span.zone = zone_;
   spans_->begin(std::move(span));
 }
 
@@ -90,6 +92,7 @@ void ServerNode::span_service_begin(const workload::Request& request,
   span.power_w = request_power;
   span.server = id_;
   span.slot = static_cast<int>(slot_index);
+  span.zone = zone_;
   spans_->begin(std::move(span));
 }
 
@@ -338,7 +341,7 @@ void ServerNode::emit(const workload::Request& request,
   record.outcome = outcome;
   record.finish = engine_.now();
   record.latency = latency;
-  record.server = id_;
+  record.server = workload::ServerRef{zone_, id_};
   sink_(record);
 }
 

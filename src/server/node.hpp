@@ -56,9 +56,11 @@ struct ServerCounters {
 /// A simulated leaf server; implements the NLB's Backend interface.
 class ServerNode final : public net::Backend {
  public:
+  /// `zone` stamps every record and span the node emits; -1 (standalone
+  /// cluster) suppresses the field entirely.
   ServerNode(sim::Engine& engine, int id, const workload::Catalog& catalog,
              power::ServerPowerModel model, ServerConfig config,
-             workload::RecordSink sink);
+             workload::RecordSink sink, int zone = -1);
 
   ServerNode(const ServerNode&) = delete;
   ServerNode& operator=(const ServerNode&) = delete;
@@ -164,6 +166,7 @@ class ServerNode final : public net::Backend {
 
   sim::Engine& engine_;
   int id_;
+  int zone_;
   const workload::Catalog& catalog_;
   power::ServerPowerModel model_;
   ServerConfig config_;

@@ -36,6 +36,30 @@ struct Request {
   bool ground_truth_attack = false;
 };
 
+/// Typed reference to a serving node: the zone it lives in and the
+/// server index inside that zone. The invalid state — a request that was
+/// never dispatched to a server — is explicit (`valid()` is false)
+/// instead of a magic `int -1`. A standalone cluster outside any
+/// `site::Site` carries `zone == kNoZone`.
+struct ServerRef {
+  static constexpr std::int32_t kNoZone = -1;
+
+  /// Zone index within a Site; kNoZone for a standalone cluster.
+  std::int32_t zone = kNoZone;
+  /// Server index within the zone's cluster; negative when never
+  /// dispatched.
+  std::int32_t index = -1;
+
+  constexpr bool valid() const { return index >= 0; }
+
+  friend constexpr bool operator==(const ServerRef& a, const ServerRef& b) {
+    return a.zone == b.zone && a.index == b.index;
+  }
+  friend constexpr bool operator!=(const ServerRef& a, const ServerRef& b) {
+    return !(a == b);
+  }
+};
+
 /// Terminal status of a request.
 enum class RequestOutcome {
   kCompleted,       ///< served to completion
@@ -55,8 +79,9 @@ struct RequestRecord {
   Time finish = 0;
   /// End-to-end latency for completed requests (finish - arrival).
   Duration latency = 0;
-  /// Which server served it (-1 when never dispatched).
-  int server = -1;
+  /// Which server served it; `server.valid()` is false when the request
+  /// was dropped before ever reaching a node.
+  ServerRef server;
 };
 
 /// Consumes terminal request records (metrics, attacker feedback probes).

@@ -228,6 +228,109 @@ TEST_F(ClusterTest, ValidatesConfig) {
   EXPECT_THROW(make_cluster(config), std::invalid_argument);
 }
 
+TEST_F(ClusterTest, SingleServerClusterIsValid) {
+  // num_servers = 1 is the edge the validation gate must let through:
+  // every plane (fleet, budget, pipeline) works with a fleet of one.
+  ClusterConfig config;
+  config.num_servers = 1;
+  auto cluster = make_cluster(config);
+  EXPECT_EQ(cluster->num_servers(), 1u);
+  cluster->ingest(request_of(Catalog::kTextCont, engine_.now()));
+  cluster->run_for(kSecond);
+  EXPECT_EQ(cluster->request_metrics().normal_counts().completed, 1u);
+}
+
+// Records its tag into a shared journal at each plug point, so the
+// pipeline's invocation order is directly observable.
+class JournalStage final : public PowerScheme {
+ public:
+  JournalStage(char tag, std::vector<char>& journal, bool admits = true)
+      : tag_(tag), journal_(journal), admits_(admits) {}
+  std::string name() const override { return std::string(1, tag_); }
+  bool admit(const Request&) override {
+    journal_.push_back(tag_);
+    return admits_;
+  }
+  void on_slot(Time, Duration) override { journal_.push_back(tag_); }
+
+ private:
+  char tag_;
+  std::vector<char>& journal_;
+  bool admits_;
+};
+
+TEST_F(ClusterTest, ControlStageOrderingIsInstallationOrder) {
+  // Two stacks differing only in order are two *different* policies: the
+  // admit chain short-circuits at the first refusal, so whether the
+  // journal sees 'c' depends on where the dropper sits.
+  auto run_stack = [this](bool counter_first) {
+    sim::Engine engine;
+    Cluster cluster(engine, catalog_, {});
+    std::vector<char> journal;
+    auto counter = std::make_unique<JournalStage>('c', journal);
+    auto dropper =
+        std::make_unique<JournalStage>('d', journal, /*admits=*/false);
+    if (counter_first) {
+      cluster.control().push_stage(std::move(counter));
+      cluster.control().push_stage(std::move(dropper));
+    } else {
+      cluster.control().push_stage(std::move(dropper));
+      cluster.control().push_stage(std::move(counter));
+    }
+    cluster.ingest(request_of(Catalog::kTextCont, engine.now()));
+    cluster.run_for(2 * kSecond);
+    return journal;
+  };
+
+  const auto counter_first = run_stack(true);
+  const auto dropper_first = run_stack(false);
+  // counter admits, dropper refuses, then two slots in install order.
+  EXPECT_EQ(counter_first, (std::vector<char>{'c', 'd', 'c', 'd', 'c', 'd'}));
+  // dropper refuses immediately; the counter never sees the request.
+  EXPECT_EQ(dropper_first, (std::vector<char>{'d', 'd', 'c', 'd', 'c'}));
+  // Each order is individually deterministic, run to run.
+  EXPECT_EQ(run_stack(true), counter_first);
+  EXPECT_EQ(run_stack(false), dropper_first);
+}
+
+TEST_F(ClusterTest, ReleasedStageReattachesWithoutDangling) {
+  // A stage handed from one cluster to another must survive the first
+  // cluster's destruction: detach() drops every cached Cluster* pointer.
+  auto first = std::make_unique<Cluster>(engine_, catalog_, ClusterConfig{});
+  auto* pin = static_cast<PinScheme*>(
+      &first->control().push_stage(std::make_unique<PinScheme>()));
+  first->run_for(2 * kSecond);
+  EXPECT_EQ(pin->slots_, 2);
+
+  std::unique_ptr<PowerScheme> released = first->control().release_stage(0);
+  EXPECT_FALSE(released->attached());
+  EXPECT_TRUE(first->control().empty());
+  first.reset();  // the old cluster is gone; the stage must not care
+
+  sim::Engine second_engine;
+  Cluster second(second_engine, catalog_, ClusterConfig{});
+  second.control().push_stage(std::move(released));
+  second.ingest(request_of(Catalog::kTextCont, second_engine.now()));
+  second.run_for(2 * kSecond);
+  EXPECT_EQ(pin->slots_, 4);
+  EXPECT_EQ(second.server(0).active_count(), 0u);  // completed, not stuck
+  EXPECT_EQ(second.request_metrics().normal_counts().completed, 1u);
+}
+
+TEST_F(ClusterTest, AttachedStageRefusesASecondCluster) {
+  auto cluster = make_cluster();
+  PowerScheme& stage =
+      cluster->control().push_stage(std::make_unique<PinScheme>());
+  sim::Engine other_engine;
+  Cluster other(other_engine, catalog_, ClusterConfig{});
+  EXPECT_THROW(stage.attach(other), std::invalid_argument);
+  stage.detach();
+  EXPECT_NO_THROW(stage.attach(other));
+  // Put it back so the owning plane's teardown detach stays coherent.
+  stage.detach();
+  EXPECT_NO_THROW(stage.attach(*cluster));
+}
+
 TEST_F(ClusterTest, ServerIndexBoundsChecked) {
   auto cluster = make_cluster();
   EXPECT_THROW(cluster->server(99), std::invalid_argument);

@@ -205,6 +205,60 @@ TEST_F(FuzzTest, ReproRoundTripsByteExactly) {
   }
 }
 
+TEST_F(FuzzTest, SiteCasesSampleValidAndRoundTripByteExactly) {
+  fuzz::Domain domain;
+  domain.p_site = 1.0;  // every case is a multi-zone site
+  const fuzz::ScenarioSampler sampler(domain);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const fuzz::FuzzCase fuzz_case =
+        sampler.sample(fuzz::ScenarioSampler::derive_case_seed(9, seed));
+    const auto& config = fuzz_case.config;
+    ASSERT_GE(config.num_zones, 2u);
+    ASSERT_LE(config.num_zones, domain.max_zones);
+    if (!config.zone_weights.empty()) {
+      EXPECT_EQ(config.zone_weights.size(), config.num_zones);
+    }
+    if (config.attack_zone >= 0) {
+      EXPECT_LT(config.attack_zone, static_cast<int>(config.num_zones));
+      EXPECT_GT(config.attack_rps, 0.0);
+    }
+
+    // The site block must survive the repro round trip byte-exactly.
+    fuzz::Repro repro{fuzz_case, {"zone_range"}};
+    std::ostringstream first;
+    fuzz::write_repro(first, repro);
+    std::istringstream stored(first.str());
+    const fuzz::Repro loaded = fuzz::read_repro(stored);
+    EXPECT_EQ(loaded.fuzz_case.config.num_zones, config.num_zones);
+    EXPECT_EQ(loaded.fuzz_case.config.glb_policy, config.glb_policy);
+    EXPECT_EQ(loaded.fuzz_case.config.site_divider, config.site_divider);
+    EXPECT_EQ(loaded.fuzz_case.config.attack_zone, config.attack_zone);
+    EXPECT_EQ(loaded.fuzz_case.config.zone_weights, config.zone_weights);
+    std::ostringstream second;
+    fuzz::write_repro(second, loaded);
+    EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+  }
+}
+
+TEST_F(FuzzTest, PreSiteReproFilesParseAsSingleZone) {
+  // Repro files written before multi-zone sites existed carry no "site"
+  // object; they must keep loading — as the single-zone cases they are.
+  std::ostringstream out;
+  fuzz::write_repro(out, {golden_case(), {"budget_envelope"}});
+  std::string text = out.str();
+  const auto begin = text.find("    \"site\": ");
+  ASSERT_NE(begin, std::string::npos);
+  const auto end = text.find('\n', begin);
+  text.erase(begin, end - begin + 1);
+  ASSERT_EQ(text.find("\"site\""), std::string::npos);
+
+  std::istringstream in(text);
+  const fuzz::Repro loaded = fuzz::read_repro(in);
+  EXPECT_EQ(loaded.fuzz_case.config.num_zones, 1u);
+  EXPECT_EQ(loaded.fuzz_case.config.attack_zone, -1);
+  EXPECT_TRUE(loaded.fuzz_case.config.zone_weights.empty());
+}
+
 TEST_F(FuzzTest, ReproRejectsMalformedDocuments) {
   const auto parse = [](const std::string& text) {
     std::istringstream in(text);

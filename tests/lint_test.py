@@ -273,6 +273,56 @@ class HotPathStdFunctionRule(unittest.TestCase):
         self.assertNotIn("hot-path-std-function", rules_of(findings))
 
 
+class StagePlaneRule(unittest.TestCase):
+    def test_flags_internal_access_in_stage_dirs(self):
+        for rel in ("src/schemes/sample.cpp", "src/antidope/sample.cpp"):
+            for expr in (
+                "cluster.servers(0).set_level(2);",
+                "cluster_->battery()->drain(j);",
+                "cluster().slot_stats();",
+            ):
+                findings = lint_snippet(
+                    f"void f() {{ {expr} }}\n", rel)
+                self.assertIn("stage-plane", rules_of(findings),
+                              f"{rel}: {expr}")
+
+    def test_plane_interfaces_are_clean(self):
+        snippet = (
+            "void f() {\n"
+            "  cluster.power().set_budget(w);\n"
+            "  cluster_->data().lb();\n"
+            "  cluster.control().slot();\n"
+            "  auto& e = cluster.engine();\n"
+            "  cluster_->ladder().level_count();\n"
+            "  if (cluster.zone() >= 0) use(cluster.config());\n"
+            "  (void)cluster.catalog();\n"
+            "}\n")
+        findings = lint_snippet(snippet, "src/schemes/sample.cpp")
+        self.assertNotIn("stage-plane", rules_of(findings))
+
+    def test_other_dirs_are_exempt(self):
+        # The composition root and its satellites own the internals.
+        for rel in ("src/cluster/sample.cpp", "src/scenario/sample.cpp",
+                    "tests/sample_test.cpp"):
+            findings = lint_snippet(
+                "void f() { cluster_->servers(0).fail(); }\n", rel)
+            self.assertNotIn("stage-plane", rules_of(findings), rel)
+
+    def test_namespace_qualification_is_clean(self):
+        findings = lint_snippet(
+            "void f(cluster::Cluster& c) {\n"
+            "  auto w = cluster::Cluster::kSignalSlotDemand;\n"
+            "}\n", "src/schemes/sample.cpp")
+        self.assertNotIn("stage-plane", rules_of(findings))
+
+    def test_suppression_is_honoured(self):
+        findings = lint_snippet(
+            "// dope-lint: allow(stage-plane) — profiler needs raw slots\n"
+            "void f() { cluster_->slot_stats(); }\n",
+            "src/antidope/sample.cpp")
+        self.assertNotIn("stage-plane", rules_of(findings))
+
+
 class Suppressions(unittest.TestCase):
     BAD = "void f() { auto t = std::chrono::steady_clock::now(); }"
 

@@ -58,7 +58,9 @@ TEST_F(ServerNodeTest, ServesOneRequestWithModelLatency) {
   EXPECT_EQ(records_[0].outcome, RequestOutcome::kCompleted);
   // Unloaded latency == service time at f_max (8 ms for Text-Cont).
   EXPECT_NEAR(to_millis(records_[0].latency), 8.0, 0.1);
-  EXPECT_EQ(records_[0].server, 0);
+  EXPECT_EQ(records_[0].server,
+            (workload::ServerRef{workload::ServerRef::kNoZone, 0}));
+  EXPECT_TRUE(records_[0].server.valid());
   EXPECT_EQ(node->counters().completed, 1u);
 }
 

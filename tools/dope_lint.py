@@ -49,6 +49,16 @@ properties of *this* simulator's contract, not of C++:
                   steady-state allocation, so hot-path callbacks must
                   use common::InlineFunction / common::FunctionRef.
                   Suppress only for cold-path configuration plumbing.
+  stage-plane     A control stage (src/schemes, src/antidope) reaching
+                  past the plane interfaces: `cluster.X` / `cluster_->X`
+                  where X is not one of the plane accessors (data, power,
+                  control), the composition-root facts stages may read
+                  (engine, catalog, config, ladder, zone), or detach.
+                  Stages are guests of the control plane (docs/MODEL.md);
+                  touching Cluster internals directly couples them to
+                  the god-object this refactor dismantled. Go through
+                  cluster.data()/.power()/.control(), or suppress with a
+                  reason where a stage legitimately needs a wider view.
 
 Suppressions:
   // dope-lint: allow(rule[, rule...]) — reason      (this or next line)
@@ -75,11 +85,26 @@ RULES = {
     "raw-physical-double": "raw double with a unit-suffixed name in a header",
     "include-hygiene": "include hygiene violation",
     "hot-path-std-function": "std::function in the per-event hot path",
+    "stage-plane": "control stage bypassing the Cluster plane interfaces",
 }
 
 # Directories whose code runs once per simulated event/request; callbacks
 # there must be inline-stored (common::InlineFunction / FunctionRef).
 HOT_PATH_DIRS = ("src/sim", "src/server", "src/workload", "src/net")
+
+# Directories that hold control stages (PowerScheme implementations and
+# the Anti-DOPE pipeline). Code here runs *inside* the control plane and
+# must see the cluster only through its plane interfaces.
+STAGE_PLANE_DIRS = ("src/schemes", "src/antidope")
+
+# The members a control stage may call on a Cluster: the three plane
+# accessors, the composition-root facts (engine/catalog/config), the
+# cross-plane conveniences Cluster re-exports for stages (ladder), the
+# zone identity, and the stage's own lifecycle hook.
+STAGE_PLANE_ALLOWED = frozenset({
+    "data", "power", "control", "engine", "catalog", "config",
+    "ladder", "zone", "detach",
+})
 
 SUPPRESS_RE = re.compile(r"dope-lint:\s*allow\(([^)]*)\)")
 SUPPRESS_FILE_RE = re.compile(r"dope-lint:\s*allow-file\(([^)]*)\)")
@@ -134,6 +159,13 @@ RAW_PHYS_DOUBLE_RE = re.compile(
 
 STD_FUNCTION_RE = re.compile(
     r"\bstd\s*::\s*function\b|^\s*#\s*include\s*<functional>"
+)
+
+# A member access through a variable named `cluster` / `cluster_` (or a
+# `cluster()` accessor). `(?<![\w:])` keeps `cluster::Cluster` (namespace
+# qualification) and `my_cluster_config` out of scope.
+STAGE_PLANE_RE = re.compile(
+    r"(?<![\w:])cluster_?(?:\(\))?\s*(?:->|\.)\s*(\w+)"
 )
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -305,6 +337,25 @@ def check_hot_path_std_function(f: FileCheck,
         "(see docs/ENGINE.md)", findings)
 
 
+def check_stage_plane(f: FileCheck, findings: list[Finding]) -> None:
+    norm = f.path.replace(os.sep, "/")
+    if not any(norm.startswith(d + "/") for d in STAGE_PLANE_DIRS):
+        return
+    for i, line in enumerate(f.code, start=1):
+        for m in STAGE_PLANE_RE.finditer(line):
+            member = m.group(1)
+            if member in STAGE_PLANE_ALLOWED:
+                continue
+            if not f.allowed("stage-plane", i):
+                findings.append(Finding(
+                    f.path, i, "stage-plane",
+                    f"control stage touches Cluster member '{member}' "
+                    "directly — stages must reach state through the "
+                    "plane interfaces (data()/power()/control(); see "
+                    "docs/MODEL.md) or suppress with a reason"))
+            break  # one finding per line is enough
+
+
 def check_include_hygiene(f: FileCheck, findings: list[Finding]) -> None:
     def report(line: int, msg: str) -> None:
         if not f.allowed("include-hygiene", line):
@@ -394,6 +445,7 @@ def lint_tree(root: str, paths: list[str]) -> list[Finding]:
         check_float_eq(f, findings)
         check_raw_physical_double(f, findings)
         check_hot_path_std_function(f, findings)
+        check_stage_plane(f, findings)
         check_include_hygiene(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings

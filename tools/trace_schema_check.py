@@ -13,6 +13,9 @@ honest.  It verifies, line by line:
   * type-specific payload fields are present (FirewallBan has
     source_id + rate_rps, BudgetViolation has demand_w + budget_w +
     overshoot_w, SpanBegin has span_id + parent + kind, ...);
+  * the optional `zone` field — present on every record a zoned
+    cluster emits inside a multi-zone site (docs/SITE.md), absent for
+    standalone clusters — is a non-negative integer when it appears;
   * t_us never decreases across the file;
   * every SpanEnd matches an open SpanBegin with the same span_id and
     does not end before it began.  Re-begins of the same span id are
@@ -24,6 +27,10 @@ Two input modes:
   --cli PATH     build a fresh export: run `PATH` (dopesim_cli) with the
                  golden attack scenario plus --spans in a temp dir and
                  validate the JSONL it writes;
+  --cli-site PATH
+                 same, but the multi-zone variant: two zones with the
+                 attack concentrated on zone 0; additionally requires
+                 zone-labelled records to actually appear;
   --gunzip FILE  validate a gzip-compressed golden trace (no compiler
                  or simulator needed — used by the static CI job);
   FILE           validate an uncompressed JSONL file.
@@ -84,6 +91,8 @@ class Checker:
         self.errors = []
         self.records = 0
         self.span_records = 0
+        self.zoned_records = 0
+        self.zones_seen = set()
         self.open_spans = {}  # span_id -> begin t_us
         self.last_t = None
         self.saw_trailer = False
@@ -136,6 +145,16 @@ class Checker:
             if field not in record:
                 self.error(lineno, f"{rtype} missing '{field}'")
 
+        if "zone" in record:
+            zone = record["zone"]
+            if not isinstance(zone, int) or isinstance(zone, bool) \
+                    or zone < 0:
+                self.error(
+                    lineno, f"zone is not a non-negative integer: {zone!r}")
+            else:
+                self.zoned_records += 1
+                self.zones_seen.add(zone)
+
         if rtype == "SpanBegin":
             self.span_records += 1
             kind = record.get("kind")
@@ -174,8 +193,13 @@ def check_stream(lines):
     return checker
 
 
-def run_cli(cli_path):
-    """Run the golden attack scenario with spans and return the JSONL."""
+def run_cli(cli_path, site=False):
+    """Run the golden attack scenario with spans and return the JSONL.
+
+    With site=True the run is the two-zone variant with the flood
+    concentrated on zone 0 — the zone-concentrated DOPE shape — so every
+    span and power event must carry a zone label.
+    """
     with tempfile.TemporaryDirectory(prefix="dope-schema-") as tmp:
         trace = Path(tmp) / "trace.jsonl"
         cmd = [
@@ -184,6 +208,8 @@ def run_cli(cli_path):
             "--battery-min", "2", "--spans", "--alerts",
             "--trace-out", str(trace),
         ]
+        if site:
+            cmd += ["--zones", "2", "--attack-zone", "0"]
         subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
         return trace.read_text().splitlines()
 
@@ -197,6 +223,10 @@ def main():
         help="run this dopesim_cli on the golden attack scenario with "
         "--spans and validate its JSONL export")
     source.add_argument(
+        "--cli-site", metavar="DOPESIM_CLI",
+        help="run the two-zone site variant (--zones 2 --attack-zone 0) "
+        "and additionally require zone-labelled records")
+    source.add_argument(
         "--gunzip", metavar="FILE_GZ",
         help="validate a gzip-compressed JSONL trace")
     source.add_argument(
@@ -207,6 +237,9 @@ def main():
     if args.cli:
         lines = run_cli(args.cli)
         label = f"{args.cli} (golden attack scenario)"
+    elif args.cli_site:
+        lines = run_cli(args.cli_site, site=True)
+        label = f"{args.cli_site} (two-zone site attack scenario)"
     elif args.gunzip:
         with gzip.open(args.gunzip, "rt") as f:
             lines = f.read().splitlines()
@@ -216,6 +249,14 @@ def main():
         label = args.trace
 
     checker = check_stream(lines)
+    if args.cli_site:
+        if checker.zoned_records == 0:
+            checker.errors.append(
+                "site run produced no zone-labelled records")
+        elif len(checker.zones_seen) < 2:
+            checker.errors.append(
+                f"site run with 2 zones labelled only "
+                f"zone(s) {sorted(checker.zones_seen)}")
     for message in checker.errors:
         print(f"trace_schema_check: {label}: {message}", file=sys.stderr)
     if checker.errors:
@@ -228,6 +269,7 @@ def main():
     print(
         f"trace_schema_check: OK — {checker.records} record(s), "
         f"{checker.span_records} span record(s), "
+        f"{checker.zoned_records} zone-labelled, "
         f"{open_spans} span(s) left open")
     return 0
 
