@@ -18,6 +18,7 @@
 
 #include "antidope/suspect_list.hpp"
 #include "common/table.hpp"
+#include "obs/flight.hpp"
 #include "obs/forensics.hpp"
 #include "obs/hub.hpp"
 #include "scenario/scenario.hpp"
@@ -90,6 +91,17 @@ observability (see docs/OBSERVABILITY.md)
                        print the top suspects (implies --spans)
   --trace-cap N        keep at most N trace events (0 = hub default;
                        exports end with a TraceTruncated record when hit)
+  --incidents-out FILE record per-slot time series + the flight recorder
+                       and write the incident bundle as JSON (implies
+                       --spans; render with dopereport)
+  --dump-incident-at S force one "manual" incident snapshot at the first
+                       management slot at or after sim time S seconds
+                       (use with --incidents-out)
+  --alert-hysteresis R:C
+                       override every watchdog rule's hysteresis: R
+                       breach windows to raise, C calm windows to clear
+  --metrics-percentiles
+                       add a p50/p95/p99 summary section to --metrics-out
 
 sweep mode (see docs/SWEEP.md; any --sweep-* flag selects it — the
 flags above define the base scenario, each axis multiplies the grid)
@@ -134,9 +146,10 @@ int main(int argc, char** argv) {
   config.seed = 42;
 
   std::string csv_path, power_csv_path, soc_csv_path;
-  std::string metrics_path, trace_path, forensics_path;
+  std::string metrics_path, trace_path, forensics_path, incidents_path;
   bool want_alerts = false;
   bool want_spans = false;
+  bool metrics_percentiles = false;
   std::size_t trace_cap = 0;
 
   std::string sweep_schemes, sweep_budgets, sweep_attacks, sweep_seeds;
@@ -273,6 +286,23 @@ int main(int argc, char** argv) {
       want_spans = true;
     } else if (flag == "--trace-cap") {
       trace_cap = static_cast<std::size_t>(number_arg(flag, next()));
+    } else if (flag == "--incidents-out") {
+      incidents_path = next();
+      want_spans = true;
+    } else if (flag == "--dump-incident-at") {
+      config.dump_incident_at = seconds(number_arg(flag, next()));
+    } else if (flag == "--alert-hysteresis") {
+      const std::string value = next();
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        fail("--alert-hysteresis wants RAISE:CLEAR, e.g. 3:5");
+      }
+      config.alert_raise_windows = static_cast<unsigned>(
+          number_arg(flag, value.substr(0, colon)));
+      config.alert_clear_windows = static_cast<unsigned>(
+          number_arg(flag, value.substr(colon + 1)));
+    } else if (flag == "--metrics-percentiles") {
+      metrics_percentiles = true;
     } else if (flag == "--sweep-schemes") {
       sweep_schemes = next();
       sweep_mode = true;
@@ -357,6 +387,10 @@ int main(int argc, char** argv) {
       want_spans) {
     obs::HubConfig hub_config;
     hub_config.enable_spans = want_spans;
+    if (!incidents_path.empty()) {
+      hub_config.enable_timeseries = true;
+      hub_config.enable_flight = true;
+    }
     hub = std::make_unique<obs::Hub>(hub_config);
     config.obs = hub.get();
     config.default_alert_rules = want_alerts;
@@ -431,9 +465,17 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     if (!out) fail("cannot write " + metrics_path);
-    hub->registry().write_json(out);
+    hub->registry().write_json(out, metrics_percentiles);
     std::cout << "wrote " << metrics_path << " ("
               << hub->registry().size() << " metrics)\n";
+  }
+  if (!incidents_path.empty()) {
+    std::ofstream out(incidents_path);
+    if (!out) fail("cannot write " + incidents_path);
+    hub->flight()->write_json(out);
+    std::cout << "wrote " << incidents_path << " ("
+              << hub->flight()->incident_count() << " incidents, "
+              << hub->flight()->triggers() << " triggers)\n";
   }
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

@@ -101,9 +101,12 @@ void Cluster::on_record(const workload::RequestRecord& record) {
 
 void Cluster::management_slot() {
   const Time now = engine_.now();
-  // Measurement before policy: the power plane settles the finished
-  // slot's books (and may trip the breaker), then every control stage
-  // acts on what it measured, in installation order.
+  // Measurement before policy: the data plane samples the serving-side
+  // series, the power plane settles the finished slot's books (and may
+  // trip the breaker — the samples must land first so an incident
+  // capture sees this slot), then every control stage acts on what it
+  // measured, in installation order.
+  data_.sample_timeseries(now);
   power_.run_slot(now);
   control_.on_slot(now, config_.slot);
 }

@@ -7,8 +7,20 @@
 #include "cluster/control_plane.hpp"
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
+#include "obs/timeseries.hpp"
 
 namespace dope::cluster {
+
+namespace {
+
+/// Series name for one zone: the base name as-is, or zone-suffixed
+/// inside a Site (matches the watchdog signal convention).
+std::string series_name(const char* base, int zone) {
+  if (zone < 0) return base;
+  return std::string(base) + ".zone" + std::to_string(zone);
+}
+
+}  // namespace
 
 DataPlane::DataPlane(Cluster& owner, const ClusterConfig& config)
     : owner_(owner), zone_(config.zone) {
@@ -52,6 +64,15 @@ void DataPlane::bind_obs(obs::Hub* hub) {
   }
   obs_forwarded_scheme_ = &reg.counter("net.forwarded", scheme_labels);
   obs_forwarded_default_ = &reg.counter("net.forwarded", default_labels);
+  if (obs::TimeSeriesStore* ts = hub_->timeseries(); ts != nullptr) {
+    ts_queue_depth_ = &ts->series(series_name("fleet.queue_depth", zone_));
+    ts_active_slots_ =
+        &ts->series(series_name("fleet.active_slots", zone_));
+    if (firewall_) {
+      ts_firewall_bans_ =
+          &ts->series(series_name("firewall.bans", zone_));
+    }
+  }
 }
 
 void DataPlane::bind_balancer_obs(obs::Hub* hub) {
@@ -59,6 +80,22 @@ void DataPlane::bind_balancer_obs(obs::Hub* hub) {
   balancer_->bind_obs(hub, "default", zone_);
   spans_ = hub->spans();
   balancer_->bind_spans(&owner_.engine(), spans_, "default", zone_);
+}
+
+void DataPlane::sample_timeseries(Time now) {
+  if (ts_queue_depth_ == nullptr) return;
+  std::size_t queued = 0;
+  std::size_t active = 0;
+  for (const auto& n : nodes_) {
+    queued += n->queue_length();
+    active += n->active_count();
+  }
+  ts_queue_depth_->sample(now, static_cast<double>(queued));
+  ts_active_slots_->sample(now, static_cast<double>(active));
+  if (ts_firewall_bans_ != nullptr) {
+    ts_firewall_bans_->sample(
+        now, static_cast<double>(firewall_->total_bans()));
+  }
 }
 
 std::vector<server::ServerNode*> DataPlane::servers() {

@@ -33,6 +33,7 @@
 namespace dope::obs {
 class Counter;
 class Hub;
+class Series;
 class SpanTracer;
 }  // namespace dope::obs
 
@@ -87,6 +88,10 @@ class DataPlane {
   /// separate from `bind_obs` so the Cluster preserves the historical
   /// registration order).
   void bind_balancer_obs(obs::Hub* hub);
+  /// Samples the serving-side per-slot series (queue depth, active
+  /// execution slots, firewall bans) into the hub's TimeSeriesStore.
+  /// No-op unless one is attached.
+  void sample_timeseries(Time now);
 
  private:
   void trace_forwarded(const workload::Request& request, int server,
@@ -104,6 +109,11 @@ class DataPlane {
   obs::SpanTracer* spans_ = nullptr;
   obs::Counter* obs_forwarded_scheme_ = nullptr;
   obs::Counter* obs_forwarded_default_ = nullptr;
+
+  // Per-slot time series (null unless the hub has a TimeSeriesStore).
+  obs::Series* ts_queue_depth_ = nullptr;
+  obs::Series* ts_active_slots_ = nullptr;
+  obs::Series* ts_firewall_bans_ = nullptr;
 };
 
 }  // namespace dope::cluster

@@ -8,6 +8,7 @@
 #include "common/audit.hpp"
 #include "common/expect.hpp"
 #include "obs/hub.hpp"
+#include "obs/timeseries.hpp"
 
 namespace dope::cluster {
 
@@ -80,6 +81,20 @@ void PowerPlane::bind_obs(obs::Hub* hub) {
   if (battery_) obs_battery_soc_ = &reg.gauge("battery.soc", labels);
   if (breaker_) obs_breaker_heat_ = &reg.gauge("breaker.heat", labels);
   obs_overshoot_ = &reg.histo("cluster.overshoot_w", labels);
+  if (obs::TimeSeriesStore* ts = hub_->timeseries(); ts != nullptr) {
+    ts_demand_ = &ts->series(signal_slot_demand_);
+    ts_budget_ = &ts->series(zone_signal("cluster.budget_w", zone_));
+    ts_headroom_ = &ts->series(zone_signal("cluster.headroom_w", zone_));
+    ts_utility_ = &ts->series(signal_utility_);
+    ts_load_energy_ =
+        &ts->series(zone_signal("cluster.load_energy_j", zone_));
+    if (battery_) {
+      ts_battery_soc_ = &ts->series(signal_battery_soc_);
+      ts_battery_discharge_ =
+          &ts->series(zone_signal("battery.discharge_w", zone_));
+    }
+    if (breaker_) ts_breaker_heat_ = &ts->series(signal_breaker_heat_);
+  }
 }
 
 void PowerPlane::run_slot(Time now) {
@@ -91,6 +106,18 @@ void PowerPlane::run_slot(Time now) {
   const Joules slot_energy = load_energy - prev_load_energy_;
   prev_load_energy_ = load_energy;
   last_slot_demand_ = slot_energy / slot;
+
+  // Sample the demand-side series before any trigger event fires so an
+  // incident captured this slot already includes the slot that caused
+  // it. `load_energy` is cumulative: post-mortems reconcile the demand
+  // series against it (sum of demand x slot == last load_energy).
+  if (ts_demand_ != nullptr) {
+    ts_demand_->sample(now, last_slot_demand_.value());
+    ts_budget_->sample(now, budget_.supply.value());
+    ts_headroom_->sample(now,
+                         (budget_.supply - last_slot_demand_).value());
+    ts_load_energy_->sample(now, load_energy.value());
+  }
 
   ++slot_stats_.slots;
   const Watts overshoot = last_slot_demand_ - budget_.supply;
@@ -146,6 +173,17 @@ void PowerPlane::run_slot(Time now) {
   }
   energy_account_.add_joules(utility_j, battery_delta, recharge_delta);
   const Watts utility_power = (utility_j + recharge_delta) / slot;
+  // Utility-side series, again ahead of the breaker so a trip capture
+  // sees this slot's feed. Breaker heat is the value entering the slot
+  // boundary (observe() below adds this slot's heating).
+  if (ts_utility_ != nullptr) {
+    ts_utility_->sample(now, utility_power.value());
+    if (battery_) {
+      ts_battery_soc_->sample(now, battery_->soc());
+      ts_battery_discharge_->sample(now, (battery_delta / slot).value());
+    }
+    if (breaker_) ts_breaker_heat_->sample(now, breaker_->heat());
+  }
   if (utility_power > budget_.supply + Watts{1e-9}) {
     ++slot_stats_.utility_violation_slots;
     if (hub_ != nullptr) obs_utility_violation_slots_->inc();

@@ -29,6 +29,7 @@ class Counter;
 class Gauge;
 class Histo;
 class Hub;
+class Series;
 }  // namespace dope::obs
 
 namespace dope::cluster {
@@ -134,6 +135,16 @@ class PowerPlane {
   obs::Gauge* obs_battery_soc_ = nullptr;
   obs::Gauge* obs_breaker_heat_ = nullptr;
   obs::Histo* obs_overshoot_ = nullptr;
+
+  // Per-slot time series (null unless the hub has a TimeSeriesStore).
+  obs::Series* ts_demand_ = nullptr;
+  obs::Series* ts_budget_ = nullptr;
+  obs::Series* ts_headroom_ = nullptr;
+  obs::Series* ts_utility_ = nullptr;
+  obs::Series* ts_load_energy_ = nullptr;
+  obs::Series* ts_battery_soc_ = nullptr;
+  obs::Series* ts_battery_discharge_ = nullptr;
+  obs::Series* ts_breaker_heat_ = nullptr;
 };
 
 }  // namespace dope::cluster

@@ -187,6 +187,15 @@ inline void report_logged(Time t, std::string_view check,
 template <typename Hub>
 void report(Hub hub, Time t, std::string_view check,
             const std::string& message) {
+  if constexpr (!std::is_same_v<Hub, std::nullptr_t>) {
+    // Flight-recorder snapshot *before* report_logged: in Mode::kFatal
+    // (no collector) report_logged throws, and the incident bundle must
+    // exist by then. The hook is a no-op without a flight recorder.
+    if (hub != nullptr && mode() == Mode::kFatal &&
+        detail::t_collector == nullptr) {
+      hub->audit_failure(t, check, message);
+    }
+  }
   report_logged(t, check, message);
   if constexpr (!std::is_same_v<Hub, std::nullptr_t>) {
     if (hub != nullptr) {

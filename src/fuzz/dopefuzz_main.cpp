@@ -20,10 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include "fuzz/domain.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
+#include "obs/flight.hpp"
 #include "obs/hub.hpp"
 #include "obs/live.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -69,6 +72,45 @@ exit status: 0 = no oracle violations, 1 = violations found,
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "dopefuzz: " << message << " (see --help)\n";
   std::exit(2);
+}
+
+/// Re-runs a failing case once with a flight-recorder hub and writes
+/// the incident bundle next to the repro (`<stem>.incident.json`), so
+/// the post-mortem of the failure ships with the reproduction itself.
+/// Best-effort: a case whose violation is a thrown exception still gets
+/// its repro, just without a bundle.
+void write_incident_file(const std::string& repro_path,
+                         const fuzz::FuzzCase& fuzz_case) {
+  std::string path = repro_path;
+  const std::string suffix = ".repro.json";
+  if (path.size() > suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+          0) {
+    path.resize(path.size() - suffix.size());
+  }
+  path += ".incident.json";
+  try {
+    obs::HubConfig hub_config;
+    hub_config.enable_spans = true;
+    hub_config.enable_timeseries = true;
+    hub_config.enable_flight = true;
+    obs::Hub hub(hub_config);
+    scenario::ScenarioConfig config =
+        fuzz::materialize(fuzz_case, fuzz_case.scheme);
+    config.obs = &hub;
+    config.default_alert_rules = true;
+    config.run_label = fuzz_case.label();
+    scenario::run_scenario(config);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "dopefuzz: cannot write " << path << "\n";
+      return;
+    }
+    hub.flight()->write_json(out);
+    std::cout << "wrote " << path << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "dopefuzz: incident capture failed: " << e.what() << "\n";
+  }
 }
 
 /// Judges one explicit case (from --case-seed or --replay), prints the
@@ -119,6 +161,7 @@ int run_single(const fuzz::FuzzCase& fuzz_case,
     }
     fuzz::write_repro_file(repro_path, repro);
     std::cout << "wrote " << repro_path << "\n";
+    write_incident_file(repro_path, minimized);
   }
   return 1;
 }
@@ -282,6 +325,7 @@ int main(int argc, char** argv) {
     }
     fuzz::write_repro_file(repro_path, repro);
     std::cout << "wrote " << repro_path << "\n";
+    write_incident_file(repro_path, first.minimized);
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);

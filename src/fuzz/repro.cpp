@@ -1,15 +1,14 @@
 #include "fuzz/repro.hpp"
 
-#include <cctype>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/minijson.hpp"
 #include "obs/json.hpp"
 
 namespace dope::fuzz {
@@ -78,212 +77,16 @@ void write_rate_plan(std::ostream& out,
 }
 
 // ---- parsing ----
+//
+// The document model and parser live in common/minijson.hpp; repro
+// keeps only its domain-level decoding on top of them.
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  /// String payload, or the raw numeric token (so 64-bit integers are
-  /// never squeezed through a double).
-  std::string text;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [name, value] : fields) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser for the JSON subset `write_repro` emits
-/// (objects, arrays, strings, numbers, true/false/null; \uXXXX escapes
-/// are rejected — the writer never produces them).
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing garbage after document");
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "' at offset " +
-           std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (c == 't' || c == 'f') return parse_bool();
-    if (c == 'n') return parse_null();
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    if (consume('}')) return value;
-    while (true) {
-      JsonValue key = parse_string();
-      expect(':');
-      value.fields.emplace_back(std::move(key.text), parse_value());
-      if (consume('}')) return value;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    if (consume(']')) return value;
-    while (true) {
-      value.items.push_back(parse_value());
-      if (consume(']')) return value;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_string() {
-    expect('"');
-    JsonValue value;
-    value.kind = JsonValue::Kind::kString;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return value;
-      if (c != '\\') {
-        value.text.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': value.text.push_back('"'); break;
-        case '\\': value.text.push_back('\\'); break;
-        case '/': value.text.push_back('/'); break;
-        case 'n': value.text.push_back('\n'); break;
-        case 'r': value.text.push_back('\r'); break;
-        case 't': value.text.push_back('\t'); break;
-        default: fail("unsupported string escape");
-      }
-    }
-  }
-
-  JsonValue parse_bool() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      value.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      value.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("malformed literal");
-    }
-    return value;
-  }
-
-  JsonValue parse_null() {
-    if (text_.compare(pos_, 4, "null") != 0) fail("malformed literal");
-    pos_ += 4;
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNull;
-    return value;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    auto at_number_char = [&] {
-      if (pos_ >= text_.size()) return false;
-      const char c = text_[pos_];
-      return (std::isdigit(static_cast<unsigned char>(c)) != 0) ||
-             c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E';
-    };
-    while (at_number_char()) ++pos_;
-    if (pos_ == start) fail("malformed value");
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNumber;
-    value.text = text_.substr(start, pos_ - start);
-    return value;
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- typed field access ----
-
-const JsonValue& require(const JsonValue& obj, const std::string& key) {
-  if (obj.kind != JsonValue::Kind::kObject) {
-    fail("expected an object around \"" + key + "\"");
-  }
-  const JsonValue* value = obj.find(key);
-  if (value == nullptr) fail("missing field \"" + key + "\"");
-  return *value;
-}
-
-double as_double(const JsonValue& value, const std::string& key) {
-  if (value.kind != JsonValue::Kind::kNumber) {
-    fail("field \"" + key + "\" must be a number");
-  }
-  return std::strtod(value.text.c_str(), nullptr);
-}
-
-std::int64_t as_i64(const JsonValue& value, const std::string& key) {
-  if (value.kind != JsonValue::Kind::kNumber) {
-    fail("field \"" + key + "\" must be an integer");
-  }
-  return std::strtoll(value.text.c_str(), nullptr, 10);
-}
-
-std::uint64_t as_u64_string(const JsonValue& value, const std::string& key) {
-  if (value.kind != JsonValue::Kind::kString) {
-    fail("field \"" + key + "\" must be a decimal string");
-  }
-  return std::strtoull(value.text.c_str(), nullptr, 10);
-}
-
-std::string as_string(const JsonValue& value, const std::string& key) {
-  if (value.kind != JsonValue::Kind::kString) {
-    fail("field \"" + key + "\" must be a string");
-  }
-  return value.text;
-}
+using JsonValue = minijson::Value;
+using minijson::as_double;
+using minijson::as_i64;
+using minijson::as_string;
+using minijson::as_u64_string;
+using minijson::require;
 
 // ---- enum name maps (two-way, local so fuzz stays CLI-independent) ----
 
@@ -469,8 +272,7 @@ void write_repro_file(const std::string& path, const Repro& repro) {
 Repro read_repro(std::istream& in) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  JsonParser parser(buffer.str());
-  const JsonValue root = parser.parse();
+  const JsonValue root = minijson::parse(buffer.str());
 
   const std::int64_t version =
       as_i64(require(root, "dopefuzz_repro"), "dopefuzz_repro");

@@ -1,0 +1,326 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+namespace {
+
+/// Deterministic short rendering for detail strings.
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Payload lookup in a trace event's numeric fields.
+bool find_num(const TraceEvent& e, std::string_view key, double* out) {
+  for (const auto& [k, v] : e.num) {
+    if (key == k) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string find_str(const TraceEvent& e, std::string_view key) {
+  for (const auto& [k, v] : e.str) {
+    if (key == k) return v;
+  }
+  return {};
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0,
+                 static_cast<double>(sorted.size()) - 1.0));
+  return sorted[idx];
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightConfig config,
+                               const TimeSeriesStore* store,
+                               const TraceRecorder* trace,
+                               const SpanTracer* spans)
+    : config_(config), store_(store), trace_(trace), spans_(spans) {}
+
+void FlightRecorder::set_run_context(FlightRunContext context) {
+  context_ = std::move(context);
+}
+
+void FlightRecorder::set_suspect_classes(
+    std::vector<std::uint32_t> classes) {
+  suspect_classes_ = std::move(classes);
+}
+
+void FlightRecorder::on_trace_event(const TraceEvent& e) {
+  switch (e.type) {
+    case EventType::kBreakerTrip: {
+      if (!config_.on_breaker_trip) return;
+      double zone = -1.0;
+      find_num(e, "zone", &zone);
+      double utility = 0.0;
+      double rated = 0.0;
+      std::string detail = e.source;
+      if (find_num(e, "utility_w", &utility) &&
+          find_num(e, "rated_w", &rated)) {
+        detail += " utility_w=" + format_value(utility) +
+                  " rated_w=" + format_value(rated);
+      }
+      capture(e.t, "BreakerTrip", detail, static_cast<int>(zone));
+      return;
+    }
+    case EventType::kBudgetViolation: {
+      if (!config_.on_budget_violation) return;
+      double zone = -1.0;
+      find_num(e, "zone", &zone);
+      const int z = static_cast<int>(zone);
+      const std::int64_t slot_idx =
+          context_.slot > 0 ? e.t / context_.slot : e.t;
+      // A violation one slot after the previous one (same zone) is the
+      // same incident still burning, not a new onset.
+      const auto it = last_violation_slot_.find(z);
+      const bool onset =
+          it == last_violation_slot_.end() || it->second < slot_idx - 1;
+      last_violation_slot_[z] = slot_idx;
+      if (!onset) return;
+      double overshoot = 0.0;
+      find_num(e, "overshoot_w", &overshoot);
+      capture(e.t, "BudgetViolation",
+              "overshoot_w=" + format_value(overshoot), z);
+      return;
+    }
+    case EventType::kAlertRaised: {
+      if (!config_.on_alert_raised) return;
+      double zone = -1.0;
+      find_num(e, "zone", &zone);
+      capture(e.t, "AlertRaised", find_str(e, "rule"),
+              static_cast<int>(zone));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void FlightRecorder::on_audit_failure(Time t, std::string_view check,
+                                      std::string_view message) {
+  if (!config_.on_audit_failure) return;
+  std::string detail(check);
+  if (!message.empty()) {
+    detail += ": ";
+    detail += message;
+  }
+  capture(t < 0 ? 0 : t, "AuditFailure", detail, -1);
+}
+
+void FlightRecorder::dump_now(Time t, std::string_view reason) {
+  capture(t, "ManualDump", std::string(reason), -1);
+}
+
+void FlightRecorder::capture(Time t, const char* trigger,
+                             const std::string& detail, int zone) {
+  const std::int64_t slot_idx = context_.slot > 0 ? t / context_.slot : t;
+  if (last_capture_slot_ >= 0 && slot_idx == last_capture_slot_) {
+    ++deduped_;
+    return;
+  }
+  last_capture_slot_ = slot_idx;
+  ++triggers_;
+  if (incidents_.size() >= config_.max_incidents) {
+    ++dropped_;
+    return;
+  }
+
+  std::ostringstream out;
+  out << "{\n      \"id\": " << (incidents_.size() + 1)
+      << ",\n      \"t_us\": " << t << ", \"t_s\": ";
+  write_json_number(out, to_seconds(t));
+  out << ", \"slot_index\": " << slot_idx << ",\n      \"trigger\": ";
+  write_json_string(out, trigger);
+  out << ", \"detail\": ";
+  write_json_string(out, detail);
+  out << ", \"zone\": " << zone;
+
+  out << ",\n      \"series\": ";
+  if (store_ != nullptr) {
+    store_->write_json(out);
+  } else {
+    out << "{}";
+  }
+
+  out << ",\n      \"trace_tail\": [";
+  if (trace_ != nullptr) {
+    const auto& events = trace_->events();
+    const std::size_t n = std::min(config_.trace_tail, events.size());
+    for (std::size_t k = events.size() - n; k < events.size(); ++k) {
+      if (k > events.size() - n) out << ',';
+      out << "\n        ";
+      write_jsonl_event(out, events[k]);
+    }
+    if (n > 0) out << "\n      ";
+  }
+  out << ']';
+
+  out << ",\n      \"open_spans\": [";
+  std::size_t open_total = 0;
+  if (spans_ != nullptr) {
+    std::size_t listed = 0;
+    for (const Span& span : spans_->spans()) {
+      if (!span.open()) continue;
+      ++open_total;
+      if (listed >= config_.open_span_cap) continue;
+      if (listed > 0) out << ',';
+      out << "\n        ";
+      write_span_begin_jsonl(out, span);
+      ++listed;
+    }
+    if (listed > 0) out << "\n      ";
+  }
+  out << "], \"open_span_count\": " << open_total;
+
+  out << ",\n      \"forensics\": ";
+  if (spans_ != nullptr && trace_ != nullptr) {
+    const Forensics forensics = Forensics::build(*spans_, *trace_, t);
+    out << "{\"total_joules\": ";
+    write_json_number(out, forensics.total_joules().value());
+    out << ", \"violation_events\": " << forensics.violation_events()
+        << ", \"suspects\": [";
+    const std::vector<SourceStats> top =
+        forensics.top_by_joules(config_.forensics_top_k);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      const SourceStats& s = top[i];
+      if (i > 0) out << ',';
+      const bool suspicious =
+          std::find(suspect_classes_.begin(), suspect_classes_.end(),
+                    s.dominant_class) != suspect_classes_.end();
+      out << "\n        {\"source_id\": " << s.source_id
+          << ", \"requests\": " << s.requests
+          << ", \"completed\": " << s.completed << ", \"joules\": ";
+      write_json_number(out, s.joules.value());
+      out << ", \"occupancy_ms\": ";
+      write_json_number(out, s.occupancy_ms);
+      out << ", \"violation_overlaps\": " << s.violation_overlaps
+          << ", \"dominant_class\": " << s.dominant_class
+          << ", \"dominant_zone\": " << s.dominant_zone
+          << ", \"suspicious\": " << (suspicious ? "true" : "false")
+          << '}';
+    }
+    if (!top.empty()) out << "\n      ";
+    out << "]}";
+  } else {
+    out << "null";
+  }
+  out << "\n    }";
+  incidents_.push_back(out.str());
+}
+
+void FlightRecorder::write_slo_json(std::ostream& out) const {
+  if (spans_ == nullptr) {
+    out << "null";
+    return;
+  }
+  // Per-URL-class latency + completion rollup over closed root request
+  // spans. std::map: classes export in sorted order.
+  struct ClassStats {
+    std::vector<double> lat_ms;
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t breaches = 0;
+  };
+  std::map<std::uint32_t, ClassStats> classes;
+  for (const Span& span : spans_->spans()) {
+    if (span.kind != SpanKind::kRequest || span.open()) continue;
+    ClassStats& c = classes[span.url_class];
+    ++c.requests;
+    const bool completed = std::string_view(span.outcome) == "completed";
+    if (completed) ++c.completed;
+    const double lat_ms =
+        static_cast<double>(span.end - span.begin) / 1000.0;
+    c.lat_ms.push_back(lat_ms);
+    if (!completed || lat_ms > config_.slo_latency_ms) ++c.breaches;
+  }
+  out << "{\"objective_ms\": ";
+  write_json_number(out, config_.slo_latency_ms);
+  out << ", \"error_budget\": ";
+  write_json_number(out, config_.slo_error_budget);
+  out << ", \"classes\": [";
+  bool first = true;
+  for (auto& [url_class, c] : classes) {
+    if (!first) out << ',';
+    first = false;
+    std::sort(c.lat_ms.begin(), c.lat_ms.end());
+    const double requests = static_cast<double>(c.requests);
+    const double breach_rate =
+        c.requests ? static_cast<double>(c.breaches) / requests : 0.0;
+    const double burn = config_.slo_error_budget > 0.0
+                            ? breach_rate / config_.slo_error_budget
+                            : 0.0;
+    out << "\n    {\"url_class\": " << url_class
+        << ", \"requests\": " << c.requests
+        << ", \"completed\": " << c.completed
+        << ", \"breaches\": " << c.breaches << ", \"p50_ms\": ";
+    write_json_number(out, sorted_percentile(c.lat_ms, 50));
+    out << ", \"p95_ms\": ";
+    write_json_number(out, sorted_percentile(c.lat_ms, 95));
+    out << ", \"p99_ms\": ";
+    write_json_number(out, sorted_percentile(c.lat_ms, 99));
+    out << ", \"compliance\": ";
+    write_json_number(out, 1.0 - breach_rate);
+    out << ", \"burn_rate\": ";
+    write_json_number(out, burn);
+    out << '}';
+  }
+  if (!classes.empty()) out << "\n  ";
+  out << "]}";
+}
+
+void FlightRecorder::write_json(std::ostream& out) const {
+  out << "{\n  \"dope_incident_bundle\": 1,\n  \"run\": {\"seed\": ";
+  // Seed as a decimal string: JSON readers that funnel numbers through
+  // a double would corrupt seeds above 2^53.
+  char seed_buf[24];
+  std::snprintf(seed_buf, sizeof(seed_buf), "\"%" PRIu64 "\"",
+                context_.seed);
+  out << seed_buf;
+  out << ", \"scheme\": ";
+  write_json_string(out, context_.scheme);
+  out << ", \"slot_us\": " << context_.slot
+      << ", \"duration_us\": " << context_.duration << ", \"label\": ";
+  write_json_string(out, context_.label);
+  out << "},\n  \"triggers\": " << triggers_
+      << ", \"deduped\": " << deduped_ << ", \"dropped\": " << dropped_
+      << ",\n  \"slo\": ";
+  write_slo_json(out);
+  out << ",\n  \"incidents\": [";
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "\n    " << incidents_[i];
+  }
+  if (dropped_ > 0) {
+    if (!incidents_.empty()) out << ',';
+    out << "\n    {\"type\": \"IncidentTruncated\", \"dropped\": "
+        << dropped_ << ", \"cap\": " << config_.max_incidents << '}';
+  }
+  if (!incidents_.empty() || dropped_ > 0) out << "\n  ";
+  out << "]\n}\n";
+}
+
+}  // namespace dope::obs

@@ -25,9 +25,12 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string_view>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 
@@ -39,6 +42,14 @@ struct HubConfig {
   /// pillar with per-request cost even when nobody exports them).
   bool enable_spans = false;
   SpanConfig spans{};
+  /// Per-slot time-series rings; off by default (per-slot cost).
+  bool enable_timeseries = false;
+  TimeSeriesConfig timeseries{};
+  /// Flight recorder (incident bundles); off by default. Usually
+  /// enabled together with timeseries + spans so bundles carry the
+  /// pre-trigger history and attribution sections.
+  bool enable_flight = false;
+  FlightConfig flight{};
 };
 
 class Hub {
@@ -47,6 +58,18 @@ class Hub {
       : trace_(config.trace), watchdog_(&trace_) {
     if (config.enable_spans) {
       spans_ = std::make_unique<SpanTracer>(config.spans);
+    }
+    if (config.enable_timeseries) {
+      timeseries_ = std::make_unique<TimeSeriesStore>(config.timeseries);
+    }
+    if (config.enable_flight) {
+      flight_ = std::make_unique<FlightRecorder>(
+          config.flight, timeseries_.get(), &trace_, spans_.get());
+      // Tap the recorder, not Hub::event: the watchdog (and anything
+      // else holding a TraceRecorder*) records directly, and triggers
+      // must fire for those events too.
+      trace_.set_listener(
+          [this](const TraceEvent& e) { flight_->on_trace_event(e); });
     }
   }
 
@@ -63,9 +86,23 @@ class Hub {
   /// pointer itself.
   SpanTracer* spans() { return spans_.get(); }
   const SpanTracer* spans() const { return spans_.get(); }
+  /// Null when time-series recording is disabled — cache and guard.
+  TimeSeriesStore* timeseries() { return timeseries_.get(); }
+  const TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+  /// Null when the flight recorder is disabled.
+  FlightRecorder* flight() { return flight_.get(); }
+  const FlightRecorder* flight() const { return flight_.get(); }
 
   /// Shorthand for trace().record(...).
   void event(TraceEvent e) { trace_.record(std::move(e)); }
+
+  /// DOPE_AUDIT failure hook (common/audit.hpp calls this *before* the
+  /// fatal throw): snapshots an incident bundle so the post-mortem
+  /// exists when the process unwinds. No-op without a flight recorder.
+  void audit_failure(Time t, std::string_view check,
+                     std::string_view message) {
+    if (flight_) flight_->on_audit_failure(t, check, message);
+  }
 
   /// JSONL export of the whole hub: the event trace, merged (in time
   /// order) with SpanBegin/SpanEnd records when spans are enabled.
@@ -83,6 +120,8 @@ class Hub {
   TraceRecorder trace_;
   Watchdog watchdog_;
   std::unique_ptr<SpanTracer> spans_;
+  std::unique_ptr<TimeSeriesStore> timeseries_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace dope::obs

@@ -142,7 +142,7 @@ const Histo* Registry::find_histo(std::string_view key) const {
   return e ? e->histo.get() : nullptr;
 }
 
-void Registry::write_json(std::ostream& out) const {
+void Registry::write_json(std::ostream& out, bool percentiles) const {
   // Export in sorted-key order, not creation order: the bytes written
   // must not depend on which component happened to register first.
   std::vector<const Entry*> sorted;
@@ -207,6 +207,30 @@ void Registry::write_json(std::ostream& out) const {
   write_section("counters", Kind::kCounter, first_section);
   write_section("gauges", Kind::kGauge, first_section);
   write_section("histos", Kind::kHisto, first_section);
+  if (percentiles) {
+    // Opt-in summary section so reports (and humans) stop re-deriving
+    // percentiles from the raw buckets. Same sorted-key order as
+    // "histos".
+    out << ",\n  \"percentiles\": {";
+    bool first = true;
+    for (const auto* entry : sorted) {
+      if (entry->kind != Kind::kHisto) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "\n    ";
+      write_json_string(out, entry->key);
+      const Histo& h = *entry->histo;
+      out << ": {\"p50\": ";
+      write_json_number(out, h.percentile(50));
+      out << ", \"p95\": ";
+      write_json_number(out, h.percentile(95));
+      out << ", \"p99\": ";
+      write_json_number(out, h.percentile(99));
+      out << '}';
+    }
+    if (!first) out << "\n  ";
+    out << '}';
+  }
   out << "\n}\n";
 }
 

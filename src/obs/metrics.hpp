@@ -118,8 +118,10 @@ class Registry {
   std::size_t size() const { return entries_.size(); }
 
   /// Dumps every instrument as a single JSON object with "counters",
-  /// "gauges", and "histos" sections, in instrument creation order.
-  void write_json(std::ostream& out) const;
+  /// "gauges", and "histos" sections, keys sorted. With `percentiles`
+  /// an extra "percentiles" section summarises every histo as
+  /// p50/p95/p99 (opt-in: the default bytes are a golden surface).
+  void write_json(std::ostream& out, bool percentiles = false) const;
 
  private:
   enum class Kind { kCounter, kGauge, kHisto };

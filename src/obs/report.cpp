@@ -1,0 +1,383 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "common/minijson.hpp"
+#include "obs/json.hpp"
+
+namespace dope::obs {
+
+namespace {
+
+using minijson::Value;
+using minijson::as_i64;
+using minijson::require;
+
+constexpr std::int64_t kBundleVersion = 1;
+
+double num_or(const Value& obj, const std::string& key, double fallback) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || v->kind != Value::Kind::kNumber) return fallback;
+  return minijson::as_double(*v, key);
+}
+
+std::int64_t i64_or(const Value& obj, const std::string& key,
+                    std::int64_t fallback) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || v->kind != Value::Kind::kNumber) return fallback;
+  return as_i64(*v, key);
+}
+
+std::string str_or(const Value& obj, const std::string& key,
+                   const std::string& fallback) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || v->kind != Value::Kind::kString) return fallback;
+  return v->text;
+}
+
+std::string format_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Inline unicode sparkline over `values`, scaled to their own range.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* const kGlyphs[8] = {"▁", "▂", "▃", "▄",
+                                         "▅", "▆", "▇", "█"};
+  if (values.empty()) return "(empty)";
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (const double v : values) {
+    std::size_t level = 3;  // flat series renders mid-height
+    if (span > 0.0) {
+      const double norm = (v - lo) / span;
+      level = static_cast<std::size_t>(norm * 7.0 + 0.5);
+      if (level > 7) level = 7;
+    }
+    out += kGlyphs[level];
+  }
+  return out;
+}
+
+/// Raw-ring tail of one series object, newest `cap` values.
+std::vector<double> raw_tail(const Value& series, std::size_t cap) {
+  std::vector<double> values;
+  const Value* raw = series.find("raw");
+  if (raw == nullptr || raw->kind != Value::Kind::kArray) return values;
+  const std::size_t n = raw->items.size();
+  const std::size_t start = n > cap ? n - cap : 0;
+  for (std::size_t i = start; i < n; ++i) {
+    values.push_back(num_or(raw->items[i], "v", 0.0));
+  }
+  return values;
+}
+
+/// Re-serializes a parsed JSON value (numbers pass through as their
+/// original tokens), so the digest can embed bundle subtrees verbatim.
+void write_value(std::ostream& out, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNull: out << "null"; return;
+    case Value::Kind::kBool: out << (v.boolean ? "true" : "false"); return;
+    case Value::Kind::kNumber: out << v.text; return;
+    case Value::Kind::kString: write_json_string(out, v.text); return;
+    case Value::Kind::kArray: {
+      out << '[';
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i > 0) out << ", ";
+        write_value(out, v.items[i]);
+      }
+      out << ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      out << '{';
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        if (i > 0) out << ", ";
+        write_json_string(out, v.fields[i].first);
+        out << ": ";
+        write_value(out, v.fields[i].second);
+      }
+      out << '}';
+      return;
+    }
+  }
+}
+
+const Value& parse_bundle(const std::string& bundle_json, Value* storage) {
+  *storage = minijson::parse(bundle_json);
+  const std::int64_t version = as_i64(
+      require(*storage, "dope_incident_bundle"), "dope_incident_bundle");
+  if (version != kBundleVersion) {
+    throw std::runtime_error("report: unsupported bundle version " +
+                             std::to_string(version));
+  }
+  return *storage;
+}
+
+bool is_truncation_trailer(const Value& incident) {
+  return str_or(incident, "type", "") == "IncidentTruncated";
+}
+
+void write_run_header(std::ostream& out, const Value& root) {
+  const Value& run = require(root, "run");
+  out << "# DOPE incident post-mortem\n\n";
+  out << "- scheme: `" << str_or(run, "scheme", "?") << "`, seed "
+      << str_or(run, "seed", "?") << "\n";
+  out << "- slot: " << format_num(i64_or(run, "slot_us", 0) / 1e6)
+      << " s, duration: "
+      << format_num(i64_or(run, "duration_us", 0) / 1e6) << " s\n";
+  const std::string label = str_or(run, "label", "");
+  if (!label.empty()) out << "- label: `" << label << "`\n";
+  out << "- triggers: " << i64_or(root, "triggers", 0) << " ("
+      << i64_or(root, "deduped", 0) << " deduped, "
+      << i64_or(root, "dropped", 0) << " dropped over cap)\n\n";
+}
+
+void write_slo_section(std::ostream& out, const Value& root) {
+  const Value* slo = root.find("slo");
+  if (slo == nullptr || slo->kind != Value::Kind::kObject) return;
+  out << "## SLO\n\n";
+  out << "Latency objective "
+      << format_num(num_or(*slo, "objective_ms", 0.0))
+      << " ms per class, error budget "
+      << format_num(num_or(*slo, "error_budget", 0.0) * 100.0) << " %.\n\n";
+  out << "| url class | requests | completed | p50 ms | p95 ms "
+         "| p99 ms | breaches | compliance | burn rate |\n";
+  out << "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  const Value* classes = slo->find("classes");
+  if (classes != nullptr && classes->kind == Value::Kind::kArray) {
+    for (const Value& c : classes->items) {
+      const double burn = num_or(c, "burn_rate", 0.0);
+      out << "| " << i64_or(c, "url_class", 0) << " | "
+          << i64_or(c, "requests", 0) << " | "
+          << i64_or(c, "completed", 0) << " | "
+          << format_num(num_or(c, "p50_ms", 0.0)) << " | "
+          << format_num(num_or(c, "p95_ms", 0.0)) << " | "
+          << format_num(num_or(c, "p99_ms", 0.0)) << " | "
+          << i64_or(c, "breaches", 0) << " | "
+          << format_num(num_or(c, "compliance", 0.0)) << " | "
+          << format_num(burn) << (burn > 1.0 ? " (OVER)" : "")
+          << " |\n";
+    }
+  }
+  out << "\n";
+}
+
+void write_signal_table(std::ostream& out, const Value& incident) {
+  const Value* series = incident.find("series");
+  if (series == nullptr || series->kind != Value::Kind::kObject ||
+      series->fields.empty()) {
+    return;
+  }
+  out << "### Pre-trigger signals\n\n";
+  out << "| series | last | min | max | trend (raw tail) |\n";
+  out << "|:--|---:|---:|---:|:--|\n";
+  for (const auto& [name, s] : series->fields) {
+    out << "| `" << name << "` | " << format_num(num_or(s, "last", 0.0))
+        << " | " << format_num(num_or(s, "min", 0.0)) << " | "
+        << format_num(num_or(s, "max", 0.0)) << " | "
+        << sparkline(raw_tail(s, 40)) << " |\n";
+  }
+  out << "\n";
+}
+
+void write_blast_radius(std::ostream& out, const Value& incident) {
+  const Value* series = incident.find("series");
+  if (series == nullptr || series->kind != Value::Kind::kObject) return;
+  // Zone-suffixed series ("cluster.demand_w.zone1") carry the per-zone
+  // story; group them by suffix.
+  std::map<long, std::vector<const std::pair<std::string, Value>*>> zones;
+  for (const auto& field : series->fields) {
+    const std::string& name = field.first;
+    const std::size_t pos = name.rfind(".zone");
+    if (pos == std::string::npos) continue;
+    const std::string digits = name.substr(pos + 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    zones[std::stol(digits)].push_back(&field);
+  }
+  out << "### Blast radius\n\n";
+  const long trigger_zone = i64_or(incident, "zone", -1);
+  if (zones.empty()) {
+    out << "Standalone cluster — no zone breakdown (trigger zone "
+        << trigger_zone << ").\n\n";
+    return;
+  }
+  out << "Trigger zone: " << trigger_zone << ".\n\n";
+  out << "| zone | series | last | max |\n|---:|:--|---:|---:|\n";
+  for (const auto& [zone, fields] : zones) {
+    for (const auto* field : fields) {
+      out << "| " << zone << (zone == trigger_zone ? " (trigger)" : "")
+          << " | `" << field->first << "` | "
+          << format_num(num_or(field->second, "last", 0.0)) << " | "
+          << format_num(num_or(field->second, "max", 0.0)) << " |\n";
+    }
+  }
+  out << "\n";
+}
+
+void write_timeline(std::ostream& out, const Value& incident) {
+  const Value* tail = incident.find("trace_tail");
+  if (tail == nullptr || tail->kind != Value::Kind::kArray ||
+      tail->items.empty()) {
+    return;
+  }
+  out << "### Timeline (last " << tail->items.size()
+      << " trace events)\n\n";
+  for (const Value& e : tail->items) {
+    out << "- " << format_num(num_or(e, "t_s", 0.0)) << " s **"
+        << str_or(e, "type", "?") << "** `" << str_or(e, "source", "?")
+        << "`";
+    // A couple of payload fields for orientation; the bundle keeps the
+    // full records.
+    std::size_t shown = 0;
+    for (const auto& [key, value] : e.fields) {
+      if (shown >= 3) break;
+      if (key == "t_us" || key == "t_s" || key == "type" ||
+          key == "source") {
+        continue;
+      }
+      if (value.kind == Value::Kind::kNumber) {
+        out << ' ' << key << '=' << value.text;
+        ++shown;
+      } else if (value.kind == Value::Kind::kString) {
+        out << ' ' << key << "=\"" << value.text << '"';
+        ++shown;
+      }
+    }
+    out << "\n";
+  }
+  out << "\n";
+}
+
+void write_attribution(std::ostream& out, const Value& incident) {
+  const Value* forensics = incident.find("forensics");
+  if (forensics == nullptr ||
+      forensics->kind != Value::Kind::kObject) {
+    return;
+  }
+  out << "### Attack attribution\n\n";
+  out << "Attributed energy "
+      << format_num(num_or(*forensics, "total_joules", 0.0))
+      << " J across the span log; "
+      << i64_or(*forensics, "violation_events", 0)
+      << " budget-violation instants.\n\n";
+  const Value* suspects = forensics->find("suspects");
+  if (suspects == nullptr || suspects->kind != Value::Kind::kArray ||
+      suspects->items.empty()) {
+    out << "No suspect ranking (no spans recorded).\n\n";
+    return;
+  }
+  out << "| source | requests | joules | occupancy ms | violation "
+         "overlaps | dominant class | suspicious |\n";
+  out << "|---:|---:|---:|---:|---:|---:|:--|\n";
+  for (const Value& s : suspects->items) {
+    const Value* suspicious = s.find("suspicious");
+    const bool flagged = suspicious != nullptr &&
+                         suspicious->kind == Value::Kind::kBool &&
+                         suspicious->boolean;
+    out << "| " << i64_or(s, "source_id", 0) << " | "
+        << i64_or(s, "requests", 0) << " | "
+        << format_num(num_or(s, "joules", 0.0)) << " | "
+        << format_num(num_or(s, "occupancy_ms", 0.0)) << " | "
+        << i64_or(s, "violation_overlaps", 0) << " | "
+        << i64_or(s, "dominant_class", 0) << " | "
+        << (flagged ? "**yes**" : "no") << " |\n";
+  }
+  out << "\n";
+}
+
+void write_incident_markdown(std::ostream& out, const Value& incident) {
+  out << "## Incident " << i64_or(incident, "id", 0) << " — "
+      << str_or(incident, "trigger", "?") << " at t="
+      << format_num(num_or(incident, "t_s", 0.0)) << " s (slot "
+      << i64_or(incident, "slot_index", 0) << ")\n\n";
+  const std::string detail = str_or(incident, "detail", "");
+  if (!detail.empty()) out << "Detail: `" << detail << "`.\n";
+  out << "Open spans at capture: "
+      << i64_or(incident, "open_span_count", 0) << ".\n\n";
+  write_signal_table(out, incident);
+  write_timeline(out, incident);
+  write_blast_radius(out, incident);
+  write_attribution(out, incident);
+}
+
+}  // namespace
+
+void write_postmortem_markdown(std::ostream& out,
+                               const std::string& bundle_json) {
+  Value storage;
+  const Value& root = parse_bundle(bundle_json, &storage);
+  write_run_header(out, root);
+  write_slo_section(out, root);
+  const Value& incidents = require(root, "incidents");
+  if (incidents.items.empty()) {
+    out << "## Incidents\n\nNone captured — the run completed without "
+           "a trigger.\n";
+    return;
+  }
+  for (const Value& incident : incidents.items) {
+    if (is_truncation_trailer(incident)) {
+      out << "## Incidents over cap\n\n"
+          << i64_or(incident, "dropped", 0)
+          << " further incident(s) were dropped over the per-run cap of "
+          << i64_or(incident, "cap", 0) << ".\n";
+      continue;
+    }
+    write_incident_markdown(out, incident);
+  }
+}
+
+void write_postmortem_json(std::ostream& out,
+                           const std::string& bundle_json) {
+  Value storage;
+  const Value& root = parse_bundle(bundle_json, &storage);
+  out << "{\n  \"dope_postmortem\": 1,\n  \"run\": ";
+  write_value(out, require(root, "run"));
+  out << ",\n  \"triggers\": " << i64_or(root, "triggers", 0)
+      << ", \"deduped\": " << i64_or(root, "deduped", 0)
+      << ", \"dropped\": " << i64_or(root, "dropped", 0)
+      << ",\n  \"slo\": ";
+  const Value* slo = root.find("slo");
+  if (slo != nullptr) {
+    write_value(out, *slo);
+  } else {
+    out << "null";
+  }
+  out << ",\n  \"incidents\": [";
+  const Value& incidents = require(root, "incidents");
+  bool first = true;
+  for (const Value& incident : incidents.items) {
+    if (is_truncation_trailer(incident)) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "\n    {\"id\": " << i64_or(incident, "id", 0)
+        << ", \"t_s\": " << format_num(num_or(incident, "t_s", 0.0))
+        << ", \"slot_index\": " << i64_or(incident, "slot_index", 0)
+        << ", \"trigger\": ";
+    write_json_string(out, str_or(incident, "trigger", "?"));
+    out << ", \"detail\": ";
+    write_json_string(out, str_or(incident, "detail", ""));
+    out << ", \"zone\": " << i64_or(incident, "zone", -1)
+        << ", \"open_span_count\": "
+        << i64_or(incident, "open_span_count", 0) << '}';
+  }
+  if (!first) out << "\n  ";
+  out << "]\n}\n";
+}
+
+}  // namespace dope::obs

@@ -1,0 +1,31 @@
+// Incident post-mortems from flight-recorder bundles.
+//
+// `dopereport` (tools/dopereport_main.cpp) is a thin CLI over these two
+// renderers. Input is the self-contained incident bundle JSON the
+// FlightRecorder writes (docs/OBSERVABILITY.md); output is either a
+// human-facing markdown post-mortem — incident timeline, pre-trigger
+// signal sparklines, blast radius per zone, attack attribution against
+// the forensics suspect ranking, SLO burn — or a compact JSON digest
+// for dashboards.
+//
+// Rendering is pure text transformation: no simulator state, no wall
+// clock — the same bundle renders byte-identically everywhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace dope::obs {
+
+/// Renders `bundle_json` (a dope_incident_bundle document) as a
+/// markdown post-mortem. Throws std::runtime_error on malformed input.
+void write_postmortem_markdown(std::ostream& out,
+                               const std::string& bundle_json);
+
+/// Machine-readable digest of the same bundle: run context, SLO rollup,
+/// and a per-incident summary (no ring payloads). Throws on malformed
+/// input.
+void write_postmortem_json(std::ostream& out,
+                           const std::string& bundle_json);
+
+}  // namespace dope::obs

@@ -32,9 +32,9 @@ TraceRecorder::TraceRecorder(TraceConfig config) : config_(config) {}
 void TraceRecorder::record(TraceEvent event) {
   ++recorded_;
   ++counts_[static_cast<std::size_t>(event.type)];
-  if (events_.size() < config_.max_events) {
-    events_.push_back(std::move(event));
-  }
+  const bool stored = events_.size() < config_.max_events;
+  if (stored) events_.push_back(std::move(event));
+  if (listener_) listener_(stored ? events_.back() : event);
 }
 
 std::size_t TraceRecorder::distinct_types() const {

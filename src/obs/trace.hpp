@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -92,6 +93,17 @@ class TraceRecorder {
   /// Number of distinct event types seen so far.
   std::size_t distinct_types() const;
 
+  /// Installs a tap invoked for every `record()` call — including
+  /// events past the retention cap — after the event is counted and
+  /// (when retained) stored. This is how the flight recorder triggers
+  /// on breaker trips and alert raises regardless of which component
+  /// emitted them (the watchdog records directly, bypassing
+  /// `Hub::event`). One listener; an empty function clears it. The
+  /// listener must not call back into `record()`.
+  void set_listener(std::function<void(const TraceEvent&)> listener) {
+    listener_ = std::move(listener);
+  }
+
   /// One JSON object per line: {"t_us":..,"t_s":..,"type":"..",
   /// "source":"..", payload fields inlined}.
   void write_jsonl(std::ostream& out) const;
@@ -111,6 +123,7 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   std::uint64_t recorded_ = 0;
   std::array<std::uint64_t, kEventTypeCount> counts_{};
+  std::function<void(const TraceEvent&)> listener_;
 };
 
 /// Writes one event as its JSONL object (no trailing newline). Shared by

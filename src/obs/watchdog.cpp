@@ -7,6 +7,8 @@ namespace dope::obs {
 void Watchdog::add_rule(AlertRule rule) {
   DOPE_REQUIRE(!rule.name.empty(), "alert rule needs a name");
   DOPE_REQUIRE(!rule.signal.empty(), "alert rule needs a signal");
+  if (raise_override_ > 0) rule.consecutive = raise_override_;
+  if (clear_override_ > 0) rule.clear_after = clear_override_;
   DOPE_REQUIRE(rule.consecutive >= 1, "need at least one window to raise");
   DOPE_REQUIRE(rule.clear_after >= 1, "need at least one window to clear");
   rules_.push_back(rule);

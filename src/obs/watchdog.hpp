@@ -67,6 +67,16 @@ class Watchdog {
   const std::vector<AlertRule>& rules() const { return rules_; }
   std::size_t rule_count() const { return states_.size(); }
 
+  /// Hysteresis override for rules added *after* this call: replaces
+  /// `consecutive` / `clear_after` (0 keeps the rule's own value).
+  /// This is the `--alert-hysteresis R:C` knob — widening both windows
+  /// stops alert flapping on an oscillating capped-power signal.
+  void set_default_hysteresis(unsigned raise_windows,
+                              unsigned clear_windows) {
+    raise_override_ = raise_windows;
+    clear_override_ = clear_windows;
+  }
+
   /// Feeds one window sample of `signal`; every rule bound to that
   /// signal evaluates it immediately.
   void observe(std::string_view signal, Time t, double value);
@@ -92,6 +102,8 @@ class Watchdog {
   std::vector<RuleState> states_;
   std::vector<AlertRule> rules_;
   std::vector<Alert> alerts_;
+  unsigned raise_override_ = 0;
+  unsigned clear_override_ = 0;
 };
 
 }  // namespace dope::obs

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <ostream>
+#include <utility>
 
 #include "common/csv.hpp"
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
+#include "obs/flight.hpp"
+#include "obs/hub.hpp"
+#include "obs/timeseries.hpp"
 #include "schemes/baselines.hpp"
 #include "sim/engine.hpp"
 
@@ -41,6 +45,45 @@ std::unique_ptr<cluster::PowerScheme> make_scheme(
 
 namespace {
 
+/// Observability setup shared by both paths: the watchdog hysteresis
+/// override (which must land before the default rules are installed)
+/// and, when a FlightRecorder is attached, the run context and the
+/// Anti-DOPE suspect classes stamped into incident bundles.
+void configure_obs_run(const ScenarioConfig& config) {
+  obs::Hub* hub = config.obs;
+  if (hub == nullptr) return;
+  if (config.alert_raise_windows > 0 || config.alert_clear_windows > 0) {
+    hub->watchdog().set_default_hysteresis(config.alert_raise_windows,
+                                           config.alert_clear_windows);
+  }
+  obs::FlightRecorder* flight = hub->flight();
+  if (flight == nullptr) return;
+  obs::FlightRunContext ctx;
+  ctx.seed = config.seed;
+  ctx.scheme = scheme_name(config.scheme);
+  ctx.slot = config.slot;
+  ctx.duration = config.duration;
+  ctx.label = config.run_label;
+  flight->set_run_context(std::move(ctx));
+  if (config.scheme == SchemeKind::kAntiDope) {
+    // Same list the scheme itself builds, so the bundle's attribution
+    // cross-reference matches what the PDF stage actually isolated.
+    const auto catalog = workload::Catalog::standard();
+    const antidope::SuspectList list =
+        config.antidope.suspect_list.has_value()
+            ? *config.antidope.suspect_list
+            : antidope::SuspectList::from_catalog(
+                  catalog, config.antidope.suspect_power_threshold);
+    std::vector<std::uint32_t> classes;
+    for (std::size_t t = 0; t < list.size(); ++t) {
+      if (list.suspicious(static_cast<workload::RequestTypeId>(t))) {
+        classes.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    flight->set_suspect_classes(std::move(classes));
+  }
+}
+
 /// Multi-zone path: a `site::Site` of identical zones behind the GLB.
 /// Kept fully separate from the single-cluster path below so the
 /// latter's construction/registration order — and therefore its golden
@@ -57,6 +100,7 @@ ScenarioResult run_site_scenario(const ScenarioConfig& config) {
   if (config.obs != nullptr && config.trace_cap > 0) {
     config.obs->trace().set_max_events(config.trace_cap);
   }
+  configure_obs_run(config);
   const auto catalog = workload::Catalog::standard();
 
   site::SiteConfig sc;
@@ -220,6 +264,10 @@ ScenarioResult run_site_scenario(const ScenarioConfig& config) {
     std::vector<std::size_t> min_level;
     workload::TrafficGenerator* attack_gen = nullptr;
     obs::Watchdog* dog = nullptr;
+    obs::Series* attack_series = nullptr;
+    obs::FlightRecorder* flight = nullptr;
+    Time dump_at = -1;
+    bool dumped = false;
     double slot_seconds = 1.0;
     std::uint64_t prev_generated = 0;
   } probe;
@@ -229,6 +277,13 @@ ScenarioResult run_site_scenario(const ScenarioConfig& config) {
     probe.attack_gen = attack.get();
     probe.dog = &config.obs->watchdog();
     probe.slot_seconds = to_seconds(config.slot);
+    if (auto* ts = config.obs->timeseries()) {
+      probe.attack_series = &ts->series(kSignalAttackRate);
+    }
+  }
+  if (config.obs != nullptr && config.dump_incident_at >= 0) {
+    probe.flight = config.obs->flight();
+    probe.dump_at = config.dump_incident_at;
   }
   auto level_probe = engine.every(config.slot, [&site, &probe, &engine] {
     for (std::size_t z = 0; z < site.num_zones(); ++z) {
@@ -238,11 +293,19 @@ ScenarioResult run_site_scenario(const ScenarioConfig& config) {
     }
     if (probe.attack_gen != nullptr) {
       const std::uint64_t generated = probe.attack_gen->generated();
-      probe.dog->observe(
-          kSignalAttackRate, engine.now(),
+      const double rate =
           static_cast<double>(generated - probe.prev_generated) /
-              probe.slot_seconds);
+          probe.slot_seconds;
+      probe.dog->observe(kSignalAttackRate, engine.now(), rate);
+      if (probe.attack_series != nullptr) {
+        probe.attack_series->sample(engine.now(), rate);
+      }
       probe.prev_generated = generated;
+    }
+    if (probe.flight != nullptr && !probe.dumped &&
+        engine.now() >= probe.dump_at) {
+      probe.dumped = true;
+      probe.flight->dump_now(engine.now(), "manual");
     }
   });
 
@@ -342,6 +405,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.obs != nullptr && config.trace_cap > 0) {
     config.obs->trace().set_max_events(config.trace_cap);
   }
+  configure_obs_run(config);
   const auto catalog = workload::Catalog::standard();
 
   cluster::ClusterConfig cc;
@@ -467,6 +531,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     std::size_t min_level_seen = 0;
     workload::TrafficGenerator* attack_gen = nullptr;
     obs::Watchdog* dog = nullptr;
+    obs::Series* attack_series = nullptr;
+    obs::FlightRecorder* flight = nullptr;
+    Time dump_at = -1;
+    bool dumped = false;
     double slot_seconds = 1.0;
     std::uint64_t prev_generated = 0;
   } probe;
@@ -475,6 +543,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     probe.attack_gen = attack.get();
     probe.dog = &config.obs->watchdog();
     probe.slot_seconds = to_seconds(config.slot);
+    if (auto* ts = config.obs->timeseries()) {
+      probe.attack_series = &ts->series(kSignalAttackRate);
+    }
+  }
+  if (config.obs != nullptr && config.dump_incident_at >= 0) {
+    probe.flight = config.obs->flight();
+    probe.dump_at = config.dump_incident_at;
   }
   auto level_probe = engine.every(config.slot, [&cluster, &probe, &engine] {
     for (auto* n : cluster.servers()) {
@@ -482,11 +557,19 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
     if (probe.attack_gen != nullptr) {
       const std::uint64_t generated = probe.attack_gen->generated();
-      probe.dog->observe(
-          kSignalAttackRate, engine.now(),
+      const double rate =
           static_cast<double>(generated - probe.prev_generated) /
-              probe.slot_seconds);
+          probe.slot_seconds;
+      probe.dog->observe(kSignalAttackRate, engine.now(), rate);
+      if (probe.attack_series != nullptr) {
+        probe.attack_series->sample(engine.now(), rate);
+      }
       probe.prev_generated = generated;
+    }
+    if (probe.flight != nullptr && !probe.dumped &&
+        engine.now() >= probe.dump_at) {
+      probe.dumped = true;
+      probe.flight->dump_now(engine.now(), "manual");
     }
   });
 

@@ -134,6 +134,20 @@ struct ScenarioConfig {
   /// (0 keeps whatever the hub was configured with). Dropped events are
   /// never silent: exports end with a TraceTruncated record.
   std::size_t trace_cap = 0;
+  /// Watchdog hysteresis override applied to every rule installed after
+  /// setup (the default rules above included): breach windows before a
+  /// raise / calm windows before a clear. 0 keeps each rule's own
+  /// values. (`--alert-hysteresis R:C` in dopesim_cli.)
+  unsigned alert_raise_windows = 0;
+  unsigned alert_clear_windows = 0;
+  /// When >= 0 and `obs` has a FlightRecorder, forces one "manual"
+  /// incident snapshot at the first management-slot boundary at or
+  /// after this time (`--dump-incident-at`). Piggybacks on the slot
+  /// probe, so it adds no engine events of its own.
+  Time dump_incident_at = -1;
+  /// Label stamped into incident bundles (sweep cell ids, fuzz case
+  /// names); empty for plain runs.
+  std::string run_label;
 };
 
 /// Watchdog signal carrying the offered attack rate (requests/second),

@@ -7,6 +7,7 @@
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "obs/hub.hpp"
+#include "obs/timeseries.hpp"
 
 namespace dope::site {
 
@@ -165,6 +166,13 @@ Site::Site(sim::Engine& engine, const workload::Catalog& catalog,
       obs_routed_.push_back(&reg.counter("site.glb_routed", labels));
       obs_zone_budget_.push_back(&reg.gauge("site.zone_budget_w", labels));
     }
+    if (obs::TimeSeriesStore* ts = hub->timeseries(); ts != nullptr) {
+      ts_zone_budget_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ts_zone_budget_.push_back(&ts->series(
+            "site.zone_budget_w.zone" + std::to_string(i)));
+      }
+    }
   }
 
   // First apportioning happens before any traffic; with no demand
@@ -202,6 +210,9 @@ void Site::apply_budgets(const std::vector<Watts>& shares) {
     zones_[i]->power().set_budget(shares[i]);
     if (!obs_zone_budget_.empty()) {
       obs_zone_budget_[i]->set(shares[i].value());
+    }
+    if (!ts_zone_budget_.empty()) {
+      ts_zone_budget_[i]->sample(engine_.now(), shares[i].value());
     }
   }
   ++reapportions_;

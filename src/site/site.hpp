@@ -186,6 +186,9 @@ class Site {
   // Observability (null when no hub is attached to the engine).
   std::vector<obs::Counter*> obs_routed_;
   std::vector<obs::Gauge*> obs_zone_budget_;
+  /// Per-zone budget-share series (empty unless the hub has a
+  /// TimeSeriesStore); sampled on every divider pass.
+  std::vector<obs::Series*> ts_zone_budget_;
 
   sim::PeriodicHandle divider_task_;
 };

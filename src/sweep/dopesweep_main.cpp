@@ -48,6 +48,10 @@ execution
   --threads N          worker threads; 0 = hardware concurrency (default)
   --json FILE          write the merged sweep report (deterministic bytes)
   --csv FILE           write one CSV row per run
+  --incidents-out FILE record every run's flight-recorder incidents
+                       (per-run hub: spans, per-slot series, default
+                       alert rules) and write the merged bundle report
+                       in grid order — deterministic for any --threads
   --progress           print sweep progress metrics after the run
   --live FILE          while the sweep runs, atomically refresh FILE with
                        a JSON progress snapshot (plus a Prometheus text
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
   grid.base.seed = 42;
 
   std::size_t threads = 0;
-  std::string json_path, csv_path;
+  std::string json_path, csv_path, incidents_path;
   std::string schemes_csv, budgets_csv, attacks_csv, seeds_csv;
   bool progress = false;
   std::string live_path;
@@ -118,6 +122,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (flag == "--csv") {
       csv_path = next();
+    } else if (flag == "--incidents-out") {
+      incidents_path = next();
     } else if (flag == "--progress") {
       progress = true;
     } else if (flag == "--live") {
@@ -150,7 +156,8 @@ int main(int argc, char** argv) {
   obs::LiveTap live;
   sweep::SweepRunner runner({.threads = threads,
                              .obs = &hub,
-                             .live = live_path.empty() ? nullptr : &live});
+                             .live = live_path.empty() ? nullptr : &live,
+                             .capture_incidents = !incidents_path.empty()});
 
   // Live drainer: a host-side thread that periodically snapshots the tap
   // and refreshes the progress artifacts while `run` blocks below. Reads
@@ -246,6 +253,12 @@ int main(int argc, char** argv) {
     if (!out) fail("cannot write " + csv_path);
     sweep::write_csv(out, sweep_result);
     std::cout << "wrote " << csv_path << "\n";
+  }
+  if (!incidents_path.empty()) {
+    std::ofstream out(incidents_path);
+    if (!out) fail("cannot write " + incidents_path);
+    sweep::write_incidents_json(out, sweep_result);
+    std::cout << "wrote " << incidents_path << "\n";
   }
   return sweep_result.failures == 0 ? 0 : 1;
 }

@@ -90,6 +90,32 @@ void write_json(std::ostream& out, const GridSpec& grid,
   out << "\n  ]\n}\n";
 }
 
+void write_incidents_json(std::ostream& out, const SweepResult& sweep) {
+  out << "{\n  \"dope_incident_sweep\": 1,\n  \"runs\": [";
+  for (std::size_t i = 0; i < sweep.runs.size(); ++i) {
+    const RunRecord& run = sweep.runs[i];
+    if (i) out << ',';
+    out << "\n    {\"index\": " << run.point.index << ", \"label\": ";
+    obs::write_json_string(out, run.point.label());
+    out << ", \"ok\": " << (run.ok ? "true" : "false")
+        << ",\n     \"bundle\": ";
+    if (run.incident_bundle.empty()) {
+      out << "null";
+    } else {
+      // Splice the run's bundle verbatim, minus its trailing newline.
+      std::string bundle = run.incident_bundle;
+      while (!bundle.empty() &&
+             (bundle.back() == '\n' || bundle.back() == ' ')) {
+        bundle.pop_back();
+      }
+      out << bundle;
+    }
+    out << '}';
+  }
+  if (!sweep.runs.empty()) out << "\n  ";
+  out << "]\n}\n";
+}
+
 void write_csv(std::ostream& out, const SweepResult& sweep) {
   CsvWriter writer(out);
   writer.write_row({"index", "budget", "scheme", "attack", "variant",

@@ -25,4 +25,12 @@ void write_json(std::ostream& out, const GridSpec& grid,
 /// headline metric columns of `scenario::write_results_csv`.
 void write_csv(std::ostream& out, const SweepResult& sweep);
 
+/// Writes the merged incident report — one entry per run, in grid
+/// order, each embedding the run's flight-recorder bundle verbatim:
+/// {"dope_incident_sweep": 1, "runs": [{"label": ..., "bundle": {...}},
+/// ...]}. Requires a sweep executed with
+/// `SweepOptions::capture_incidents`; runs without a bundle (failures)
+/// carry "bundle": null. Byte-identical for any thread count.
+void write_incidents_json(std::ostream& out, const SweepResult& sweep);
+
 }  // namespace dope::sweep

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/flight.hpp"
 
 namespace dope::sweep {
 
@@ -162,8 +165,27 @@ SweepResult SweepRunner::run(const GridSpec& grid) const {
       // (sweep.run_wall_ms); never reaches the merged report bytes.
       const auto start = std::chrono::steady_clock::now();
       try {
-        const auto config = materialize(grid, record.point);
+        auto config = materialize(grid, record.point);
+        // Per-run hub: hubs are single-threaded, so incident capture
+        // builds one inside each worker task rather than sharing the
+        // runner's progress hub.
+        std::unique_ptr<obs::Hub> run_hub;
+        if (options_.capture_incidents) {
+          obs::HubConfig hub_config;
+          hub_config.enable_spans = true;
+          hub_config.enable_timeseries = true;
+          hub_config.enable_flight = true;
+          run_hub = std::make_unique<obs::Hub>(hub_config);
+          config.obs = run_hub.get();
+          config.default_alert_rules = true;
+          config.run_label = record.point.label();
+        }
         record.result = scenario::run_scenario(config);
+        if (run_hub != nullptr) {
+          std::ostringstream bundle;
+          run_hub->flight()->write_json(bundle);
+          record.incident_bundle = bundle.str();
+        }
         record.ok = true;
       } catch (const std::exception& e) {
         record.error = e.what();

@@ -109,6 +109,12 @@ struct RunRecord {
   bool ok = false;
   std::string error;  // exception message when !ok
   scenario::ScenarioResult result;  // valid only when ok
+  /// The run's flight-recorder incident bundle (a dope_incident_bundle
+  /// JSON document), captured only under
+  /// `SweepOptions::capture_incidents`. Deterministic: sim time and
+  /// seeds only, so the merged report's bytes stay thread-count
+  /// independent.
+  std::string incident_bundle;
 };
 
 /// Merged sweep outcome, runs in grid order.
@@ -133,6 +139,12 @@ struct SweepOptions {
   /// `done = true`) when the grid has drained. Any other thread may
   /// `latest()` concurrently — publication is lock-free. Caller owns.
   obs::LiveTap* live = nullptr;
+  /// Give every run its own private hub (spans + per-slot series +
+  /// flight recorder, default alert rules installed) and store the
+  /// resulting incident bundle in `RunRecord::incident_bundle`. The
+  /// per-run hubs are invisible to `SweepOptions::obs` and do not
+  /// change the runs' results.
+  bool capture_incidents = false;
 };
 
 /// Shards a grid onto a thread pool and merges deterministically.

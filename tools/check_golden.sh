@@ -47,8 +47,24 @@ compare "$tmp/out-soc.csv" "$golden/engine_refactor_soc.csv"
 compare "$tmp/out-metrics.json" "$golden/engine_refactor_metrics.json"
 compare "$tmp/out-trace.jsonl" "$tmp/golden-trace.jsonl"
 
+# Zero-cost-when-attached: the same scenario with the flight recorder
+# and time-series store running (--incidents-out implies both) must
+# still produce byte-identical bytes on every golden surface — the
+# recorder observes, it never perturbs.
+"$cli" --scheme antidope --budget low --attack-rps 400 --duration-s 60 \
+  --seed 42 --battery-min 2 \
+  --csv "$tmp/att.csv" --power-csv "$tmp/att-power.csv" \
+  --soc-csv "$tmp/att-soc.csv" --metrics-out "$tmp/att-metrics.json" \
+  --incidents-out "$tmp/att-incidents.json"
+
+compare "$tmp/att.csv" "$golden/engine_refactor.csv"
+compare "$tmp/att-power.csv" "$golden/engine_refactor_power.csv"
+compare "$tmp/att-soc.csv" "$golden/engine_refactor_soc.csv"
+compare "$tmp/att-metrics.json" "$golden/engine_refactor_metrics.json"
+
 if [[ "$status" -ne 0 ]]; then
   echo "check_golden: exports drifted from tests/golden/ captures" >&2
   exit 1
 fi
-echo "check_golden: all 5 export surfaces byte-identical"
+echo "check_golden: all 5 export surfaces byte-identical" \
+  "(detached and with the flight recorder attached)"

@@ -22,7 +22,14 @@ honest.  It verifies, line by line:
     legal (the PDF router's innocent->suspect fallback re-picks), as
     are spans still open when the export was cut.
 
-Two input modes:
+Beyond the JSONL trace, the checker also validates flight-recorder
+incident bundles (`dopesim_cli --incidents-out`): schema version, run
+envelope, monotone raw sample indices per series, tier-bucket
+consistency (fan-in caps, min <= mean <= max, aligned first indices),
+sequential incident ids with non-decreasing slot indices, known trigger
+types, and the IncidentTruncated trailer accounting.
+
+Input modes:
 
   --cli PATH     build a fresh export: run `PATH` (dopesim_cli) with the
                  golden attack scenario plus --spans in a temp dir and
@@ -31,11 +38,18 @@ Two input modes:
                  same, but the multi-zone variant: two zones with the
                  attack concentrated on zone 0; additionally requires
                  zone-labelled records to actually appear;
+  --cli-incident PATH
+                 run the golden attack scenario with a 550 W breaker and
+                 --incidents-out, validate the incident bundle it writes
+                 (at least one incident required); with --report
+                 DOPEREPORT also render the bundle through the
+                 post-mortem CLI and require a non-empty document;
+  --bundle FILE  validate an existing incident-bundle JSON file;
   --gunzip FILE  validate a gzip-compressed golden trace (no compiler
                  or simulator needed — used by the static CI job);
   FILE           validate an uncompressed JSONL file.
 
-Exit status is 0 when the trace is clean, 1 with one line per violation
+Exit status is 0 when the input is clean, 1 with one line per violation
 otherwise.
 """
 
@@ -193,6 +207,256 @@ def check_stream(lines):
     return checker
 
 
+# --------------------------------------------------------------------
+# Incident-bundle validation (docs/OBSERVABILITY.md, "Incident bundles")
+
+TRIGGER_TYPES = {
+    "BreakerTrip",
+    "BudgetViolation",
+    "AlertRaised",
+    "AuditFailure",
+    "ManualDump",
+}
+
+SERIES_KEYS = ("samples", "sum", "min", "max", "last",
+               "raw", "tier10", "tier100")
+TIER_FAN_IN = {"tier10": 10, "tier100": 100}
+
+
+class BundleChecker:
+    """Structural validator for one dope_incident_bundle document."""
+
+    def __init__(self):
+        self.errors = []
+        self.incidents = 0
+        self.series_checked = 0
+
+    def error(self, where, message):
+        self.errors.append(f"{where}: {message}")
+
+    def check_series(self, where, name, series):
+        self.series_checked += 1
+        where = f"{where} series '{name}'"
+        if not isinstance(series, dict):
+            self.error(where, "not a JSON object")
+            return
+        for key in SERIES_KEYS:
+            if key not in series:
+                self.error(where, f"missing '{key}'")
+                return
+        raw = series["raw"]
+        samples = series["samples"]
+        if not isinstance(raw, list):
+            self.error(where, "'raw' is not a list")
+            return
+        if not isinstance(samples, int) or samples < len(raw):
+            self.error(
+                where,
+                f"samples={samples!r} below raw ring size {len(raw)}")
+        prev_i = None
+        for k, sample in enumerate(raw):
+            i = sample.get("i")
+            if not isinstance(i, int):
+                self.error(where, f"raw[{k}] index is not an int: {i!r}")
+                return
+            # Raw indices must be *consecutive*: the ring evicts from
+            # the front only, so any gap means samples were lost.
+            if prev_i is not None and i != prev_i + 1:
+                self.error(
+                    where,
+                    f"raw indices not consecutive: {i} after {prev_i}")
+            prev_i = i
+        if raw and samples != raw[-1]["i"] + 1:
+            self.error(
+                where,
+                f"last raw index {raw[-1]['i']} inconsistent with "
+                f"samples={samples}")
+        for tier, fan_in in TIER_FAN_IN.items():
+            prev_first = None
+            buckets = series[tier]
+            if not isinstance(buckets, list):
+                self.error(where, f"'{tier}' is not a list")
+                continue
+            for k, bucket in enumerate(buckets):
+                tag = f"{tier}[{k}]"
+                n = bucket.get("n")
+                if not isinstance(n, int) or not 0 < n <= fan_in:
+                    self.error(
+                        where,
+                        f"{tag} count {n!r} outside (0, {fan_in}]")
+                first = bucket.get("i")
+                if not isinstance(first, int) or first % fan_in != 0:
+                    self.error(
+                        where,
+                        f"{tag} first index {first!r} not aligned to "
+                        f"the {fan_in}-sample fan-in")
+                elif prev_first is not None and first <= prev_first:
+                    self.error(
+                        where,
+                        f"{tag} first index {first} not increasing "
+                        f"after {prev_first}")
+                else:
+                    prev_first = first
+                lo, mid, hi = (bucket.get("min"), bucket.get("mean"),
+                               bucket.get("max"))
+                if not all(isinstance(v, (int, float))
+                           for v in (lo, mid, hi)):
+                    self.error(tag, "min/mean/max not all numeric")
+                elif not lo <= mid <= hi:
+                    self.error(
+                        where,
+                        f"{tag} violates min <= mean <= max: "
+                        f"{lo} / {mid} / {hi}")
+
+    def check_incident(self, incident, position, expected_id):
+        where = f"incident[{position}]"
+        if incident.get("type") == "IncidentTruncated":
+            self.error(where, "IncidentTruncated before the last entry")
+            return
+        self.incidents += 1
+        for key in ("id", "t_us", "t_s", "slot_index", "trigger",
+                    "detail", "zone", "series", "trace_tail",
+                    "open_spans", "open_span_count", "forensics"):
+            if key not in incident:
+                self.error(where, f"missing '{key}'")
+                return
+        if incident["id"] != expected_id:
+            self.error(
+                where,
+                f"id {incident['id']} != expected {expected_id}")
+        if incident["trigger"] not in TRIGGER_TYPES:
+            self.error(
+                where, f"unknown trigger '{incident['trigger']}'")
+        zone = incident["zone"]
+        if not isinstance(zone, int) or zone < -1:
+            self.error(where, f"zone {zone!r} below -1")
+        series = incident["series"]
+        if not isinstance(series, dict):
+            self.error(where, "'series' is not an object")
+        else:
+            for name in series:
+                self.check_series(where, name, series[name])
+        for k, record in enumerate(incident["trace_tail"]):
+            rtype = record.get("type")
+            if rtype not in EVENT_TYPES and rtype not in TRAILER_TYPES:
+                self.error(
+                    where, f"trace_tail[{k}] unknown type '{rtype}'")
+        if incident["open_span_count"] < len(incident["open_spans"]):
+            self.error(
+                where,
+                f"open_span_count {incident['open_span_count']} below "
+                f"the {len(incident['open_spans'])} spans listed")
+        forensics = incident["forensics"]
+        if forensics is not None:
+            prev_joules = None
+            for k, suspect in enumerate(forensics.get("suspects", [])):
+                joules = suspect.get("joules")
+                if not isinstance(joules, (int, float)):
+                    self.error(
+                        where, f"suspects[{k}] joules not numeric")
+                elif prev_joules is not None and joules > prev_joules:
+                    self.error(
+                        where,
+                        f"suspects[{k}] joules {joules} above previous "
+                        f"{prev_joules} (ranking must be descending)")
+                else:
+                    prev_joules = joules
+
+    def check(self, doc):
+        if not isinstance(doc, dict):
+            self.error("bundle", "document is not a JSON object")
+            return self
+        if doc.get("dope_incident_bundle") != 1:
+            self.error(
+                "bundle",
+                f"unsupported schema version "
+                f"{doc.get('dope_incident_bundle')!r}")
+            return self
+        run = doc.get("run")
+        if not isinstance(run, dict):
+            self.error("run", "missing or not an object")
+        else:
+            seed = run.get("seed")
+            # Seeds are decimal strings (uint64 survives every reader).
+            if not isinstance(seed, str) or not seed.isdigit():
+                self.error(
+                    "run", f"seed {seed!r} is not a decimal string")
+            if not isinstance(run.get("slot_us"), int) \
+                    or run["slot_us"] <= 0:
+                self.error(
+                    "run",
+                    f"slot_us {run.get('slot_us')!r} not a positive int")
+        counters = {}
+        for key in ("triggers", "deduped", "dropped"):
+            value = doc.get(key)
+            if not isinstance(value, int) or value < 0:
+                self.error(
+                    "bundle", f"'{key}' {value!r} not a counter")
+                return self
+            counters[key] = value
+        incidents = doc.get("incidents")
+        if not isinstance(incidents, list):
+            self.error("bundle", "'incidents' missing or not a list")
+            return self
+        trailer = None
+        prev_slot = None
+        prev_t = None
+        for position, incident in enumerate(incidents):
+            if not isinstance(incident, dict):
+                self.error(f"incident[{position}]", "not an object")
+                continue
+            if position == len(incidents) - 1 \
+                    and incident.get("type") == "IncidentTruncated":
+                trailer = incident
+                continue
+            self.check_incident(incident, position, self.incidents + 1)
+            slot = incident.get("slot_index")
+            t = incident.get("t_us")
+            if isinstance(slot, int):
+                if prev_slot is not None and slot <= prev_slot:
+                    self.error(
+                        f"incident[{position}]",
+                        f"slot_index {slot} not increasing "
+                        f"after {prev_slot}")
+                prev_slot = slot
+            if isinstance(t, int):
+                if prev_t is not None and t < prev_t:
+                    self.error(
+                        f"incident[{position}]",
+                        f"t_us decreases: {t} after {prev_t}")
+                prev_t = t
+        if counters["dropped"] > 0 and trailer is None:
+            self.error(
+                "bundle",
+                f"dropped={counters['dropped']} without an "
+                "IncidentTruncated trailer")
+        if trailer is not None:
+            if trailer.get("dropped") != counters["dropped"]:
+                self.error(
+                    "trailer",
+                    f"dropped {trailer.get('dropped')!r} != bundle "
+                    f"counter {counters['dropped']}")
+            if counters["dropped"] == 0:
+                self.error("trailer", "present with dropped=0")
+        if self.incidents + counters["dropped"] != counters["triggers"]:
+            self.error(
+                "bundle",
+                f"{self.incidents} incident(s) + "
+                f"{counters['dropped']} dropped != "
+                f"{counters['triggers']} trigger(s)")
+        return self
+
+
+def check_bundle_text(text):
+    checker = BundleChecker()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        checker.error("bundle", f"not valid JSON: {e}")
+        return checker
+    return checker.check(doc)
+
+
 def run_cli(cli_path, site=False):
     """Run the golden attack scenario with spans and return the JSONL.
 
@@ -214,6 +478,39 @@ def run_cli(cli_path, site=False):
         return trace.read_text().splitlines()
 
 
+def run_cli_incident(cli_path, report_path=None):
+    """Golden attack scenario + breaker + flight recorder.
+
+    Returns (bundle_text, render_error): the incident bundle the run
+    wrote, and None or a message if the optional dopereport render
+    failed or produced no post-mortem.
+    """
+    with tempfile.TemporaryDirectory(prefix="dope-schema-") as tmp:
+        bundle = Path(tmp) / "incidents.json"
+        cmd = [
+            cli_path, "--scheme", "antidope", "--budget", "low",
+            "--attack-rps", "400", "--duration-s", "60", "--seed", "42",
+            "--battery-min", "2", "--breaker-watts", "550", "--alerts",
+            "--incidents-out", str(bundle),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        text = bundle.read_text()
+        render_error = None
+        if report_path:
+            render = subprocess.run(
+                [report_path, str(bundle)], capture_output=True,
+                text=True)
+            if render.returncode != 0:
+                render_error = (
+                    f"dopereport exited {render.returncode}: "
+                    f"{render.stderr.strip()}")
+            elif "# DOPE incident post-mortem" not in render.stdout:
+                render_error = (
+                    "dopereport output is missing the post-mortem "
+                    "header")
+        return text, render_error
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="validate a dope JSONL trace export")
@@ -227,12 +524,56 @@ def main():
         help="run the two-zone site variant (--zones 2 --attack-zone 0) "
         "and additionally require zone-labelled records")
     source.add_argument(
+        "--cli-incident", metavar="DOPESIM_CLI",
+        help="run the golden attack scenario with a breaker and "
+        "--incidents-out, then validate the incident bundle")
+    source.add_argument(
+        "--bundle", metavar="FILE",
+        help="validate an existing incident-bundle JSON file")
+    source.add_argument(
         "--gunzip", metavar="FILE_GZ",
         help="validate a gzip-compressed JSONL trace")
     source.add_argument(
         "trace", nargs="?", metavar="FILE",
         help="validate an uncompressed JSONL trace")
+    parser.add_argument(
+        "--report", metavar="DOPEREPORT",
+        help="with --cli-incident: also render the bundle through this "
+        "dopereport binary and require a post-mortem document")
     args = parser.parse_args()
+
+    if args.report and not args.cli_incident:
+        parser.error("--report only applies to --cli-incident")
+
+    if args.cli_incident or args.bundle:
+        if args.cli_incident:
+            text, render_error = run_cli_incident(
+                args.cli_incident, args.report)
+            label = f"{args.cli_incident} (golden attack + breaker)"
+        else:
+            text, render_error = Path(args.bundle).read_text(), None
+            label = args.bundle
+        checker = check_bundle_text(text)
+        if args.cli_incident and checker.incidents == 0:
+            checker.errors.append(
+                "golden attack + breaker run captured no incident")
+        if render_error:
+            checker.errors.append(render_error)
+        for message in checker.errors:
+            print(f"trace_schema_check: {label}: {message}",
+                  file=sys.stderr)
+        if checker.errors:
+            print(
+                f"trace_schema_check: FAIL — {len(checker.errors)} "
+                f"violation(s) in {checker.incidents} incident(s)",
+                file=sys.stderr)
+            return 1
+        rendered = ", post-mortem rendered" if args.report else ""
+        print(
+            f"trace_schema_check: OK — {checker.incidents} incident(s), "
+            f"{checker.series_checked} series snapshot(s)"
+            f"{rendered}")
+        return 0
 
     if args.cli:
         lines = run_cli(args.cli)
